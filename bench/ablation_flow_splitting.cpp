@@ -1,0 +1,73 @@
+// Ablation: flow splitting under idle timeouts (paper introduction: "if
+// flow duration is defined with a timeout, then a flow can be split into
+// multiple subflows if the sampling frequency is too low" [5]).
+//
+// We classify the SAMPLED stream with an idle-timeout flow table and
+// measure how many subflows the true top flows shatter into as the
+// sampling rate drops — the mechanism that degrades ranking beyond the
+// pure counting noise the models capture.
+#include <iostream>
+#include <unordered_map>
+
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/flow_trace_generator.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/cli.hpp"
+#include "flowrank/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  const double timeout_s = cli.get_double("timeout", 5.0);
+
+  auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, 29);
+  trace_cfg.duration_s = cli.get_double("duration", 300.0);
+  trace_cfg.flow_rate_per_s = 300.0;
+  const auto trace = flowrank::trace::generate_flow_trace(trace_cfg);
+
+  std::cout << "# Ablation — flow splitting with a " << timeout_s
+            << " s idle timeout on the sampled stream\n";
+
+  flowrank::util::Table table({"rate_pct", "sampled_flows", "subflows",
+                               "split_factor", "largest_flow_subflows"});
+  for (double rate : {1.0, 0.5, 0.1, 0.01, 0.001}) {
+    flowrank::flowtable::FlowTable table_no_split(
+        {flowrank::packet::FlowDefinition::kFiveTuple, 0});
+    flowrank::flowtable::FlowTable table_split(
+        {flowrank::packet::FlowDefinition::kFiveTuple,
+         static_cast<std::int64_t>(timeout_s * 1e9)});
+    flowrank::sampler::BernoulliSampler sampler(rate, 31);
+    flowrank::trace::PacketStream stream(trace);
+    while (auto pkt = stream.next()) {
+      if (!sampler.offer(*pkt)) continue;
+      table_no_split.add(*pkt);
+      table_split.add(*pkt);
+    }
+    const auto whole = table_no_split.active();
+    const auto split = table_split.all();
+    // Subflow count of the largest sampled flow.
+    flowrank::packet::FlowKey biggest{};
+    std::uint64_t biggest_packets = 0;
+    for (const auto& f : whole) {
+      if (f.packets > biggest_packets) {
+        biggest_packets = f.packets;
+        biggest = f.key;
+      }
+    }
+    std::size_t biggest_subflows = 0;
+    for (const auto& f : split) {
+      if (f.key == biggest) ++biggest_subflows;
+    }
+    table.add_row(rate * 100.0, whole.size(), split.size(),
+                  whole.empty() ? 0.0
+                                : static_cast<double>(split.size()) /
+                                      static_cast<double>(whole.size()),
+                  biggest_subflows);
+  }
+  table.print(std::cout);
+  std::cout << "\nAt full capture flows rarely split; as the rate drops, gaps\n"
+               "between sampled packets exceed the idle timeout and flows\n"
+               "shatter — an additional error source for timeout-based\n"
+               "monitors that the paper notes and sets aside.\n";
+  return 0;
+}

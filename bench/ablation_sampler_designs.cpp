@@ -1,0 +1,117 @@
+// Ablation: sampler designs on the same trace.
+//
+// The paper analyzes random (Bernoulli) sampling and cites [10] for
+// "periodic and random sampling provide roughly the same result on high
+// speed links". This bench runs the full packet pipeline with random,
+// periodic, stratified and flow sampling at the same expected rate and
+// compares the resulting top-t ranking quality — reproducing the claimed
+// equivalence for packet samplers and the qualitatively different
+// behaviour of flow sampling (whole flows survive, so ranking among the
+// SAMPLED flows is exact, but the top flows can be missed entirely).
+#include <iostream>
+#include <memory>
+#include <unordered_map>
+
+#include "flowrank/flowtable/binned_classifier.hpp"
+#include "flowrank/metrics/rank_metrics.hpp"
+#include "flowrank/numeric/stats.hpp"
+#include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/flow_trace_generator.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/cli.hpp"
+#include "flowrank/util/table.hpp"
+
+namespace {
+
+using flowrank::packet::FlowKey;
+
+struct RunOutcome {
+  double ranking = 0.0;
+  double recall = 0.0;
+};
+
+RunOutcome run_pipeline(const flowrank::trace::FlowTrace& trace,
+                        flowrank::sampler::PacketSampler& sampler, std::size_t t) {
+  std::unordered_map<FlowKey, std::uint64_t, flowrank::packet::FlowKeyHash> original;
+  std::unordered_map<FlowKey, std::uint64_t, flowrank::packet::FlowKeyHash> sampled;
+  flowrank::trace::PacketStream stream(trace);
+  while (auto pkt = stream.next()) {
+    const auto key = flowrank::packet::make_flow_key(
+        pkt->tuple, flowrank::packet::FlowDefinition::kFiveTuple);
+    ++original[key];
+    if (sampler.offer(*pkt)) ++sampled[key];
+  }
+  std::vector<std::uint64_t> true_sizes, sampled_sizes;
+  true_sizes.reserve(original.size());
+  for (const auto& [key, count] : original) {
+    true_sizes.push_back(count);
+    const auto it = sampled.find(key);
+    sampled_sizes.push_back(it == sampled.end() ? 0 : it->second);
+  }
+  const auto m = flowrank::metrics::compute_rank_metrics(true_sizes, sampled_sizes, t);
+  return {m.ranking_swapped, m.top_set_recall};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  const double rate = cli.get_double("rate", 0.05);
+  const auto t = static_cast<std::size_t>(cli.get_int("t", 10));
+  const int runs = static_cast<int>(cli.get_int("runs", 8));
+
+  std::cout << "# Ablation — sampler designs at equal expected rate " << rate * 100
+            << "%, top " << t << "\n";
+
+  auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, 17);
+  trace_cfg.duration_s = cli.get_double("duration", 120.0);
+  trace_cfg.flow_rate_per_s = 400.0;
+  const auto trace = flowrank::trace::generate_flow_trace(trace_cfg);
+  const auto period = static_cast<std::uint64_t>(1.0 / rate);
+
+  flowrank::util::Table table(
+      {"sampler", "swapped_pairs_mean", "swapped_pairs_std", "top_recall"});
+  flowrank::numeric::RunningStats random_stats, periodic_stats;
+  for (int variant = 0; variant < 4; ++variant) {
+    flowrank::numeric::RunningStats ranking, recall;
+    for (int run = 0; run < runs; ++run) {
+      std::unique_ptr<flowrank::sampler::PacketSampler> sampler;
+      switch (variant) {
+        case 0:
+          sampler = std::make_unique<flowrank::sampler::BernoulliSampler>(
+              rate, 100 + run);
+          break;
+        case 1:
+          sampler = std::make_unique<flowrank::sampler::PeriodicSampler>(
+              period, static_cast<std::uint64_t>(run) % period);
+          break;
+        case 2:
+          sampler = std::make_unique<flowrank::sampler::StratifiedSampler>(
+              period, 200 + run);
+          break;
+        default:
+          sampler = std::make_unique<flowrank::sampler::FlowSampler>(
+              rate, flowrank::packet::FlowDefinition::kFiveTuple, 300 + run);
+      }
+      const auto outcome = run_pipeline(trace, *sampler, t);
+      ranking.add(outcome.ranking);
+      recall.add(outcome.recall);
+    }
+    static const char* kNames[] = {"random (paper)", "periodic 1-in-k",
+                                   "stratified", "flow sampling"};
+    table.add_row(std::string(kNames[variant]), ranking.mean(), ranking.stddev(),
+                  recall.mean());
+    if (variant == 0) random_stats = ranking;
+    if (variant == 1) periodic_stats = ranking;
+  }
+  table.print(std::cout);
+
+  const bool equivalent =
+      std::abs(random_stats.mean() - periodic_stats.mean()) <
+      3.0 * (random_stats.stddev() + periodic_stats.stddev() + 1.0);
+  std::cout << "\npaper claim : periodic and random sampling behave alike for "
+               "ranking ([10], Sec. 2)\n";
+  std::cout << "verdict     : " << (equivalent ? "SHAPE REPRODUCED" : "DEVIATION")
+            << "\n";
+  return 0;
+}

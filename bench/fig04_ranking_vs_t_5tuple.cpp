@@ -1,0 +1,9 @@
+// Figure 4: ranking metric vs sampling rate for t in {1,2,5,10,25} —
+// 5-tuple flows, N = 0.7M, Pareto beta = 1.5, mean 9.6 packets (Sec. 6.1).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_ranking_vs_t(cli, "Figure 4", bench::kN5Tuple, bench::kMean5Tuple,
+                                 "5-tuple flows");
+}

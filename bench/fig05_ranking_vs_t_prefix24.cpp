@@ -1,0 +1,9 @@
+// Figure 5: ranking metric vs sampling rate for t in {1,2,5,10,25} —
+// /24 destination-prefix flows, N = 0.1M, mean 33.2 packets (Sec. 6.1).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_ranking_vs_t(cli, "Figure 5", bench::kNPrefix24,
+                                 bench::kMeanPrefix24, "/24 prefix flows");
+}

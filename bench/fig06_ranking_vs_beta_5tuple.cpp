@@ -1,0 +1,9 @@
+// Figure 6: ranking metric vs sampling rate for beta in {3,...,1.2} —
+// 5-tuple flows, N = 0.7M, t = 10 (Sec. 6.2).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_ranking_vs_beta(cli, "Figure 6", bench::kN5Tuple,
+                                    bench::kMean5Tuple, "5-tuple flows");
+}

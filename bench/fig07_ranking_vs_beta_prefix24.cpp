@@ -1,0 +1,9 @@
+// Figure 7: ranking metric vs sampling rate for beta in {3,...,1.2} —
+// /24 prefix flows, N = 0.1M, t = 10 (Sec. 6.2).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_ranking_vs_beta(cli, "Figure 7", bench::kNPrefix24,
+                                    bench::kMeanPrefix24, "/24 prefix flows");
+}

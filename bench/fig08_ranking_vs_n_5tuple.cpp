@@ -1,0 +1,10 @@
+// Figure 8: ranking metric vs sampling rate varying the total number of
+// flows N = 0.7M x {0.2,...,5} — 5-tuple flows, t = 10, beta = 1.5
+// (Sec. 6.3).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_ranking_vs_n(cli, "Figure 8", bench::kN5Tuple, bench::kMean5Tuple,
+                                 "5-tuple flows");
+}

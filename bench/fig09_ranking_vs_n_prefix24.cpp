@@ -1,0 +1,9 @@
+// Figure 9: ranking metric vs sampling rate varying N = 0.1M x {0.2,...,5}
+// — /24 prefix flows, t = 10, beta = 1.5 (Sec. 6.3).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_ranking_vs_n(cli, "Figure 9", bench::kNPrefix24,
+                                 bench::kMeanPrefix24, "/24 prefix flows");
+}

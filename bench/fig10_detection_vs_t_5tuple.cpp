@@ -1,0 +1,9 @@
+// Figure 10: detection metric vs sampling rate for t in {1,2,5,10,25} —
+// 5-tuple flows, N = 0.7M, beta = 1.5 (Sec. 7.2).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_detection_vs_t(cli, "Figure 10", bench::kN5Tuple,
+                                   bench::kMean5Tuple, "5-tuple flows");
+}

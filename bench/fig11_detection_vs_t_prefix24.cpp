@@ -1,0 +1,9 @@
+// Figure 11: detection metric vs sampling rate for t in {1,2,5,10,25} —
+// /24 prefix flows, N = 0.1M (Sec. 7.2).
+#include "bench_drivers.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  return bench::run_detection_vs_t(cli, "Figure 11", bench::kNPrefix24,
+                                   bench::kMeanPrefix24, "/24 prefix flows");
+}

@@ -1,0 +1,14 @@
+// Figure 12: trace-driven ranking performance vs time — 5-tuple flows,
+// top-10, bins of 1 and 5 minutes, 30 sampling runs (Sec. 8.2).
+#include "sim_driver.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  bench::SimFigureSpec spec;
+  spec.figure = "Figure 12";
+  spec.what = "ranking vs time, 5-tuple, top 10 flows (synthetic Sprint trace)";
+  spec.trace_config = flowrank::trace::FlowTraceConfig::sprint_5tuple(
+      cli.get_double("beta", 1.5), static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  spec.definition = flowrank::packet::FlowDefinition::kFiveTuple;
+  return bench::run_sim_figure(cli, spec);
+}

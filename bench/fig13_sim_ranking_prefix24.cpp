@@ -1,0 +1,14 @@
+// Figure 13: trace-driven ranking performance vs time — /24 destination
+// prefixes, top-10 (Sec. 8.2).
+#include "sim_driver.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  bench::SimFigureSpec spec;
+  spec.figure = "Figure 13";
+  spec.what = "ranking vs time, /24 prefixes, top 10 flows (synthetic Sprint trace)";
+  spec.trace_config = flowrank::trace::FlowTraceConfig::sprint_prefix24(
+      cli.get_double("beta", 1.5), static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  spec.definition = flowrank::packet::FlowDefinition::kDstPrefix24;
+  return bench::run_sim_figure(cli, spec);
+}

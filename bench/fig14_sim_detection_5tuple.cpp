@@ -1,0 +1,15 @@
+// Figure 14: trace-driven detection performance vs time — 5-tuple flows,
+// top-10 (Sec. 8.2).
+#include "sim_driver.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  bench::SimFigureSpec spec;
+  spec.figure = "Figure 14";
+  spec.what = "detection vs time, 5-tuple, top 10 flows (synthetic Sprint trace)";
+  spec.trace_config = flowrank::trace::FlowTraceConfig::sprint_5tuple(
+      cli.get_double("beta", 1.5), static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  spec.definition = flowrank::packet::FlowDefinition::kFiveTuple;
+  spec.expect_detection = true;
+  return bench::run_sim_figure(cli, spec);
+}

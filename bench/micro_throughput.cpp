@@ -1,0 +1,168 @@
+// Microbenchmarks: throughput of the hot paths and the ablation the paper
+// reports qualitatively — exact discrete model ("hours") vs the
+// Gaussian/continuous evaluation ("few seconds"), here measured directly.
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "flowrank/core/discrete_model.hpp"
+#include "flowrank/core/misranking.hpp"
+#include "flowrank/core/ranking_model.hpp"
+#include "flowrank/dist/pareto.hpp"
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/metrics/rank_metrics.hpp"
+#include "flowrank/numeric/binomial.hpp"
+#include "flowrank/numeric/incbeta.hpp"
+#include "flowrank/numeric/quadrature.hpp"
+#include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/flow_trace_generator.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+
+namespace {
+
+// --- numeric substrate ------------------------------------------------------
+
+void BM_BinomialCdfLargeN(benchmark::State& state) {
+  const std::int64_t n = 1000000;
+  double k = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flowrank::numeric::binomial_cdf(static_cast<std::int64_t>(k), n, 1e-5));
+    k = k < 40 ? k + 1 : 1;
+  }
+}
+BENCHMARK(BM_BinomialCdfLargeN);
+
+void BM_IncBeta(benchmark::State& state) {
+  double x = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::numeric::incbeta(250.0, 12.0, x));
+    x = x < 0.99 ? x + 0.01 : 0.01;
+  }
+}
+BENCHMARK(BM_IncBeta);
+
+void BM_GaussLegendre64(benchmark::State& state) {
+  const auto f = [](double x) { return x * x * 0.5 + x; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::numeric::integrate_gl(f, 0.0, 1.0, 64));
+  }
+}
+BENCHMARK(BM_GaussLegendre64);
+
+// --- pairwise misranking: exact vs Gaussian vs hybrid ------------------------
+
+void BM_MisrankingExact(benchmark::State& state) {
+  const auto size = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::core::misranking_exact(size, size + 50, 0.01));
+  }
+}
+BENCHMARK(BM_MisrankingExact)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MisrankingGaussian(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::core::misranking_gaussian(5000.0, 5050.0, 0.01));
+  }
+}
+BENCHMARK(BM_MisrankingGaussian);
+
+void BM_MisrankingHybrid(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::core::misranking_hybrid(5000.0, 5050.0, 0.001));
+  }
+}
+BENCHMARK(BM_MisrankingHybrid);
+
+// --- model evaluation: the paper's "hours vs seconds" ablation ---------------
+
+void BM_RankingModelContinuous(benchmark::State& state) {
+  flowrank::core::RankingModelConfig cfg;
+  cfg.n = 2000;
+  cfg.t = 5;
+  cfg.p = 0.2;
+  cfg.size_dist = std::make_shared<flowrank::dist::Pareto>(
+      flowrank::dist::Pareto::from_mean(9.6, 2.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::core::evaluate_ranking_model(cfg));
+  }
+}
+BENCHMARK(BM_RankingModelContinuous);
+
+void BM_RankingModelDiscreteExact(benchmark::State& state) {
+  flowrank::core::DiscreteModelConfig cfg;
+  cfg.n = 2000;
+  cfg.t = 5;
+  cfg.p = 0.2;
+  cfg.max_size = 3000;
+  cfg.tail_tolerance = 1e-4;
+  cfg.size_pmf = std::make_shared<flowrank::dist::Discretized>(
+      std::make_unique<flowrank::dist::Pareto>(
+          flowrank::dist::Pareto::from_mean(9.6, 2.5)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::core::evaluate_discrete_ranking_model(cfg));
+  }
+}
+BENCHMARK(BM_RankingModelDiscreteExact)->Unit(benchmark::kMillisecond);
+
+// --- packet path -------------------------------------------------------------
+
+void BM_BernoulliSampler(benchmark::State& state) {
+  flowrank::sampler::BernoulliSampler sampler(0.01, 1);
+  flowrank::packet::PacketRecord pkt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.offer(pkt));
+  }
+}
+BENCHMARK(BM_BernoulliSampler);
+
+void BM_FlowTableAdd(benchmark::State& state) {
+  flowrank::flowtable::FlowTable table({flowrank::packet::FlowDefinition::kFiveTuple, 0});
+  flowrank::packet::PacketRecord pkt;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    pkt.tuple.src_ip = i++ % 65536;  // 64K concurrent flows
+    table.add(pkt);
+  }
+  state.counters["flows"] = static_cast<double>(table.size());
+}
+BENCHMARK(BM_FlowTableAdd);
+
+void BM_PacketStreamExpansion(benchmark::State& state) {
+  auto cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, 3);
+  cfg.duration_s = 5.0;
+  cfg.flow_rate_per_s = 500.0;
+  const auto trace = flowrank::trace::generate_flow_trace(cfg);
+  for (auto _ : state) {
+    flowrank::trace::PacketStream stream(trace);
+    std::uint64_t n = 0;
+    while (stream.next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.total_packets()));
+}
+BENCHMARK(BM_PacketStreamExpansion)->Unit(benchmark::kMillisecond);
+
+void BM_RankMetrics(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto engine = flowrank::util::make_engine(9);
+  const auto pareto = flowrank::dist::Pareto::from_mean(9.6, 1.5);
+  std::vector<std::uint64_t> true_sizes(n), sampled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    true_sizes[i] = static_cast<std::uint64_t>(pareto.sample(engine));
+    sampled[i] = true_sizes[i] / 10;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flowrank::metrics::compute_rank_metrics(true_sizes, sampled, 10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RankMetrics)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Quickstart: the paper's question end to end in ~80 lines.
+//
+// Generate a synthetic Sprint-like trace, run the real packet pipeline
+// (stream -> Bernoulli sampler -> binned flow table), compare the sampled
+// top-10 against the true top-10, and ask the analytic model what it
+// predicted for this configuration.
+//
+// Usage: example_quickstart [--rate 0.1] [--duration 120] [--t 10]
+#include <iostream>
+
+#include "flowrank/core/ranking_model.hpp"
+#include "flowrank/dist/pareto.hpp"
+#include "flowrank/metrics/rank_metrics.hpp"
+#include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/util/cli.hpp"
+#include "flowrank/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const flowrank::util::Cli cli(argc, argv);
+  const double rate = cli.get_double("rate", 0.1);
+  const double duration = cli.get_double("duration", 120.0);
+  const auto t = static_cast<std::size_t>(cli.get_int("t", 10));
+
+  // 1. A Sprint-like flow trace, scaled to laptop size.
+  auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(/*beta=*/1.5,
+                                                                   /*seed=*/42);
+  trace_cfg.duration_s = duration;
+  trace_cfg.flow_rate_per_s = 400.0;
+  const auto trace = flowrank::trace::generate_flow_trace(trace_cfg);
+  std::cout << "trace: " << trace.flows.size() << " flows, "
+            << trace.total_packets() << " packets over " << duration << " s\n";
+
+  // 2. The real packet pipeline at the chosen sampling rate.
+  flowrank::sim::SimConfig sim_cfg;
+  sim_cfg.bin_seconds = duration;  // one measurement interval
+  sim_cfg.top_t = t;
+  sim_cfg.sampling_rates = {rate};
+  const auto metrics =
+      flowrank::sim::run_packet_level_once(trace, rate, sim_cfg, /*run_seed=*/1);
+
+  std::cout << "\nsampling at " << rate * 100 << "%:\n";
+  flowrank::util::Table table({"bin", "swapped_pairs(rank)", "swapped_pairs(detect)",
+                               "top_set_recall"});
+  for (std::size_t b = 0; b < metrics.size(); ++b) {
+    table.add_row(b, metrics[b].ranking_swapped, metrics[b].detection_swapped,
+                  metrics[b].top_set_recall);
+  }
+  table.print(std::cout);
+
+  // 3. What the analytic model predicts for this population size.
+  flowrank::core::RankingModelConfig model_cfg;
+  model_cfg.n = static_cast<std::int64_t>(trace.flows.size());
+  model_cfg.t = static_cast<std::int64_t>(t);
+  model_cfg.p = rate;
+  model_cfg.size_dist = trace_cfg.size_dist->clone();
+  model_cfg.pairwise = flowrank::core::PairwiseModel::kHybrid;
+  model_cfg.counting = flowrank::core::PairCounting::kUnordered;
+  const auto prediction = flowrank::core::evaluate_ranking_model(model_cfg);
+  std::cout << "\nmodel prediction (hybrid, unordered pairs): "
+            << prediction.metric << " swapped pairs expected per interval\n";
+  std::cout << "the paper deems the ranking acceptable when this is below 1.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "flowrank/core/detection_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "flowrank/core/misranking.hpp"
+#include "flowrank/numeric/binomial.hpp"
+#include "flowrank/numeric/quadrature.hpp"
+
+namespace flowrank::core {
+
+namespace {
+
+/// P*t(v,u): joint probability that the reference flow (tail rank u) is in
+/// the top t while the companion flow (tail rank v > u, i.e. smaller) is
+/// not. The k-sum runs over how many of the other N-2 flows already exceed
+/// the reference flow.
+double joint_in_out_probability(double u, double v, std::int64_t t, std::int64_t n,
+                                const QuadratureOptions& quad) {
+  // P_{j,i} in the paper: probability a generic flow lands between the
+  // companion and the reference size, conditioned on being below the
+  // reference: (P_j - P_i)/(1 - P_i) with P_i = u, P_j = v.
+  const double between = u >= 1.0 ? 0.0 : (v - u) / (1.0 - u);
+  const std::int64_t m = n - 2;  // other flows
+  if (m < 0) return 0.0;
+
+  // b_u(k, m) iteratively; the k-sum has at most t terms (t <= 25-ish).
+  double log_b = static_cast<double>(m) * std::log1p(-u);  // k = 0 term, log
+  const double log_odds = u > 0.0 ? std::log(u) - std::log1p(-u)
+                                  : -std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  for (std::int64_t k = 0; k < t; ++k) {
+    const double b = std::exp(log_b);
+    if (b > 0.0) {
+      // Need >= t-k-1 of the remaining m-k flows between v and u.
+      const std::int64_t need = t - k - 1;
+      double tail;
+      if (need <= 0) {
+        tail = 1.0;
+      } else if (m - k >= quad.poisson_threshold && between < 0.01) {
+        tail = 1.0 - numeric::poisson_cdf(need - 1,
+                                          static_cast<double>(m - k) * between);
+      } else {
+        tail = numeric::binomial_sf(need - 1, m - k, between);
+      }
+      acc += b * tail;
+    }
+    // Advance b_u(k,m) -> b_u(k+1,m).
+    if (u <= 0.0) break;
+    log_b += std::log(static_cast<double>(m - k)) -
+             std::log(static_cast<double>(k + 1)) + log_odds;
+  }
+  return std::min(acc, 1.0);
+}
+
+}  // namespace
+
+DetectionModelResult evaluate_detection_model(const RankingModelConfig& config) {
+  if (!config.size_dist) {
+    throw std::invalid_argument("detection model: size_dist is required");
+  }
+  if (config.t < 1 || config.t >= config.n) {
+    throw std::invalid_argument("detection model: requires 1 <= t < N");
+  }
+  if (!(config.p > 0.0 && config.p <= 1.0)) {
+    throw std::invalid_argument("detection model: requires p in (0,1]");
+  }
+  const auto& dist = *config.size_dist;
+  const auto n = config.n;
+  const auto t = config.t;
+  const double p = config.p;
+  const auto& quad = config.quad;
+
+  const auto size_at = [&dist](double y) { return dist.tail_quantile(y); };
+  const auto pm = [&config](double a, double b, double rate) {
+    return config.pairwise == PairwiseModel::kGaussian
+               ? misranking_gaussian(a, b, rate)
+               : misranking_hybrid(a, b, rate);
+  };
+
+  // metric = t(N-t) P̄*mt
+  //        = N(N-1) ∫_0^1 du ∫_u^1 dv P*t(v,u) Pm(x(v), x(u)).
+  const auto inner = [&](double u) {
+    const double x_ref = size_at(u);
+    const auto f = [&](double v) {
+      const double joint = joint_in_out_probability(u, v, t, n, quad);
+      if (joint <= 0.0) return 0.0;
+      return joint * pm(size_at(v), x_ref, p);
+    };
+    return integrate_toward(f, u, 1.0, /*focus_on_lo=*/true, quad);
+  };
+
+  const double z_max = outer_z_max(t, quad);
+  const double u_max = std::min(1.0, z_max / static_cast<double>(n));
+  const double panel_width = u_max / quad.outer_panels;
+  double outer = 0.0;
+  for (int i = 0; i < quad.outer_panels; ++i) {
+    const double lo = panel_width * i;
+    const double hi = i + 1 == quad.outer_panels ? u_max : panel_width * (i + 1);
+    outer += numeric::integrate_gl(inner, lo, hi, quad.outer_order);
+  }
+
+  DetectionModelResult result;
+  result.pair_count = static_cast<double>(t) * static_cast<double>(n - t);
+  result.metric = static_cast<double>(n) * static_cast<double>(n - 1) * outer;
+  result.mean_pair_misranking = result.metric / result.pair_count;
+  return result;
+}
+
+}  // namespace flowrank::core

@@ -1,0 +1,34 @@
+// The detection model (Sec. 7): identify the top-t flows *as a set*,
+// ignoring their relative order inside the list.
+//
+// Metric: expected number of swapped pairs whose first element is inside
+// the top-t list and whose second element is outside it — t(N-t) pairs:
+//
+//     metric = t (N - t) * P̄*mt
+//
+// with (Sec. 7.1)
+//   P̄*mt = (1/P̄*t) Σ_{i} Σ_{j<i} p_i p_j P*t(j,i,t,N) Pm(j,i),
+//   P̄*t  = t(N-t) / (N(N-1)),
+//   P*t(j,i,t,N) = Σ_{k=0}^{t-1} b_{Pi}(k,N-2) P{Bin(N-k-2, P_{j,i}) >= t-k-1},
+//   P_{j,i} = (P_j - P_i) / (1 - P_i).
+//
+// For t = 1 detection and ranking coincide (checked in tests).
+#pragma once
+
+#include "flowrank/core/ranking_model.hpp"
+
+namespace flowrank::core {
+
+/// Result of evaluating the detection model.
+struct DetectionModelResult {
+  double mean_pair_misranking = 0.0;  ///< P̄*mt
+  double metric = 0.0;                ///< t (N-t) * P̄*mt
+  double pair_count = 0.0;            ///< t (N-t)
+};
+
+/// Evaluates the continuous detection model (same configuration struct as
+/// the ranking model; same validity requirements).
+[[nodiscard]] DetectionModelResult evaluate_detection_model(
+    const RankingModelConfig& config);
+
+}  // namespace flowrank::core

@@ -1,0 +1,66 @@
+#include "flowrank/core/mc_model.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "flowrank/metrics/rank_metrics.hpp"
+
+namespace flowrank::core {
+
+double McModelResult::ranking_stderr() const {
+  return ranking_metric.count() < 2
+             ? 0.0
+             : ranking_metric.stddev() /
+                   std::sqrt(static_cast<double>(ranking_metric.count()));
+}
+
+double McModelResult::detection_stderr() const {
+  return detection_metric.count() < 2
+             ? 0.0
+             : detection_metric.stddev() /
+                   std::sqrt(static_cast<double>(detection_metric.count()));
+}
+
+McModelResult run_mc_model(const RankingModelConfig& config, int runs,
+                           std::uint64_t seed) {
+  if (!config.size_dist) {
+    throw std::invalid_argument("run_mc_model: size_dist is required");
+  }
+  if (config.t < 1 || config.t > config.n) {
+    throw std::invalid_argument("run_mc_model: requires 1 <= t <= N");
+  }
+  if (!(config.p > 0.0 && config.p <= 1.0)) {
+    throw std::invalid_argument("run_mc_model: requires p in (0,1]");
+  }
+  if (runs < 1) throw std::invalid_argument("run_mc_model: runs >= 1");
+
+  McModelResult result;
+  const auto n = static_cast<std::size_t>(config.n);
+  std::vector<std::uint64_t> true_sizes(n);
+  std::vector<std::uint64_t> sampled_sizes(n);
+
+  for (int run = 0; run < runs; ++run) {
+    auto engine = util::make_engine(seed, static_cast<std::uint64_t>(run));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = config.size_dist->sample(engine);
+      true_sizes[i] =
+          static_cast<std::uint64_t>(std::llround(std::max(1.0, s)));
+      if (config.p >= 1.0) {
+        sampled_sizes[i] = true_sizes[i];
+      } else {
+        std::binomial_distribution<std::uint64_t> thin(true_sizes[i], config.p);
+        sampled_sizes[i] = thin(engine);
+      }
+    }
+    const auto metrics_result = metrics::compute_rank_metrics(
+        true_sizes, sampled_sizes, static_cast<std::size_t>(config.t));
+    result.ranking_metric.add(metrics_result.ranking_swapped);
+    result.detection_metric.add(metrics_result.detection_swapped);
+    result.top_set_recall.add(metrics_result.top_set_recall);
+  }
+  return result;
+}
+
+}  // namespace flowrank::core

@@ -1,0 +1,33 @@
+// Monte-Carlo evaluation of the ranking/detection metrics.
+//
+// Independent check of the analytic models: draw N flow sizes from the
+// distribution, thin each binomially at rate p (exactly Bernoulli packet
+// sampling), and count swapped pairs with the metrics module. Used by
+// tests to validate the quadrature models and by benches to show agreement.
+#pragma once
+
+#include <cstdint>
+
+#include "flowrank/core/ranking_model.hpp"
+#include "flowrank/numeric/stats.hpp"
+
+namespace flowrank::core {
+
+/// Aggregates over Monte-Carlo runs.
+struct McModelResult {
+  numeric::RunningStats ranking_metric;    ///< swapped pairs, ranking defn
+  numeric::RunningStats detection_metric;  ///< swapped pairs, detection defn
+  numeric::RunningStats top_set_recall;    ///< sampled-top recall of true top
+
+  /// Standard error of the ranking metric mean.
+  [[nodiscard]] double ranking_stderr() const;
+  /// Standard error of the detection metric mean.
+  [[nodiscard]] double detection_stderr() const;
+};
+
+/// Runs `runs` independent populations (sizes and sampling redrawn each
+/// run). Deterministic in `seed`. Throws on invalid configuration.
+[[nodiscard]] McModelResult run_mc_model(const RankingModelConfig& config,
+                                         int runs, std::uint64_t seed);
+
+}  // namespace flowrank::core

@@ -1,0 +1,33 @@
+#include "flowrank/core/optimal_rate.hpp"
+
+#include <stdexcept>
+
+#include "flowrank/core/misranking.hpp"
+#include "flowrank/numeric/roots.hpp"
+
+namespace flowrank::core {
+
+double optimal_sampling_rate(std::int64_t s1, std::int64_t s2, double target,
+                             MisrankingModel model, double p_min) {
+  if (!(target > 0.0 && target < 1.0)) {
+    throw std::invalid_argument("optimal_sampling_rate: target in (0,1)");
+  }
+  if (!(p_min > 0.0 && p_min < 1.0)) {
+    throw std::invalid_argument("optimal_sampling_rate: p_min in (0,1)");
+  }
+  const auto pm = [&](double p) {
+    return model == MisrankingModel::kExact
+               ? misranking_exact(s1, s2, p)
+               : misranking_gaussian(static_cast<double>(s1),
+                                     static_cast<double>(s2), p);
+  };
+  const double at_min = pm(p_min);
+  if (at_min <= target) return p_min;
+  const double at_one = pm(1.0);
+  if (at_one > target) return 1.0;  // unreachable even without sampling loss
+  const auto result = numeric::brent([&](double p) { return pm(p) - target; }, p_min,
+                                     1.0, 1e-10, 300);
+  return result.x;
+}
+
+}  // namespace flowrank::core

@@ -1,0 +1,28 @@
+// Optimal sampling rate for a pair of flow sizes (Sec. 3.2, Figs. 1-2):
+// the smallest p such that the misranking probability stays below a
+// desired level Pm,d.
+#pragma once
+
+#include <cstdint>
+
+namespace flowrank::core {
+
+/// Which misranking model the solver inverts.
+enum class MisrankingModel {
+  kExact,     ///< Eq. (1) — binomial sums
+  kGaussian,  ///< Eq. (2) — erfc closed form
+};
+
+/// Smallest sampling rate p with Pm(S1,S2;p) <= target.
+///
+/// Pm is monotone decreasing in p, so this is a bracketed root solve.
+/// Returns 1.0 when even p = 1 cannot reach the target (equal sizes under
+/// the exact model never reach 0 because an unsampled tie counts as
+/// misranked); returns `p_min` when the target is already met there.
+/// Throws std::invalid_argument on bad sizes/target.
+[[nodiscard]] double optimal_sampling_rate(std::int64_t s1, std::int64_t s2,
+                                           double target,
+                                           MisrankingModel model = MisrankingModel::kExact,
+                                           double p_min = 1e-6);
+
+}  // namespace flowrank::core

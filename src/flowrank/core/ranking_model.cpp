@@ -1,0 +1,92 @@
+#include "flowrank/core/ranking_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "flowrank/core/misranking.hpp"
+#include "flowrank/numeric/quadrature.hpp"
+
+namespace flowrank::core {
+
+namespace {
+
+void check_config(const RankingModelConfig& config) {
+  if (!config.size_dist) {
+    throw std::invalid_argument("ranking model: size_dist is required");
+  }
+  if (config.t < 1 || config.t > config.n) {
+    throw std::invalid_argument("ranking model: requires 1 <= t <= N");
+  }
+  if (!(config.p > 0.0 && config.p <= 1.0)) {
+    throw std::invalid_argument("ranking model: requires p in (0,1]");
+  }
+}
+
+}  // namespace
+
+RankingModelResult evaluate_ranking_model(const RankingModelConfig& config) {
+  check_config(config);
+  const auto& dist = *config.size_dist;
+  const auto n = config.n;
+  const auto t = config.t;
+  const double p = config.p;
+  const auto& quad = config.quad;
+
+  // Sizes as a function of tail rank y = F̄(x).
+  const auto size_at = [&dist](double y) { return dist.tail_quantile(y); };
+  const auto pm = [&config](double a, double b, double rate) {
+    return config.pairwise == PairwiseModel::kGaussian
+               ? misranking_gaussian(a, b, rate)
+               : misranking_hybrid(a, b, rate);
+  };
+
+  // Eq. (3), continuous, after the Pt(i,t,N) cancellation (see DESIGN.md):
+  //   P̄mt = (N/t) ∫_0^1 [ Pt(y;t,N-1) A(y) + Pt(y;t-1,N-1) B(y) ] dy
+  //   A(y) = ∫_y^1 Pm(x(v), x(y)) dv   (companion smaller than x(y))
+  //   B(y) = ∫_0^y Pm(x(y), x(v)) dv   (companion at least as large)
+  const auto integrand = [&](double y) {
+    const double x = size_at(y);
+    // Pt(i,t,N-1) in the paper is a binomial over N-2 other flows;
+    // top_probability(y,t,m) computes P{Bin(m-1,y) <= t-1}, so pass m = N-1.
+    const double pt_t_nm1 = top_probability(y, t, n - 1, quad);
+    const double pt_tm1_nm1 = top_probability(y, t - 1, n - 1, quad);
+    if (pt_t_nm1 <= 0.0 && pt_tm1_nm1 <= 0.0) return 0.0;
+
+    double a_term = 0.0;
+    if (pt_t_nm1 > 0.0) {
+      const auto pm_smaller = [&](double v) { return pm(size_at(v), x, p); };
+      a_term = pt_t_nm1 * integrate_toward(pm_smaller, y, 1.0, /*focus_on_lo=*/true,
+                                           quad);
+    }
+    double b_term = 0.0;
+    if (config.counting == PairCounting::kPaper && t >= 2 && pt_tm1_nm1 > 0.0 &&
+        y > 0.0) {
+      const auto pm_larger = [&](double v) { return pm(x, size_at(v), p); };
+      b_term = pt_tm1_nm1 * integrate_toward(pm_larger, 0.0, y, /*focus_on_lo=*/false,
+                                             quad);
+    }
+    return a_term + b_term;
+  };
+
+  // Outer integral over the top-flow region: z = N*y in (0, z_max].
+  const double z_max = outer_z_max(t, config.quad);
+  const double y_max = std::min(1.0, z_max / static_cast<double>(n));
+  const double panel_width = y_max / quad.outer_panels;
+  double outer = 0.0;
+  for (int i = 0; i < quad.outer_panels; ++i) {
+    const double lo = panel_width * i;
+    const double hi = i + 1 == quad.outer_panels ? y_max : panel_width * (i + 1);
+    outer += numeric::integrate_gl(integrand, lo, hi, quad.outer_order);
+  }
+
+  RankingModelResult result;
+  result.mean_pair_misranking =
+      outer * static_cast<double>(n) / static_cast<double>(t);
+  result.pair_count =
+      0.5 * static_cast<double>(2 * n - t - 1) * static_cast<double>(t);
+  result.metric = result.pair_count * result.mean_pair_misranking;
+  return result;
+}
+
+}  // namespace flowrank::core

@@ -1,0 +1,58 @@
+#include "flowrank/core/sampling_planner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flowrank::core {
+
+PlannerResult plan_sampling_rate(RankingModelConfig config, PlannerGoal goal,
+                                 double target, double p_min, double p_max) {
+  if (!(target > 0.0)) {
+    throw std::invalid_argument("plan_sampling_rate: target must be > 0");
+  }
+  if (!(p_min > 0.0 && p_min < p_max && p_max <= 1.0)) {
+    throw std::invalid_argument("plan_sampling_rate: need 0 < p_min < p_max <= 1");
+  }
+  const auto metric_at = [&](double p) {
+    config.p = p;
+    return goal == PlannerGoal::kRankTopT ? evaluate_ranking_model(config).metric
+                                          : evaluate_detection_model(config).metric;
+  };
+
+  PlannerResult result;
+  const double at_max = metric_at(p_max);
+  if (at_max > target) {
+    result.sampling_rate = p_max;
+    result.metric = at_max;
+    result.feasible = false;
+    return result;
+  }
+  const double at_min = metric_at(p_min);
+  if (at_min <= target) {
+    result.sampling_rate = p_min;
+    result.metric = at_min;
+    result.feasible = true;
+    return result;
+  }
+
+  // Bisection on log p (the metric spans many decades — Figs. 4-11).
+  double lo = std::log(p_min);   // metric > target here
+  double hi = std::log(p_max);   // metric <= target here
+  double hi_metric = at_max;
+  for (int iter = 0; iter < 60 && hi - lo > 1e-4; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double m = metric_at(std::exp(mid));
+    if (m <= target) {
+      hi = mid;
+      hi_metric = m;
+    } else {
+      lo = mid;
+    }
+  }
+  result.sampling_rate = std::exp(hi);
+  result.metric = hi_metric;
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace flowrank::core

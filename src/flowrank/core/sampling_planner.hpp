@@ -1,0 +1,34 @@
+// Inverse problem: given a traffic mix and an accuracy target, what is the
+// minimum sampling rate? This operationalizes the paper's "given a desired
+// accuracy, we find the required minimum sampling rate" perspective and is
+// what the sampling_rate_planner example exposes.
+#pragma once
+
+#include "flowrank/core/detection_model.hpp"
+#include "flowrank/core/ranking_model.hpp"
+
+namespace flowrank::core {
+
+/// Which accuracy goal the planner inverts.
+enum class PlannerGoal {
+  kRankTopT,    ///< ranking metric (order within the list matters)
+  kDetectTopT,  ///< detection metric (set membership only)
+};
+
+/// Planner output.
+struct PlannerResult {
+  double sampling_rate = 0.0;  ///< minimal p meeting the target
+  double metric = 0.0;         ///< achieved metric at that p
+  bool feasible = false;       ///< false when even p=pmax misses the target
+};
+
+/// Finds the minimal sampling rate p in [p_min, p_max] such that the
+/// model metric is <= `target` (the paper's acceptability line is 1).
+/// The metric is monotone decreasing in p, so this is a bisection on
+/// log p. `config.p` is ignored.
+[[nodiscard]] PlannerResult plan_sampling_rate(RankingModelConfig config,
+                                               PlannerGoal goal, double target = 1.0,
+                                               double p_min = 1e-4,
+                                               double p_max = 1.0);
+
+}  // namespace flowrank::core

@@ -1,0 +1,99 @@
+#include "flowrank/estimators/adaptive_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "flowrank/dist/pareto.hpp"
+#include "flowrank/estimators/inversion.hpp"
+#include "flowrank/numeric/stats.hpp"
+
+namespace flowrank::estimators {
+
+AdaptiveRateController::AdaptiveRateController(AdaptiveRateConfig config)
+    : config_(config), smoothed_rate_(config.max_rate) {
+  if (!(config_.min_rate > 0.0 && config_.min_rate < config_.max_rate &&
+        config_.max_rate <= 1.0)) {
+    throw std::invalid_argument("AdaptiveRateController: bad rate range");
+  }
+  if (!(config_.target_metric > 0.0)) {
+    throw std::invalid_argument("AdaptiveRateController: target metric > 0");
+  }
+  if (!(config_.ema_weight > 0.0 && config_.ema_weight <= 1.0)) {
+    throw std::invalid_argument("AdaptiveRateController: ema weight in (0,1]");
+  }
+  if (!(config_.hill_fraction > 0.0 && config_.hill_fraction < 1.0)) {
+    throw std::invalid_argument("AdaptiveRateController: hill fraction in (0,1)");
+  }
+}
+
+AdaptiveRateDecision AdaptiveRateController::observe(
+    std::span<const std::uint64_t> sampled_flow_sizes, double current_rate) {
+  if (!(current_rate > 0.0 && current_rate <= 1.0)) {
+    throw std::invalid_argument("observe: current_rate in (0,1]");
+  }
+  if (sampled_flow_sizes.empty()) {
+    throw std::invalid_argument("observe: no sampled flows");
+  }
+
+  // Invert sampled sizes to size estimates; the tail index is scale
+  // invariant, so the Hill estimate may use the raw sampled sizes of the
+  // well-sampled (large) flows directly.
+  std::vector<double> inverted;
+  inverted.reserve(sampled_flow_sizes.size());
+  std::uint64_t sampled_packets = 0;
+  for (std::uint64_t s : sampled_flow_sizes) {
+    if (s == 0) continue;
+    sampled_packets += s;
+    inverted.push_back(static_cast<double>(s) / current_rate);
+  }
+  if (inverted.size() < 32) {
+    throw std::invalid_argument("observe: too few sampled flows to adapt");
+  }
+
+  AdaptiveRateDecision decision;
+  const auto k = std::max<std::size_t>(
+      16, static_cast<std::size_t>(config_.hill_fraction *
+                                   static_cast<double>(inverted.size())));
+  double beta = 1.5;  // fall back to the paper's canonical shape
+  if (k + 1 < inverted.size()) {
+    try {
+      beta = numeric::hill_tail_index(inverted, k);
+    } catch (const std::invalid_argument&) {
+      // degenerate tail (all equal sizes); keep the fallback
+    }
+  }
+  // The planner's Pareto needs beta > 1 for a finite mean; clamp into the
+  // range the paper explores.
+  beta = std::clamp(beta, 1.05, 4.0);
+  decision.estimated_beta = beta;
+
+  numeric::RunningStats size_stats;
+  for (double v : inverted) size_stats.add(v);
+  const double mean_size = std::max(1.5, size_stats.mean());
+
+  auto pareto = dist::Pareto::from_mean(mean_size, beta);
+  const auto population =
+      estimate_population(inverted.size(), sampled_packets, current_rate, pareto);
+  decision.estimated_flows = population.total_flows;
+
+  core::RankingModelConfig model_config;
+  model_config.n = std::max<std::int64_t>(
+      config_.top_t + 1, static_cast<std::int64_t>(population.total_flows));
+  model_config.t = config_.top_t;
+  model_config.size_dist = std::make_shared<dist::Pareto>(pareto);
+  model_config.pairwise = core::PairwiseModel::kHybrid;
+
+  const auto plan =
+      core::plan_sampling_rate(model_config, config_.goal, config_.target_metric,
+                               config_.min_rate, config_.max_rate);
+  decision.feasible = plan.feasible;
+  const double raw = plan.feasible ? plan.sampling_rate : config_.max_rate;
+  smoothed_rate_ = config_.ema_weight * raw + (1.0 - config_.ema_weight) * smoothed_rate_;
+  smoothed_rate_ = std::clamp(smoothed_rate_, config_.min_rate, config_.max_rate);
+  decision.next_rate = smoothed_rate_;
+  return decision;
+}
+
+}  // namespace flowrank::estimators

@@ -1,0 +1,57 @@
+// Adaptive sampling-rate control — the paper's third future-work
+// direction: "adaptive schemes that set the sampling rate based on the
+// characteristics of the observed traffic".
+//
+// Per measurement interval the controller: (1) inverts the observed
+// sampled flows into estimates of the flow population N and the Pareto
+// tail index beta (Hill estimator on inverted sizes), then (2) asks the
+// analytic planner for the minimal rate meeting the accuracy target at
+// those estimated characteristics, clamped to an operating range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "flowrank/core/sampling_planner.hpp"
+
+namespace flowrank::estimators {
+
+/// Controller configuration.
+struct AdaptiveRateConfig {
+  std::int64_t top_t = 10;       ///< flows to rank/detect
+  double target_metric = 1.0;    ///< acceptability line (paper: 1 swap)
+  core::PlannerGoal goal = core::PlannerGoal::kDetectTopT;
+  double min_rate = 1e-4;        ///< floor (router guidance: 0.1%)
+  double max_rate = 0.5;         ///< ceiling
+  double hill_fraction = 0.05;   ///< top fraction of flows fed to Hill
+  double ema_weight = 0.5;       ///< smoothing of consecutive decisions
+};
+
+/// What the controller inferred and decided for one interval.
+struct AdaptiveRateDecision {
+  double next_rate = 0.0;        ///< rate to use for the next interval
+  double estimated_flows = 0.0;  ///< N̂ for the interval
+  double estimated_beta = 0.0;   ///< Hill tail-index estimate
+  bool feasible = true;          ///< planner target reachable within range
+};
+
+/// Stateful controller; feed it each interval's observations.
+class AdaptiveRateController {
+ public:
+  explicit AdaptiveRateController(AdaptiveRateConfig config);
+
+  /// Observes one interval sampled at `current_rate`: the sampled sizes
+  /// (packets per sampled flow, zeros excluded) and decides the next rate.
+  /// Throws std::invalid_argument on empty observations or bad rate.
+  [[nodiscard]] AdaptiveRateDecision observe(
+      std::span<const std::uint64_t> sampled_flow_sizes, double current_rate);
+
+  [[nodiscard]] const AdaptiveRateConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double current_rate() const noexcept { return smoothed_rate_; }
+
+ private:
+  AdaptiveRateConfig config_;
+  double smoothed_rate_;
+};
+
+}  // namespace flowrank::estimators

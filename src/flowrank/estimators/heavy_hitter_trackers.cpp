@@ -1,0 +1,92 @@
+#include "flowrank/estimators/heavy_hitter_trackers.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace flowrank::estimators {
+
+SampleAndHold::SampleAndHold(double hold_probability, std::size_t capacity,
+                             std::uint64_t seed)
+    : hold_probability_(hold_probability),
+      capacity_(capacity),
+      engine_(util::make_engine(seed, 0x5A11u)) {
+  if (!(hold_probability > 0.0 && hold_probability <= 1.0)) {
+    throw std::invalid_argument("SampleAndHold: hold probability in (0,1]");
+  }
+}
+
+void SampleAndHold::offer(const packet::FlowKey& key) {
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++it->second;
+    return;
+  }
+  std::bernoulli_distribution coin(hold_probability_);
+  if (!coin(engine_)) return;
+  if (capacity_ != 0 && table_.size() >= capacity_) {
+    ++overflow_;
+    return;
+  }
+  table_.emplace(key, 1);
+}
+
+std::vector<TrackedFlow> SampleAndHold::flows() const {
+  std::vector<TrackedFlow> out;
+  out.reserve(table_.size());
+  const double correction = (1.0 - hold_probability_) / hold_probability_;
+  for (const auto& [key, count] : table_) {
+    out.push_back(TrackedFlow{key, static_cast<double>(count) + correction,
+                              /*error_bound=*/correction});
+  }
+  return out;
+}
+
+SpaceSavingTracker::SpaceSavingTracker(std::size_t capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("SpaceSavingTracker: capacity >= 1");
+}
+
+void SpaceSavingTracker::offer(const packet::FlowKey& key) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(key, Entry{1, 0});
+    return;
+  }
+  // Evict the minimum-count entry; the newcomer inherits its count as the
+  // worst-case overestimate.
+  auto min_it = entries_.begin();
+  for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+    if (cur->second.count < min_it->second.count) min_it = cur;
+  }
+  const std::uint64_t inherited = min_it->second.count;
+  entries_.erase(min_it);
+  entries_.emplace(key, Entry{inherited + 1, inherited});
+}
+
+std::vector<TrackedFlow> SpaceSavingTracker::flows() const {
+  std::vector<TrackedFlow> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(TrackedFlow{key, static_cast<double>(entry.count),
+                              static_cast<double>(entry.error)});
+  }
+  return out;
+}
+
+std::vector<TrackedFlow> SpaceSavingTracker::top(std::size_t t) const {
+  auto all = flows();
+  std::sort(all.begin(), all.end(), [](const TrackedFlow& a, const TrackedFlow& b) {
+    if (a.estimated_packets != b.estimated_packets) {
+      return a.estimated_packets > b.estimated_packets;
+    }
+    return a.key < b.key;
+  });
+  if (t < all.size()) all.resize(t);
+  return all;
+}
+
+}  // namespace flowrank::estimators

@@ -1,0 +1,84 @@
+// Limited-memory heavy-hitter tracking, the paper's related work [11, 13]
+// and its first future-work direction: feed *sampled* traffic into a
+// memory-bounded top-flows structure and study the combined error.
+//
+// Two trackers:
+//  * SampleAndHold (Estan & Varghese [11]): a flow enters the table with
+//    probability h per packet; once held, every later packet is counted.
+//  * SpaceSavingTracker: the modern realization of the "sorted list with
+//    eviction at the bottom" approach of [13]/[11]; deterministic
+//    guarantee count_error <= min_count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::estimators {
+
+/// A tracked flow and its estimated packet count.
+struct TrackedFlow {
+  packet::FlowKey key;
+  double estimated_packets = 0.0;
+  double error_bound = 0.0;  ///< upper bound on overestimation
+};
+
+/// Estan-Varghese sample-and-hold.
+class SampleAndHold {
+ public:
+  /// `hold_probability` is the per-packet entry probability; `capacity`
+  /// caps the table (0 = unbounded). Throws on invalid arguments.
+  SampleAndHold(double hold_probability, std::size_t capacity, std::uint64_t seed);
+
+  /// Processes one packet of the given flow.
+  void offer(const packet::FlowKey& key);
+
+  /// Tracked flows with bias-corrected estimates: a held flow missed a
+  /// Geometric(h)-distributed prefix, so add (1-h)/h.
+  [[nodiscard]] std::vector<TrackedFlow> flows() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  /// Packets that arrived while the table was full and their flow untracked.
+  [[nodiscard]] std::uint64_t overflow_drops() const noexcept { return overflow_; }
+
+ private:
+  double hold_probability_;
+  std::size_t capacity_;
+  util::Engine engine_;
+  std::unordered_map<packet::FlowKey, std::uint64_t, packet::FlowKeyHash> table_;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Space-Saving top-k tracker (Metwally et al.), the deterministic
+/// descendant of the limited-storage sorted list in [13].
+class SpaceSavingTracker {
+ public:
+  /// Tracks at most `capacity` flows. Throws unless capacity >= 1.
+  explicit SpaceSavingTracker(std::size_t capacity);
+
+  /// Counts one packet of the given flow; evicts the current minimum when
+  /// the table is full, inheriting its count (classic Space-Saving).
+  void offer(const packet::FlowKey& key);
+
+  /// All tracked flows; estimated_packets overestimates by at most
+  /// error_bound (the inherited count at insertion).
+  [[nodiscard]] std::vector<TrackedFlow> flows() const;
+
+  /// Top-t tracked flows by estimated count (desc, key tie-break).
+  [[nodiscard]] std::vector<TrackedFlow> top(std::size_t t) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+  std::size_t capacity_;
+  std::unordered_map<packet::FlowKey, Entry, packet::FlowKeyHash> entries_;
+};
+
+}  // namespace flowrank::estimators

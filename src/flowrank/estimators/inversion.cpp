@@ -1,0 +1,65 @@
+#include "flowrank/estimators/inversion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "flowrank/numeric/quadrature.hpp"
+
+namespace flowrank::estimators {
+
+SizeEstimate scaled_size_estimate(std::uint64_t sampled_packets, double p) {
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("scaled_size_estimate: p in (0,1]");
+  }
+  SizeEstimate out;
+  const double s = static_cast<double>(sampled_packets);
+  out.estimate = s / p;
+  // Var[s] = S p (1-p) ~ (s/p) p (1-p): plug-in stderr of Ŝ = s/p.
+  out.stderr_ = std::sqrt(s * (1.0 - p)) / p;
+  out.ci95_low = std::max(0.0, out.estimate - 1.959963984540054 * out.stderr_);
+  out.ci95_high = out.estimate + 1.959963984540054 * out.stderr_;
+  return out;
+}
+
+double missed_flow_probability(const dist::FlowSizeDistribution& dist, double p) {
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("missed_flow_probability: p in (0,1]");
+  }
+  if (p == 1.0) return 0.0;
+  // E[(1-p)^S] = ∫_0^1 (1-p)^{x(y)} dy in rank space; the integrand decays
+  // fast in x so concentrate panels toward y = 1 (small flows).
+  const double log_q = std::log1p(-p);
+  const auto f = [&](double y) { return std::exp(dist.tail_quantile(y) * log_q); };
+  // Log-spaced panels in (1 - y) handle the small-flow concentration.
+  double acc = 0.0;
+  double hi = 1.0;
+  for (int panel = 0; panel < 40 && hi > 1e-14; ++panel) {
+    const double lo = hi * 0.5;
+    // integrate over y in [1-hi, 1-lo]
+    acc += numeric::integrate_gl(f, 1.0 - hi, 1.0 - lo, 16);
+    hi = lo;
+  }
+  return std::min(acc, 1.0);
+}
+
+PopulationEstimate estimate_population(std::uint64_t seen_flows,
+                                       std::uint64_t sampled_packets_total, double p,
+                                       const dist::FlowSizeDistribution& dist) {
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("estimate_population: p in (0,1]");
+  }
+  const double miss = missed_flow_probability(dist, p);
+  const double seen_fraction = 1.0 - miss;
+  if (seen_fraction <= 0.0) {
+    throw std::domain_error("estimate_population: sampling rate too low for inversion");
+  }
+  PopulationEstimate out;
+  out.total_flows = static_cast<double>(seen_flows) / seen_fraction;
+  out.mean_flow_packets = out.total_flows > 0.0
+                              ? static_cast<double>(sampled_packets_total) / p /
+                                    out.total_flows
+                              : 0.0;
+  return out;
+}
+
+}  // namespace flowrank::estimators

@@ -1,0 +1,46 @@
+// Classic inversion estimators from the related work ([9], Sec. 2):
+// recovering per-flow sizes, the total flow count and the mean flow size
+// from Bernoulli-sampled traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "flowrank/dist/flow_size_distribution.hpp"
+
+namespace flowrank::estimators {
+
+/// Unbiased per-flow size estimate with a Normal-approximation CI.
+struct SizeEstimate {
+  double estimate = 0.0;  ///< s/p
+  double stderr_ = 0.0;   ///< sqrt(s (1-p)) / p
+  double ci95_low = 0.0;
+  double ci95_high = 0.0;
+};
+
+/// Inverts one sampled flow size: E[s] = pS  =>  Ŝ = s/p.
+/// Throws std::invalid_argument unless p in (0,1].
+[[nodiscard]] SizeEstimate scaled_size_estimate(std::uint64_t sampled_packets,
+                                                double p);
+
+/// Probability that a flow drawn from `dist` is entirely missed at rate p:
+/// E[(1-p)^S], computed by rank-space integration.
+[[nodiscard]] double missed_flow_probability(const dist::FlowSizeDistribution& dist,
+                                             double p);
+
+/// Duffield-style population estimators from the number of *observed*
+/// sampled flows and the assumed size distribution.
+struct PopulationEstimate {
+  double total_flows = 0.0;       ///< N̂ = F_seen / (1 - E[(1-p)^S])
+  double mean_flow_packets = 0.0; ///< (sampled packets / p) / N̂
+};
+
+/// Estimates the original flow population. `seen_flows` counts sampled
+/// flows with >= 1 sampled packet; `sampled_packets_total` is the total
+/// number of sampled packets.
+[[nodiscard]] PopulationEstimate estimate_population(
+    std::uint64_t seen_flows, std::uint64_t sampled_packets_total, double p,
+    const dist::FlowSizeDistribution& dist);
+
+}  // namespace flowrank::estimators

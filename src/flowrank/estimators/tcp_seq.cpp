@@ -1,0 +1,32 @@
+#include "flowrank/estimators/tcp_seq.hpp"
+
+#include <stdexcept>
+
+namespace flowrank::estimators {
+
+SeqSizeEstimate estimate_size_tcp_seq(const flowtable::FlowCounter& counter, double p,
+                                      std::uint32_t packet_size_bytes) {
+  if (!(p > 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("estimate_size_tcp_seq: p in (0,1]");
+  }
+  if (packet_size_bytes == 0) {
+    throw std::invalid_argument("estimate_size_tcp_seq: packet_size > 0");
+  }
+  SeqSizeEstimate out;
+  if (counter.has_tcp_seq && counter.packets >= 2 &&
+      counter.max_tcp_seq > counter.min_tcp_seq) {
+    const double covered_packets =
+        static_cast<double>(counter.max_tcp_seq - counter.min_tcp_seq) /
+            static_cast<double>(packet_size_bytes) +
+        1.0;
+    // Unsampled head and tail: each Geometric(p) with mean (1-p)/p packets.
+    out.packets = covered_packets + 2.0 * (1.0 - p) / p;
+    out.used_seq = true;
+    return out;
+  }
+  out.packets = static_cast<double>(counter.packets) / p;
+  out.used_seq = false;
+  return out;
+}
+
+}  // namespace flowrank::estimators

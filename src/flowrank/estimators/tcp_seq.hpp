@@ -1,0 +1,33 @@
+// TCP sequence-number flow-size estimation — the paper's second
+// future-work direction: "one can imagine the use of the TCP sequence
+// numbers to better estimate the size of the sampled flows".
+//
+// With >= 2 sampled packets of a TCP flow, (max_seq - min_seq) measures
+// the byte span between the sampled packets directly, independent of the
+// sampling rate; the uncovered head/tail spans are the only error.
+#pragma once
+
+#include <cstdint>
+
+#include "flowrank/flowtable/flow_table.hpp"
+
+namespace flowrank::estimators {
+
+/// A flow-size estimate annotated with which estimator produced it.
+struct SeqSizeEstimate {
+  double packets = 0.0;
+  bool used_seq = false;  ///< true when the TCP-seq path was applicable
+};
+
+/// Estimates a flow's original packet count from a sampled FlowCounter.
+///
+/// TCP path (>= 2 sampled packets with sequence numbers): the sampled
+/// packets cover (max_seq - min_seq) bytes plus one packet; the uncovered
+/// head and tail are each Geometric(p)-distributed in packets, adding an
+/// expected 2 (1-p)/p packets. Non-TCP or single-packet flows fall back to
+/// the scaled estimate s/p.
+/// Throws std::invalid_argument unless p in (0,1] and packet_size > 0.
+[[nodiscard]] SeqSizeEstimate estimate_size_tcp_seq(
+    const flowtable::FlowCounter& counter, double p, std::uint32_t packet_size_bytes);
+
+}  // namespace flowrank::estimators

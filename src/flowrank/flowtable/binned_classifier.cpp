@@ -1,0 +1,34 @@
+#include "flowrank/flowtable/binned_classifier.hpp"
+
+#include <stdexcept>
+
+namespace flowrank::flowtable {
+
+BinnedClassifier::BinnedClassifier(FlowTable::Options table_options,
+                                   std::int64_t bin_ns, BinCallback on_bin)
+    : table_(table_options), bin_ns_(bin_ns), on_bin_(std::move(on_bin)) {
+  if (bin_ns <= 0) throw std::invalid_argument("BinnedClassifier: bin_ns > 0");
+  if (!on_bin_) throw std::invalid_argument("BinnedClassifier: callback required");
+}
+
+void BinnedClassifier::add(const packet::PacketRecord& pkt) {
+  const auto bin = static_cast<std::size_t>(pkt.timestamp_ns / bin_ns_);
+  while (bin > current_bin_) {
+    flush_bin();
+    ++current_bin_;
+  }
+  table_.add(pkt);
+  saw_packet_ = true;
+}
+
+void BinnedClassifier::finish() {
+  if (saw_packet_) flush_bin();
+  saw_packet_ = false;
+}
+
+void BinnedClassifier::flush_bin() {
+  on_bin_(current_bin_, table_.all());
+  table_.clear();
+}
+
+}  // namespace flowrank::flowtable

@@ -1,0 +1,44 @@
+// The paper's "binning method" (Sec. 8): packets are classified into flows
+// for one measurement interval; at each interval boundary the table is
+// reported and cleared, truncating flows that span the boundary.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "flowrank/flowtable/flow_table.hpp"
+
+namespace flowrank::flowtable {
+
+/// Streams packets through a FlowTable, emitting a snapshot per bin.
+class BinnedClassifier {
+ public:
+  /// Called at the end of each bin with (bin index, flows observed in it).
+  using BinCallback =
+      std::function<void(std::size_t bin, std::vector<FlowCounter> flows)>;
+
+  /// `bin_ns` is the measurement-interval length. Throws on bin_ns <= 0.
+  BinnedClassifier(FlowTable::Options table_options, std::int64_t bin_ns,
+                   BinCallback on_bin);
+
+  /// Adds a packet. Packets must arrive in non-decreasing timestamp order;
+  /// crossing a bin boundary flushes the previous bin first.
+  void add(const packet::PacketRecord& pkt);
+
+  /// Flushes the final (possibly partial) bin. Call once at end of trace.
+  void finish();
+
+  /// Index of the bin currently being filled.
+  [[nodiscard]] std::size_t current_bin() const noexcept { return current_bin_; }
+
+ private:
+  void flush_bin();
+
+  FlowTable table_;
+  std::int64_t bin_ns_;
+  BinCallback on_bin_;
+  std::size_t current_bin_ = 0;
+  bool saw_packet_ = false;
+};
+
+}  // namespace flowrank::flowtable

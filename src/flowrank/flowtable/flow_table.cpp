@@ -1,0 +1,68 @@
+#include "flowrank/flowtable/flow_table.hpp"
+
+#include <algorithm>
+
+namespace flowrank::flowtable {
+
+FlowTable::FlowTable(Options options) : options_(options) {}
+
+void FlowTable::add(const packet::PacketRecord& pkt) {
+  const packet::FlowKey key = packet::make_flow_key(pkt.tuple, options_.definition);
+  auto [it, inserted] = table_.try_emplace(key);
+  FlowCounter& counter = it->second;
+
+  if (!inserted && options_.idle_timeout_ns > 0 &&
+      pkt.timestamp_ns - counter.last_ns > options_.idle_timeout_ns) {
+    // Idle gap exceeded: the existing entry becomes a finished subflow and
+    // this packet opens a fresh one under the same key.
+    completed_.push_back(counter);
+    counter = FlowCounter{};
+  }
+
+  counter.key = key;
+  ++counter.packets;
+  counter.bytes += pkt.size_bytes;
+  counter.first_ns = std::min(counter.first_ns, pkt.timestamp_ns);
+  counter.last_ns = std::max(counter.last_ns, pkt.timestamp_ns);
+  if (pkt.tuple.protocol == packet::Protocol::kTcp) {
+    counter.min_tcp_seq = std::min(counter.min_tcp_seq, pkt.tcp_seq);
+    counter.max_tcp_seq = std::max(counter.max_tcp_seq, pkt.tcp_seq);
+    counter.has_tcp_seq = true;
+  }
+}
+
+std::vector<FlowCounter> FlowTable::active() const {
+  std::vector<FlowCounter> out;
+  out.reserve(table_.size());
+  for (const auto& [key, counter] : table_) out.push_back(counter);
+  return out;
+}
+
+std::vector<FlowCounter> FlowTable::all() const {
+  std::vector<FlowCounter> out = completed_;
+  out.reserve(completed_.size() + table_.size());
+  for (const auto& [key, counter] : table_) out.push_back(counter);
+  return out;
+}
+
+void FlowTable::clear() {
+  table_.clear();
+  completed_.clear();
+}
+
+std::vector<FlowCounter> top_k(std::vector<FlowCounter> flows, std::size_t t) {
+  const auto by_size_desc = [](const FlowCounter& a, const FlowCounter& b) {
+    if (a.packets != b.packets) return a.packets > b.packets;
+    return a.key < b.key;
+  };
+  if (t >= flows.size()) {
+    std::sort(flows.begin(), flows.end(), by_size_desc);
+    return flows;
+  }
+  std::partial_sort(flows.begin(), flows.begin() + static_cast<std::ptrdiff_t>(t),
+                    flows.end(), by_size_desc);
+  flows.resize(t);
+  return flows;
+}
+
+}  // namespace flowrank::flowtable

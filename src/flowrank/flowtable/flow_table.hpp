@@ -1,0 +1,80 @@
+// Flow classification: packets → per-flow counters.
+//
+// This is the "link monitor" of the paper's problem statement: it
+// classifies (sampled or unsampled) packets into flows under either flow
+// definition and accumulates counters. Optional idle-timeout splitting
+// reproduces the flow-splitting effect discussed in the introduction
+// ("a flow can be split into multiple subflows if the sampling frequency
+// is too low", flow timeout per Claffy et al. [5]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/packet/records.hpp"
+
+namespace flowrank::flowtable {
+
+/// Accumulated state of one flow (or subflow) in the table.
+struct FlowCounter {
+  packet::FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t first_ns = std::numeric_limits<std::int64_t>::max();
+  std::int64_t last_ns = std::numeric_limits<std::int64_t>::min();
+  std::uint32_t min_tcp_seq = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_tcp_seq = 0;
+  bool has_tcp_seq = false;
+};
+
+/// Hash-table flow classifier.
+class FlowTable {
+ public:
+  struct Options {
+    packet::FlowDefinition definition = packet::FlowDefinition::kFiveTuple;
+    /// Idle gap (ns) after which a new packet starts a new subflow.
+    /// 0 disables timeout splitting.
+    std::int64_t idle_timeout_ns = 0;
+  };
+
+  explicit FlowTable(Options options);
+
+  /// Accounts one packet.
+  void add(const packet::PacketRecord& pkt);
+
+  /// Live flows (unordered). Subflows closed by timeout splitting are in
+  /// completed().
+  [[nodiscard]] std::vector<FlowCounter> active() const;
+
+  /// Subflows terminated by the idle timeout, in completion order.
+  [[nodiscard]] const std::vector<FlowCounter>& completed() const noexcept {
+    return completed_;
+  }
+
+  /// All flows: completed subflows followed by active ones.
+  [[nodiscard]] std::vector<FlowCounter> all() const;
+
+  /// Number of live table entries.
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+  /// Clears all state (end of measurement interval, "memory is cleared").
+  void clear();
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  std::unordered_map<packet::FlowKey, FlowCounter, packet::FlowKeyHash> table_;
+  std::vector<FlowCounter> completed_;
+};
+
+/// Returns the top `t` flows by packet count, descending; ties broken by
+/// key for determinism. `t` larger than the input returns everything.
+[[nodiscard]] std::vector<FlowCounter> top_k(std::vector<FlowCounter> flows,
+                                             std::size_t t);
+
+}  // namespace flowrank::flowtable

@@ -1,0 +1,184 @@
+#include "flowrank/metrics/rank_metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace flowrank::metrics {
+
+namespace {
+
+/// Fenwick (binary indexed) tree counting elements by compressed rank.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t size) : tree_(size + 1, 0) {}
+
+  void add(std::size_t rank) {
+    for (std::size_t i = rank + 1; i < tree_.size(); i += i & (~i + 1)) {
+      ++tree_[i];
+    }
+    ++total_count_;
+  }
+
+  /// Number of inserted elements with compressed rank <= `rank`.
+  [[nodiscard]] std::uint64_t count_leq(std::size_t rank) const {
+    std::uint64_t acc = 0;
+    for (std::size_t i = rank + 1; i > 0; i -= i & (~i + 1)) acc += tree_[i];
+    return acc;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_count_; }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+  std::uint64_t total_count_ = 0;
+};
+
+/// True if a pair with distinct true sizes is swapped under the policy.
+/// `s_big` samples the larger flow, `s_small` the smaller one.
+bool swapped_distinct(std::uint64_t s_big, std::uint64_t s_small, TiePolicy policy) {
+  if (policy == TiePolicy::kPaper) return s_big <= s_small;
+  // Lenient: only a strict inversion, or both flows lost entirely.
+  return s_big < s_small || (s_big == 0 && s_small == 0);
+}
+
+/// True if a pair with equal true sizes is swapped under the policy.
+bool swapped_equal(std::uint64_t sa, std::uint64_t sb, TiePolicy policy) {
+  if (policy == TiePolicy::kPaper) return sa != sb || sa == 0;
+  return sa == 0 && sb == 0;
+}
+
+}  // namespace
+
+RankMetricsResult compute_rank_metrics(std::span<const std::uint64_t> true_sizes,
+                                       std::span<const std::uint64_t> sampled_sizes,
+                                       std::size_t t, TiePolicy policy) {
+  const std::size_t n = true_sizes.size();
+  if (sampled_sizes.size() != n) {
+    throw std::invalid_argument("compute_rank_metrics: size mismatch");
+  }
+  if (n == 0 || t < 1 || t > n) {
+    throw std::invalid_argument("compute_rank_metrics: requires 1 <= t <= N");
+  }
+
+  // True ranking: size descending, index ascending.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (true_sizes[a] != true_sizes[b]) return true_sizes[a] > true_sizes[b];
+    return a < b;
+  });
+
+  // Compress sampled sizes to ranks for the Fenwick tree.
+  std::vector<std::uint64_t> values(sampled_sizes.begin(), sampled_sizes.end());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  const auto rank_of = [&](std::uint64_t v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(values.begin(), values.end(), v) - values.begin());
+  };
+
+  // Scan true order from the back, inserting sampled sizes; when reaching a
+  // top-t position r, all flows ranked after r are in the tree, so
+  // "#suffix with s_j >= s_r" is one Fenwick query. The query applies the
+  // distinct-size rule; pairs with equal TRUE size inside the suffix are
+  // then corrected to the equal-size rule, and top-vs-top pairs are
+  // re-derived exactly for the detection metric.
+  Fenwick tree(values.size());
+  std::vector<std::uint64_t> suffix_geq(t, 0);  // distinct-rule swap count at r
+  for (std::size_t pos = n; pos-- > 0;) {
+    if (pos < t) {
+      const std::uint64_t s_r = sampled_sizes[order[pos]];
+      std::uint64_t geq;
+      if (policy == TiePolicy::kPaper) {
+        // s_j >= s_r  <=>  total - count(s_j <= s_r - 1); careful with 0.
+        const std::uint64_t below =
+            s_r == 0 ? 0
+                     : (rank_of(s_r) == 0 ? 0 : tree.count_leq(rank_of(s_r) - 1));
+        geq = tree.total() - below;
+      } else {
+        // strict s_j > s_r
+        geq = tree.total() - tree.count_leq(rank_of(s_r));
+      }
+      suffix_geq[pos] = geq;
+    }
+    tree.add(rank_of(sampled_sizes[order[pos]]));
+  }
+
+  double ranking_swapped = 0.0;
+  double detection_swapped = 0.0;
+
+  for (std::size_t r = 0; r < t; ++r) {
+    const std::uint32_t i = order[r];
+    const std::uint64_t s_i = sampled_sizes[i];
+    const std::uint64_t size_i = true_sizes[i];
+
+    double count = static_cast<double>(suffix_geq[r]);
+    if (policy == TiePolicy::kLenient) {
+      // Lenient distinct rule also swaps when both are zero; the Fenwick
+      // query counted only strict inversions. Both-zero pairs are added in
+      // the equal/zero correction below only for equal true sizes, so add
+      // the distinct-size both-zero pairs here.
+      if (s_i == 0) {
+        // every suffix flow with sampled 0 and distinct true size
+        std::uint64_t zeros_after = 0;
+        for (std::size_t q = r + 1; q < n; ++q) {
+          if (sampled_sizes[order[q]] == 0) ++zeros_after;
+        }
+        count += static_cast<double>(zeros_after);
+        // equal-true-size zeros get corrected below together with the rest
+      }
+    }
+
+    // Correct pairs whose TRUE sizes are equal (contiguous run after r).
+    for (std::size_t q = r + 1; q < n && true_sizes[order[q]] == size_i; ++q) {
+      const std::uint64_t s_j = sampled_sizes[order[q]];
+      const bool counted = swapped_distinct(s_i, s_j, policy);
+      const bool correct = swapped_equal(s_i, s_j, policy);
+      count += static_cast<double>(correct) - static_cast<double>(counted);
+    }
+
+    ranking_swapped += count;
+
+    // Detection: remove pairs whose second element is also a top-t flow.
+    double top_top = 0.0;
+    for (std::size_t q = r + 1; q < t; ++q) {
+      const std::uint32_t j = order[q];
+      const std::uint64_t s_j = sampled_sizes[j];
+      const bool swapped = true_sizes[j] == size_i ? swapped_equal(s_i, s_j, policy)
+                                                   : swapped_distinct(s_i, s_j, policy);
+      if (swapped) top_top += 1.0;
+    }
+    detection_swapped += count - top_top;
+  }
+
+  // Sampled top-t set for recall, same deterministic tie-break.
+  std::vector<std::uint32_t> sampled_order(n);
+  std::iota(sampled_order.begin(), sampled_order.end(), 0u);
+  std::nth_element(sampled_order.begin(),
+                   sampled_order.begin() + static_cast<std::ptrdiff_t>(t - 1),
+                   sampled_order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     if (sampled_sizes[a] != sampled_sizes[b]) {
+                       return sampled_sizes[a] > sampled_sizes[b];
+                     }
+                     return a < b;
+                   });
+  std::vector<bool> in_sampled_top(n, false);
+  for (std::size_t r = 0; r < t; ++r) in_sampled_top[sampled_order[r]] = true;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < t; ++r) {
+    if (in_sampled_top[order[r]]) ++hits;
+  }
+
+  RankMetricsResult result;
+  result.ranking_swapped = ranking_swapped;
+  result.detection_swapped = detection_swapped;
+  const double nd = static_cast<double>(n);
+  const double td = static_cast<double>(t);
+  result.ranking_pairs = 0.5 * (2.0 * nd - td - 1.0) * td;
+  result.detection_pairs = td * (nd - td);
+  result.top_set_recall = static_cast<double>(hits) / td;
+  return result;
+}
+
+}  // namespace flowrank::metrics

@@ -1,0 +1,53 @@
+// The paper's swapped-pair performance metrics, computed on realizations.
+//
+// Given each flow's true size and sampled size, we count:
+//  * ranking metric (Sec. 5.1): swapped pairs whose first element is a
+//    true top-t flow and whose second element is any other flow
+//    ((2N-t-1)t/2 pairs in total);
+//  * detection metric (Sec. 7.1): swapped pairs whose first element is a
+//    true top-t flow and whose second element is outside the top-t
+//    (t(N-t) pairs).
+//
+// A pair of distinct true sizes S_i > S_j counts as swapped when the
+// sampled sizes satisfy s_i <= s_j — sampled ties count as swaps, exactly
+// the Pm(S1,S2) = P{s_small >= s_big} convention of Sec. 3. Pairs of equal
+// true size count as swapped unless both sampled sizes are equal and
+// non-zero (Sec. 3's equal-size convention). A lenient policy (ties are
+// fine) is provided for sensitivity analysis.
+//
+// Complexity: O(N log N) via a Fenwick tree over compressed sampled sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flowrank::metrics {
+
+/// How sampled-size ties between distinct-size flows are scored.
+enum class TiePolicy {
+  kPaper,    ///< tie counts as a swap (the paper's convention)
+  kLenient,  ///< tie is not a swap unless both flows vanished (size 0)
+};
+
+/// Output of one metric evaluation.
+struct RankMetricsResult {
+  double ranking_swapped = 0.0;    ///< swapped pairs, ranking definition
+  double detection_swapped = 0.0;  ///< swapped pairs, detection definition
+  double ranking_pairs = 0.0;      ///< (2N-t-1) t / 2
+  double detection_pairs = 0.0;    ///< t (N-t)
+  double top_set_recall = 0.0;     ///< |true top-t ∩ sampled top-t| / t
+};
+
+/// Computes all metrics for one realization.
+///
+/// `true_sizes[i]` and `sampled_sizes[i]` describe flow i. Requires equal
+/// lengths, N >= 1 and 1 <= t <= N; throws std::invalid_argument otherwise.
+/// The true top-t is chosen by size descending with index ascending as the
+/// deterministic tie-break (and the same rule on sampled sizes for recall).
+[[nodiscard]] RankMetricsResult compute_rank_metrics(
+    std::span<const std::uint64_t> true_sizes,
+    std::span<const std::uint64_t> sampled_sizes, std::size_t t,
+    TiePolicy policy = TiePolicy::kPaper);
+
+}  // namespace flowrank::metrics

@@ -1,0 +1,37 @@
+// Binomial and Poisson distributions, stable for the paper's regimes.
+//
+// Two very different regimes coexist in the models:
+//  * sampled flow sizes: Bin(S, p) with S up to ~1e6 packets,
+//  * top-t membership: Bin(N-1, Pi) with N up to ~3.5e6 flows and Pi
+//    as small as 1e-12.
+// All pmf/cdf evaluations go through log space or the regularized
+// incomplete beta so no intermediate under/overflows.
+#pragma once
+
+#include <cstdint>
+
+namespace flowrank::numeric {
+
+/// log P{Bin(n, p) = k}. Returns -inf outside the support.
+[[nodiscard]] double binomial_log_pmf(std::int64_t k, std::int64_t n, double p);
+
+/// P{Bin(n, p) = k}.
+[[nodiscard]] double binomial_pmf(std::int64_t k, std::int64_t n, double p);
+
+/// P{Bin(n, p) <= k}. Uses direct summation for tiny supports and the
+/// regularized incomplete beta identity otherwise.
+[[nodiscard]] double binomial_cdf(std::int64_t k, std::int64_t n, double p);
+
+/// P{Bin(n, p) > k} = 1 - cdf(k), computed without cancellation.
+[[nodiscard]] double binomial_sf(std::int64_t k, std::int64_t n, double p);
+
+/// log P{Pois(lambda) = k}.
+[[nodiscard]] double poisson_log_pmf(std::int64_t k, double lambda);
+
+/// P{Pois(lambda) = k}.
+[[nodiscard]] double poisson_pmf(std::int64_t k, double lambda);
+
+/// P{Pois(lambda) <= k} by stable summation from the mode outward.
+[[nodiscard]] double poisson_cdf(std::int64_t k, double lambda);
+
+}  // namespace flowrank::numeric

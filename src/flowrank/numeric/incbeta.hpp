@@ -1,0 +1,15 @@
+// Regularized incomplete beta function I_x(a, b).
+//
+// This is the workhorse behind stable binomial CDFs with huge N:
+//   P{Bin(n,p) <= k} = I_{1-p}(n-k, k+1).
+// Implemented with the standard Lentz continued fraction plus a log-space
+// prefactor so it remains finite for a, b up to ~1e8 and extreme x.
+#pragma once
+
+namespace flowrank::numeric {
+
+/// Regularized incomplete beta I_x(a,b) for a,b > 0 and x in [0,1].
+/// Throws std::domain_error outside the domain.
+[[nodiscard]] double incbeta(double a, double b, double x);
+
+}  // namespace flowrank::numeric

@@ -1,0 +1,113 @@
+#include "flowrank/numeric/quadrature.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace flowrank::numeric {
+
+namespace {
+
+GaussLegendreRule compute_rule(int n) {
+  GaussLegendreRule rule;
+  rule.nodes.resize(static_cast<std::size_t>(n));
+  rule.weights.resize(static_cast<std::size_t>(n));
+  // Newton iteration from the Chebyshev-like initial guess; standard
+  // Golub-Welsch-free construction (Numerical Recipes gauleg).
+  const int m = (n + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    double z = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double p1 = 1.0;
+      double p2 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p3 = p2;
+        p2 = p1;
+        p1 = ((2.0 * j + 1.0) * z * p2 - j * p3) / (j + 1.0);
+      }
+      pp = n * (z * p1 - p2) / (z * z - 1.0);
+      const double z1 = z;
+      z = z1 - p1 / pp;
+      if (std::abs(z - z1) < 1e-15) break;
+    }
+    rule.nodes[static_cast<std::size_t>(i)] = -z;
+    rule.nodes[static_cast<std::size_t>(n - 1 - i)] = z;
+    const double w = 2.0 / ((1.0 - z * z) * pp * pp);
+    rule.weights[static_cast<std::size_t>(i)] = w;
+    rule.weights[static_cast<std::size_t>(n - 1 - i)] = w;
+  }
+  return rule;
+}
+
+}  // namespace
+
+const GaussLegendreRule& gauss_legendre(int order) {
+  if (order < 1 || order > 128) {
+    throw std::domain_error("gauss_legendre: order must be in [1,128]");
+  }
+  static std::mutex mutex;
+  static std::map<int, GaussLegendreRule> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(order);
+  if (it == cache.end()) {
+    it = cache.emplace(order, compute_rule(order)).first;
+  }
+  return it->second;
+}
+
+double integrate_gl(const std::function<double(double)>& f, double a, double b,
+                    int order) {
+  const auto& rule = gauss_legendre(order);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+    acc += rule.weights[i] * f(mid + half * rule.nodes[i]);
+  }
+  return acc * half;
+}
+
+double integrate_gl_log(const std::function<double(double)>& f, double a, double b,
+                        int panels, int order) {
+  if (!(a > 0.0) || !(b > a)) {
+    throw std::domain_error("integrate_gl_log: requires 0 < a < b");
+  }
+  if (panels < 1) throw std::domain_error("integrate_gl_log: panels >= 1");
+  const double log_a = std::log(a);
+  const double step = (std::log(b) - log_a) / panels;
+  double acc = 0.0;
+  for (int i = 0; i < panels; ++i) {
+    const double lo = std::exp(log_a + step * i);
+    const double hi = i + 1 == panels ? b : std::exp(log_a + step * (i + 1));
+    acc += integrate_gl(f, lo, hi, order);
+  }
+  return acc;
+}
+
+namespace {
+double adaptive_impl(const std::function<double(double)>& f, double a, double b,
+                     double coarse, double abs_tol, double rel_tol, int depth) {
+  const double mid = 0.5 * (a + b);
+  const double left = integrate_gl(f, a, mid, 16);
+  const double right = integrate_gl(f, mid, b, 16);
+  const double fine = left + right;
+  const double err = std::abs(fine - coarse);
+  if (depth <= 0 || err <= abs_tol + rel_tol * std::abs(fine)) {
+    return fine;
+  }
+  return adaptive_impl(f, a, mid, left, 0.5 * abs_tol, rel_tol, depth - 1) +
+         adaptive_impl(f, mid, b, right, 0.5 * abs_tol, rel_tol, depth - 1);
+}
+}  // namespace
+
+double integrate_adaptive(const std::function<double(double)>& f, double a, double b,
+                          double abs_tol, double rel_tol, int max_depth) {
+  if (!(b >= a)) throw std::domain_error("integrate_adaptive: requires b >= a");
+  if (a == b) return 0.0;
+  const double coarse = integrate_gl(f, a, b, 16);
+  return adaptive_impl(f, a, b, coarse, abs_tol, rel_tol, max_depth);
+}
+
+}  // namespace flowrank::numeric

@@ -1,0 +1,45 @@
+// Numerical integration used by the continuous ranking/detection models.
+//
+// The model integrands are smooth (erfc of smooth arguments times binomial
+// tail weights) but live on wildly different scales: the top-t weight is
+// concentrated in a ~t/N-wide sliver of rank space while misranking mass
+// against small flows spans the whole (0,1] interval. We therefore provide
+// fixed-order Gauss-Legendre panels plus helpers that lay panels out
+// geometrically in log space.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace flowrank::numeric {
+
+/// Nodes/weights of an n-point Gauss-Legendre rule on [-1, 1].
+/// Computed once per order via Newton iteration on Legendre polynomials
+/// and cached; accurate to ~1e-15 for n <= 128.
+struct GaussLegendreRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// Returns the cached rule for the given order (1 <= order <= 128).
+[[nodiscard]] const GaussLegendreRule& gauss_legendre(int order);
+
+/// Integrates f over [a, b] with a single Gauss-Legendre panel.
+[[nodiscard]] double integrate_gl(const std::function<double(double)>& f, double a,
+                                  double b, int order = 32);
+
+/// Integrates f over [a, b] by splitting into `panels` geometrically spaced
+/// panels (ratio chosen so that panel edges are log-uniform between a and b;
+/// requires 0 < a < b). Ideal for integrands that vary on a log scale.
+[[nodiscard]] double integrate_gl_log(const std::function<double(double)>& f, double a,
+                                      double b, int panels, int order = 32);
+
+/// Adaptive integration: recursively bisects until the difference between
+/// order and 2*order Gauss panels is below abs_tol + rel_tol*|I|.
+/// `max_depth` bounds recursion; on hitting the bound the best estimate is
+/// returned (the models treat quadrature noise far below metric scales).
+[[nodiscard]] double integrate_adaptive(const std::function<double(double)>& f,
+                                        double a, double b, double abs_tol = 1e-12,
+                                        double rel_tol = 1e-9, int max_depth = 18);
+
+}  // namespace flowrank::numeric

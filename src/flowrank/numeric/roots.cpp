@@ -1,0 +1,117 @@
+#include "flowrank/numeric/roots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flowrank::numeric {
+
+namespace {
+void check_bracket(double flo, double fhi) {
+  if (std::isnan(flo) || std::isnan(fhi)) {
+    throw std::invalid_argument("root finding: f is NaN at a bracket endpoint");
+  }
+  if (flo * fhi > 0.0) {
+    throw std::invalid_argument("root finding: endpoints do not bracket a root");
+  }
+}
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  double x_tol, int max_iter) {
+  if (!(hi >= lo)) throw std::invalid_argument("bisect: requires hi >= lo");
+  double flo = f(lo);
+  double fhi = f(hi);
+  check_bracket(flo, fhi);
+  RootResult result;
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  for (int i = 0; i < max_iter; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    ++result.iterations;
+    if (fmid == 0.0 || hi - lo < x_tol) {
+      return {mid, fmid, result.iterations, true};
+    }
+    if (flo * fmid < 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  result.x = 0.5 * (lo + hi);
+  result.fx = f(result.x);
+  result.converged = hi - lo < x_tol * 16;
+  return result;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 double x_tol, int max_iter) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  check_bracket(fa, fb);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  RootResult result;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    ++result.iterations;
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::abs(b) + 0.5 * x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol1 || fb == 0.0) {
+      return {b, fb, result.iterations, true};
+    }
+    if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double q0 = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * q0 * (q0 - r) - (b - a) * (r - 1.0));
+        q = (q0 - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      const double min1 = 3.0 * xm * q - std::abs(tol1 * q);
+      const double min2 = std::abs(e * q);
+      if (2.0 * p < (min1 < min2 ? min1 : min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::abs(d) > tol1) {
+      b += d;
+    } else {
+      b += xm > 0.0 ? tol1 : -tol1;
+    }
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  result.x = b;
+  result.fx = fb;
+  result.converged = false;
+  return result;
+}
+
+}  // namespace flowrank::numeric

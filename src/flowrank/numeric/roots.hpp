@@ -1,0 +1,28 @@
+// Scalar root finding for the inverse problems in the paper: solving
+// Pm(S1,S2) = Pm,d for the optimal sampling rate (Sec. 3.2) and the
+// minimum sampling rate for a target ranking metric (planner).
+#pragma once
+
+#include <functional>
+
+namespace flowrank::numeric {
+
+/// Result of a bracketed root search.
+struct RootResult {
+  double x = 0.0;        ///< Best estimate of the root.
+  double fx = 0.0;       ///< f at the estimate.
+  int iterations = 0;    ///< Iterations consumed.
+  bool converged = false;
+};
+
+/// Bisection on [lo, hi]; f(lo) and f(hi) must have opposite signs
+/// (zero endpoints count). Throws std::invalid_argument otherwise.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f, double lo,
+                                double hi, double x_tol = 1e-12, int max_iter = 200);
+
+/// Brent's method on [lo, hi]; same bracketing contract as bisect, but
+/// superlinear convergence for smooth f.
+[[nodiscard]] RootResult brent(const std::function<double(double)>& f, double lo,
+                               double hi, double x_tol = 1e-12, int max_iter = 200);
+
+}  // namespace flowrank::numeric

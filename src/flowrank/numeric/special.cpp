@@ -1,0 +1,65 @@
+#include "flowrank/numeric/special.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flowrank::numeric {
+
+namespace {
+constexpr int kFactorialCache = 1024;
+
+const std::array<double, kFactorialCache>& factorial_table() {
+  static const auto table = [] {
+    std::array<double, kFactorialCache> t{};
+    t[0] = 0.0;
+    for (int i = 1; i < kFactorialCache; ++i) {
+      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace
+
+double log_gamma(double x) {
+  if (!(x > 0.0)) {
+    throw std::domain_error("log_gamma: requires x > 0");
+  }
+  return std::lgamma(x);
+}
+
+double log_factorial(std::int64_t n) {
+  if (n < 0) throw std::domain_error("log_factorial: requires n >= 0");
+  if (n < kFactorialCache) return factorial_table()[static_cast<std::size_t>(n)];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_choose(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_sum_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = a > b ? a : b;
+  return m + std::log1p(std::exp(-(std::abs(a - b))));
+}
+
+double log1m_exp(double x) {
+  if (x > 0.0) throw std::domain_error("log1m_exp: requires x <= 0");
+  if (x == 0.0) return -std::numeric_limits<double>::infinity();
+  // Mächler (2012): switch at ln 2 for accuracy.
+  if (x > -0.6931471805599453) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_sf(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double erfc(double x) { return std::erfc(x); }
+
+}  // namespace flowrank::numeric

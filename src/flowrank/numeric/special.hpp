@@ -1,0 +1,37 @@
+// Special functions used throughout the analytic models.
+//
+// Everything here is numerically stable for the regimes the paper needs:
+// binomial coefficients with N up to several million flows, tail
+// probabilities down to ~1e-300, and Normal tail integrals.
+#pragma once
+
+#include <cstdint>
+
+namespace flowrank::numeric {
+
+/// ln Γ(x) for x > 0 (thin wrapper over std::lgamma, asserted domain).
+[[nodiscard]] double log_gamma(double x);
+
+/// ln n! with a cached table for small n and lgamma for large n.
+[[nodiscard]] double log_factorial(std::int64_t n);
+
+/// ln C(n, k). Returns -inf when k < 0 or k > n.
+[[nodiscard]] double log_choose(std::int64_t n, std::int64_t k);
+
+/// log(exp(a) + exp(b)) without overflow.
+[[nodiscard]] double log_sum_exp(double a, double b);
+
+/// log(1 - exp(x)) for x <= 0, accurate near both ends.
+[[nodiscard]] double log1m_exp(double x);
+
+/// Standard Normal CDF Φ(x) via erfc (absolute accuracy ~1e-15).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Standard Normal survival function 1 - Φ(x), accurate for large x.
+[[nodiscard]] double normal_sf(double x);
+
+/// Complementary error function; forwards to std::erfc (kept behind a
+/// named function so models read like the paper's equations).
+[[nodiscard]] double erfc(double x);
+
+}  // namespace flowrank::numeric

@@ -1,0 +1,54 @@
+#include "flowrank/packet/flow_key.hpp"
+
+#include <cstdio>
+
+namespace flowrank::packet {
+
+std::string to_string(FlowDefinition def) {
+  switch (def) {
+    case FlowDefinition::kFiveTuple:
+      return "5-tuple";
+    case FlowDefinition::kDstPrefix24:
+      return "/24 dst prefix";
+  }
+  return "unknown";
+}
+
+FlowKey make_flow_key(const FiveTuple& tuple, FlowDefinition def) noexcept {
+  switch (def) {
+    case FlowDefinition::kFiveTuple:
+      return FlowKey{
+          (static_cast<std::uint64_t>(tuple.src_ip) << 32) | tuple.dst_ip,
+          (static_cast<std::uint64_t>(tuple.src_port) << 32) |
+              (static_cast<std::uint64_t>(tuple.dst_port) << 16) |
+              static_cast<std::uint64_t>(tuple.protocol)};
+    case FlowDefinition::kDstPrefix24:
+      return FlowKey{0, dst_prefix24(tuple.dst_ip)};
+  }
+  return FlowKey{};
+}
+
+std::string format_ipv4(std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF,
+                (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+std::string format_five_tuple(const FiveTuple& tuple) {
+  const char* proto = tuple.protocol == Protocol::kTcp   ? "tcp"
+                      : tuple.protocol == Protocol::kUdp ? "udp"
+                                                         : "ip";
+  std::string out = proto;
+  out += ' ';
+  out += format_ipv4(tuple.src_ip);
+  out += ':';
+  out += std::to_string(tuple.src_port);
+  out += " -> ";
+  out += format_ipv4(tuple.dst_ip);
+  out += ':';
+  out += std::to_string(tuple.dst_port);
+  return out;
+}
+
+}  // namespace flowrank::packet

@@ -1,0 +1,71 @@
+// Flow identity: the paper's two flow definitions.
+//
+// Flows are either the usual 5-tuple (protocol, src/dst IP, src/dst port)
+// or all packets sharing the destination /24 prefix (Sec. 6: "a second
+// [definition] that aggregates packets according to the /24 destination
+// address prefixes").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace flowrank::packet {
+
+/// Transport protocol numbers we care about.
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17, kOther = 0 };
+
+/// A 5-tuple flow identity. IPs are IPv4 in host byte order.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kOther;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+};
+
+/// The two flow definitions the paper evaluates.
+enum class FlowDefinition {
+  kFiveTuple,    ///< protocol + src/dst IP + src/dst port
+  kDstPrefix24,  ///< destination IP /24 prefix
+};
+
+[[nodiscard]] std::string to_string(FlowDefinition def);
+
+/// Canonical aggregation key: a 5-tuple collapsed under a FlowDefinition.
+/// Stored as two 64-bit words so hashing and equality stay branch-free.
+struct FlowKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Collapses a 5-tuple under the given flow definition.
+[[nodiscard]] FlowKey make_flow_key(const FiveTuple& tuple, FlowDefinition def) noexcept;
+
+/// Returns the /24 prefix (lower 8 bits zeroed) of an IPv4 address.
+[[nodiscard]] constexpr std::uint32_t dst_prefix24(std::uint32_t ip) noexcept {
+  return ip & 0xFFFFFF00u;
+}
+
+/// Formats an IPv4 address as dotted quad.
+[[nodiscard]] std::string format_ipv4(std::uint32_t ip);
+
+/// Formats a 5-tuple like "tcp 10.0.0.1:80 -> 10.0.0.2:1234".
+[[nodiscard]] std::string format_five_tuple(const FiveTuple& tuple);
+
+/// 64-bit mix hash for FlowKey (SplitMix finalizer over both words).
+struct FlowKeyHash {
+  [[nodiscard]] std::size_t operator()(const FlowKey& key) const noexcept {
+    std::uint64_t z = key.hi ^ (key.lo * 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace flowrank::packet

@@ -1,0 +1,34 @@
+// Packet-level and flow-level records.
+//
+// FlowRecord mirrors the information the paper's Sprint flow-level trace
+// carries ("the sizes of all flows, the durations of all flows and their
+// starting times"); PacketRecord is what the regenerated packet-level
+// trace and the samplers operate on.
+#pragma once
+
+#include <cstdint>
+
+#include "flowrank/packet/flow_key.hpp"
+
+namespace flowrank::packet {
+
+/// One packet on the monitored link.
+struct PacketRecord {
+  std::int64_t timestamp_ns = 0;  ///< arrival time, nanoseconds since trace start
+  FiveTuple tuple;                ///< flow identity fields from the headers
+  std::uint32_t size_bytes = 0;   ///< IP length
+  std::uint32_t tcp_seq = 0;      ///< TCP sequence number (0 for non-TCP)
+};
+
+/// One flow as recorded at flow level (pre-sampling ground truth).
+struct FlowRecord {
+  FiveTuple tuple;            ///< representative 5-tuple of the flow
+  double start_s = 0.0;       ///< first-packet time, seconds since trace start
+  double duration_s = 0.0;    ///< last minus first packet time
+  std::uint64_t packets = 0;  ///< total packets
+  std::uint64_t bytes = 0;    ///< total bytes
+
+  [[nodiscard]] double end_s() const noexcept { return start_s + duration_s; }
+};
+
+}  // namespace flowrank::packet

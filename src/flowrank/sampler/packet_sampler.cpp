@@ -1,0 +1,116 @@
+#include "flowrank/sampler/packet_sampler.hpp"
+
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowrank::sampler {
+
+BernoulliSampler::BernoulliSampler(double p, std::uint64_t seed)
+    : p_(p), engine_(util::make_engine(seed, 0xBE44u)) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("BernoulliSampler: p in [0,1]");
+  }
+}
+
+bool BernoulliSampler::offer(const packet::PacketRecord&) {
+  std::bernoulli_distribution coin(p_);
+  return coin(engine_);
+}
+
+std::string BernoulliSampler::name() const {
+  std::ostringstream os;
+  os << "bernoulli(p=" << p_ << ")";
+  return os.str();
+}
+
+PeriodicSampler::PeriodicSampler(std::uint64_t period, std::uint64_t phase)
+    : period_(period), phase_(phase) {
+  if (period < 1) throw std::invalid_argument("PeriodicSampler: period >= 1");
+  if (phase >= period) throw std::invalid_argument("PeriodicSampler: phase < period");
+}
+
+bool PeriodicSampler::offer(const packet::PacketRecord&) {
+  const bool selected = counter_ % period_ == phase_;
+  ++counter_;
+  return selected;
+}
+
+std::string PeriodicSampler::name() const {
+  std::ostringstream os;
+  os << "periodic(1-in-" << period_ << ")";
+  return os.str();
+}
+
+StratifiedSampler::StratifiedSampler(std::uint64_t period, std::uint64_t seed)
+    : period_(period), engine_(util::make_engine(seed, 0x57A7u)) {
+  if (period < 1) throw std::invalid_argument("StratifiedSampler: period >= 1");
+  draw_pick();
+}
+
+void StratifiedSampler::draw_pick() {
+  std::uniform_int_distribution<std::uint64_t> unif(0, period_ - 1);
+  pick_ = unif(engine_);
+}
+
+bool StratifiedSampler::offer(const packet::PacketRecord&) {
+  const bool selected = position_ == pick_;
+  ++position_;
+  if (position_ == period_) {
+    position_ = 0;
+    draw_pick();
+  }
+  return selected;
+}
+
+void StratifiedSampler::reset() {
+  position_ = 0;
+  draw_pick();
+}
+
+std::string StratifiedSampler::name() const {
+  std::ostringstream os;
+  os << "stratified(1-in-" << period_ << ")";
+  return os.str();
+}
+
+FlowSampler::FlowSampler(double q, packet::FlowDefinition def, std::uint64_t seed)
+    : q_(q), def_(def), salt_(util::derive_seed(seed, 0xF10Du)) {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("FlowSampler: q in [0,1]");
+  }
+  // Map q onto the full 64-bit hash range. q=1 must select everything.
+  threshold_ = q >= 1.0 ? ~0ULL
+                        : static_cast<std::uint64_t>(
+                              q * 18446744073709551615.0);  // 2^64 - 1
+}
+
+bool FlowSampler::selects(const packet::FlowKey& key) const noexcept {
+  std::uint64_t z = key.hi ^ (key.lo * 0x9e3779b97f4a7c15ULL) ^ salt_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z <= threshold_;
+}
+
+bool FlowSampler::offer(const packet::PacketRecord& pkt) {
+  return selects(packet::make_flow_key(pkt.tuple, def_));
+}
+
+std::string FlowSampler::name() const {
+  std::ostringstream os;
+  os << "flow-sampling(q=" << q_ << ", " << packet::to_string(def_) << ")";
+  return os.str();
+}
+
+std::uint64_t thin_count(std::uint64_t count, double p, util::Engine& engine) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("thin_count: p in [0,1]");
+  }
+  if (count == 0 || p == 0.0) return 0;
+  if (p == 1.0) return count;
+  std::binomial_distribution<std::uint64_t> bin(count, p);
+  return bin(engine);
+}
+
+}  // namespace flowrank::sampler

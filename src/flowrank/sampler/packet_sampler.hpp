@@ -1,0 +1,123 @@
+// Packet sampling strategies.
+//
+// The paper's analysis assumes random (Bernoulli) sampling; periodic and
+// stratified sampling are what routers actually ship ([4], [14]) and [10]
+// shows they behave like random sampling on high-speed links — we provide
+// all three so that claim can be tested here too.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "flowrank/packet/records.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::sampler {
+
+/// Decides, packet by packet, whether a packet enters the sampled stream.
+class PacketSampler {
+ public:
+  virtual ~PacketSampler() = default;
+
+  /// Returns true if this packet is selected.
+  [[nodiscard]] virtual bool offer(const packet::PacketRecord& pkt) = 0;
+
+  /// Expected fraction of packets selected.
+  [[nodiscard]] virtual double rate() const noexcept = 0;
+
+  /// Resets internal state (period phase, RNG is NOT reseeded).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Random sampling: every packet selected independently with probability p.
+class BernoulliSampler final : public PacketSampler {
+ public:
+  /// Throws std::invalid_argument unless 0 <= p <= 1.
+  BernoulliSampler(double p, std::uint64_t seed);
+
+  [[nodiscard]] bool offer(const packet::PacketRecord& pkt) override;
+  [[nodiscard]] double rate() const noexcept override { return p_; }
+  void reset() override {}
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double p_;
+  util::Engine engine_;
+};
+
+/// Periodic sampling: one packet every `period` packets (deterministic).
+class PeriodicSampler final : public PacketSampler {
+ public:
+  /// Selects packet indices congruent to `phase` modulo `period`.
+  /// Throws std::invalid_argument unless period >= 1 and phase < period.
+  explicit PeriodicSampler(std::uint64_t period, std::uint64_t phase = 0);
+
+  [[nodiscard]] bool offer(const packet::PacketRecord& pkt) override;
+  [[nodiscard]] double rate() const noexcept override {
+    return 1.0 / static_cast<double>(period_);
+  }
+  void reset() override { counter_ = 0; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::uint64_t period_;
+  std::uint64_t phase_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Stratified sampling: exactly one uniformly-chosen packet out of every
+/// consecutive group of `period` packets.
+class StratifiedSampler final : public PacketSampler {
+ public:
+  /// Throws std::invalid_argument unless period >= 1.
+  StratifiedSampler(std::uint64_t period, std::uint64_t seed);
+
+  [[nodiscard]] bool offer(const packet::PacketRecord& pkt) override;
+  [[nodiscard]] double rate() const noexcept override {
+    return 1.0 / static_cast<double>(period_);
+  }
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  void draw_pick();
+
+  std::uint64_t period_;
+  util::Engine engine_;
+  std::uint64_t position_ = 0;  // position within the current group
+  std::uint64_t pick_ = 0;      // selected offset within the current group
+};
+
+/// Flow sampling ([8], [11]): a flow is either fully sampled or fully
+/// dropped, decided by hashing its key — "if a flow is sampled, then all
+/// packets belonging to that flow are sampled as well" (footnote 2).
+class FlowSampler final : public PacketSampler {
+ public:
+  /// `q` is the per-flow selection probability; `def` the aggregation the
+  /// decision applies to. Hash-based, so it needs no flow state.
+  FlowSampler(double q, packet::FlowDefinition def, std::uint64_t seed);
+
+  [[nodiscard]] bool offer(const packet::PacketRecord& pkt) override;
+  [[nodiscard]] double rate() const noexcept override { return q_; }
+  void reset() override {}
+  [[nodiscard]] std::string name() const override;
+
+  /// Key-level decision, usable without a packet.
+  [[nodiscard]] bool selects(const packet::FlowKey& key) const noexcept;
+
+ private:
+  double q_;
+  packet::FlowDefinition def_;
+  std::uint64_t salt_;
+  std::uint64_t threshold_;
+};
+
+/// Binomial thinning of a packet count: the count-level equivalent of
+/// Bernoulli-sampling `count` packets at rate p.
+[[nodiscard]] std::uint64_t thin_count(std::uint64_t count, double p,
+                                       util::Engine& engine);
+
+}  // namespace flowrank::sampler

@@ -1,0 +1,31 @@
+#include "flowrank/sampler/smart_sampler.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace flowrank::sampler {
+
+SmartSampler::SmartSampler(double z, std::uint64_t seed)
+    : z_(z), engine_(util::make_engine(seed, 0x53A4u)) {
+  if (!(z > 0.0)) throw std::invalid_argument("SmartSampler: z must be > 0");
+}
+
+double SmartSampler::selection_probability(double packets) const noexcept {
+  return packets >= z_ ? 1.0 : packets / z_;
+}
+
+std::vector<SmartSampledFlow> SmartSampler::sample(
+    const std::vector<packet::FlowRecord>& flows) {
+  std::vector<SmartSampledFlow> out;
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (const auto& flow : flows) {
+    const auto size = static_cast<double>(flow.packets);
+    if (unif(engine_) < selection_probability(size)) {
+      out.push_back(SmartSampledFlow{flow, std::max(size, z_)});
+    }
+  }
+  return out;
+}
+
+}  // namespace flowrank::sampler

@@ -1,0 +1,44 @@
+// Smart (size-dependent) sampling of flow records, after Duffield & Lund
+// [8]: select a flow record of size x with probability min(1, x/z) and
+// report the Horvitz-Thompson-corrected size max(x, z). Large flows are
+// always kept; the estimator of total traffic stays unbiased.
+//
+// In the paper this is related work that motivates the contrast with
+// packet sampling; we implement it as a baseline comparator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowrank/packet/records.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::sampler {
+
+/// A smart-sampled flow record with its unbiased size estimate.
+struct SmartSampledFlow {
+  packet::FlowRecord flow;
+  double estimated_packets = 0.0;  ///< max(packets, z): unbiased under HT
+};
+
+/// Size-dependent flow-record sampler with threshold `z` (packets).
+class SmartSampler {
+ public:
+  /// Throws std::invalid_argument unless z > 0.
+  SmartSampler(double z, std::uint64_t seed);
+
+  /// Applies smart sampling to a collection of flow records.
+  [[nodiscard]] std::vector<SmartSampledFlow> sample(
+      const std::vector<packet::FlowRecord>& flows);
+
+  /// Selection probability for a flow of the given size.
+  [[nodiscard]] double selection_probability(double packets) const noexcept;
+
+  [[nodiscard]] double threshold() const noexcept { return z_; }
+
+ private:
+  double z_;
+  util::Engine engine_;
+};
+
+}  // namespace flowrank::sampler

@@ -1,0 +1,46 @@
+// Per-(flow, bin) packet counts: the fast simulation path.
+//
+// The binning method (Sec. 8) cuts the trace into measurement intervals
+// and ranks flows within each. Under uniform packet placement, the packet
+// count a flow contributes to each bin it overlaps is multinomial with
+// probabilities proportional to the overlap; and Bernoulli packet sampling
+// of those packets is binomial thinning of the counts. Nothing the ranking
+// metrics see depends on anything finer than these counts, so the 30-run
+// sweeps of Figs. 12-16 run on counts directly — distribution-identical to
+// per-packet simulation but orders of magnitude faster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/trace/flow_trace_generator.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::trace {
+
+/// Packet count of one flow inside one bin.
+struct BinFlowCount {
+  packet::FlowKey key;        ///< flow identity at the chosen aggregation
+  std::uint64_t packets = 0;  ///< unsampled packets in this bin
+};
+
+/// All flows' counts for each bin of the trace.
+struct BinnedCounts {
+  double bin_seconds = 0.0;
+  /// bins[b] lists flows with >= 1 packet in bin b. A flow aggregated at
+  /// /24 level may appear once per bin with merged counts.
+  std::vector<std::vector<BinFlowCount>> bins;
+};
+
+/// Computes per-bin counts for the given flow definition.
+///
+/// Placement is multinomial over overlap fractions (exactly the law induced
+/// by the paper's uniform packet placement), deterministic in
+/// (trace.config.seed, placement_seed).
+[[nodiscard]] BinnedCounts bin_flow_counts(const FlowTrace& trace,
+                                           double bin_seconds,
+                                           packet::FlowDefinition def,
+                                           std::uint64_t placement_seed = 0);
+
+}  // namespace flowrank::trace

@@ -1,0 +1,66 @@
+// Synthetic flow-level trace generation.
+//
+// The paper's Sprint trace is flow-level: (start time, duration, size) per
+// flow. It is proprietary, so we regenerate statistically equivalent traces
+// from the statistics the paper publishes for it (Sec. 6 and Sec. 8.1):
+//   * Poisson flow arrivals: 2360 flows/s (5-tuple), 350 flows/s (/24),
+//   * Pareto flow sizes with mean 4.8 KB / 16.6 KB at 500 B/packet
+//     (9.6 / 33.2 packets), default shape beta = 1.5,
+//   * mean flow duration 13 s.
+// The Abilene preset models the NLANR Abilene-I trace qualitatively:
+// more flows, higher utilization, *short-tailed* flow sizes (Sec. 8.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowrank/dist/flow_size_distribution.hpp"
+#include "flowrank/packet/records.hpp"
+
+namespace flowrank::trace {
+
+/// Flow duration model: durations are drawn from an exponential whose mean
+/// grows with flow size up to a cap. Small flows are short; elephants last
+/// longer — enough correlation to exercise bin truncation the way a real
+/// trace would, without overfitting to unavailable data.
+struct DurationModel {
+  double mean_s = 13.0;        ///< unconditional mean duration
+  double size_exponent = 0.5;  ///< E[D | S] ∝ S^size_exponent (normalized)
+  double max_s = 1800.0;       ///< hard cap (trace length)
+};
+
+/// Generator configuration.
+struct FlowTraceConfig {
+  double duration_s = 1800.0;         ///< trace length (paper: 30 minutes)
+  double flow_rate_per_s = 2360.0;    ///< Poisson flow arrival rate
+  std::shared_ptr<const dist::FlowSizeDistribution> size_dist;  ///< packets/flow
+  DurationModel duration;
+  std::uint32_t packet_size_bytes = 500;  ///< paper's average packet size
+  double tcp_fraction = 0.9;              ///< fraction of flows marked TCP
+  std::uint64_t seed = 1;
+
+  /// Sprint OC-12 stats for 5-tuple flows ([1] Fig. 9, Sec. 6).
+  [[nodiscard]] static FlowTraceConfig sprint_5tuple(double beta = 1.5,
+                                                     std::uint64_t seed = 1);
+  /// Sprint OC-12 stats for /24 destination-prefix flows.
+  [[nodiscard]] static FlowTraceConfig sprint_prefix24(double beta = 1.5,
+                                                       std::uint64_t seed = 1);
+  /// Abilene-I-like: ~3x the flows, short-tailed (bounded Pareto beta=3).
+  [[nodiscard]] static FlowTraceConfig abilene(std::uint64_t seed = 1);
+};
+
+/// A generated flow-level trace.
+struct FlowTrace {
+  FlowTraceConfig config;
+  std::vector<packet::FlowRecord> flows;  ///< sorted by start time
+
+  /// Total packets across all flows.
+  [[nodiscard]] std::uint64_t total_packets() const noexcept;
+};
+
+/// Generates the trace. Deterministic in config.seed.
+[[nodiscard]] FlowTrace generate_flow_trace(const FlowTraceConfig& config);
+
+}  // namespace flowrank::trace

@@ -1,0 +1,109 @@
+#include "flowrank/trace/packet_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace flowrank::trace {
+
+namespace {
+constexpr double kNsPerSec = 1e9;
+
+std::int64_t to_ns(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * kNsPerSec));
+}
+}  // namespace
+
+PacketStream::PacketStream(const FlowTrace& trace, std::uint64_t seed)
+    : trace_(trace), seed_(seed) {
+  slot_of_flow_.resize(trace_.flows.size());
+  // Prime the heap with the first flow(s) so next() has work to do.
+  if (!trace_.flows.empty()) {
+    activate_flows_until(to_ns(trace_.flows.front().start_s));
+  }
+}
+
+std::vector<std::int64_t> PacketStream::place_packets(std::uint32_t flow_index) const {
+  const auto& flow = trace_.flows[flow_index];
+  // Stream-independent per-flow RNG: the same flow always gets the same
+  // packet placement for a given (trace seed, stream seed) pair.
+  auto engine = util::make_engine(trace_.config.seed ^ (seed_ * 0x9e3779b97f4a7c15ULL),
+                                  flow_index);
+  std::vector<std::int64_t> ts(static_cast<std::size_t>(flow.packets));
+  const std::int64_t start_ns = to_ns(flow.start_s);
+  if (flow.packets == 1 || flow.duration_s <= 0.0) {
+    std::fill(ts.begin(), ts.end(), start_ns);
+    return ts;
+  }
+  std::uniform_real_distribution<double> unif(0.0, flow.duration_s);
+  for (auto& t : ts) t = start_ns + to_ns(unif(engine));
+  std::sort(ts.begin(), ts.end());
+  return ts;
+}
+
+void PacketStream::activate_flows_until(std::int64_t now_ns) {
+  while (next_flow_ < trace_.flows.size() &&
+         to_ns(trace_.flows[next_flow_].start_s) <= now_ns) {
+    const auto flow_index = static_cast<std::uint32_t>(next_flow_);
+    ActiveFlow active;
+    active.timestamps = place_packets(flow_index);
+    const auto slot = static_cast<std::uint32_t>(active_.size());
+    slot_of_flow_[flow_index] = slot;
+    heap_.push(PendingPacket{active.timestamps.front(), flow_index, 0});
+    active_.push_back(std::move(active));
+    ++next_flow_;
+  }
+}
+
+std::optional<packet::PacketRecord> PacketStream::next() {
+  // Make sure any flow that starts before the current head packet is live.
+  while (true) {
+    if (heap_.empty()) {
+      if (next_flow_ >= trace_.flows.size()) return std::nullopt;
+      activate_flows_until(to_ns(trace_.flows[next_flow_].start_s));
+      continue;
+    }
+    const std::int64_t head_ts = heap_.top().timestamp_ns;
+    if (next_flow_ < trace_.flows.size() &&
+        to_ns(trace_.flows[next_flow_].start_s) <= head_ts) {
+      activate_flows_until(head_ts);
+      continue;
+    }
+    break;
+  }
+
+  const PendingPacket head = heap_.top();
+  heap_.pop();
+  const auto& flow = trace_.flows[head.flow_index];
+  auto& active = active_[slot_of_flow_[head.flow_index]];
+
+  packet::PacketRecord pkt;
+  pkt.timestamp_ns = head.timestamp_ns;
+  pkt.tuple = flow.tuple;
+  pkt.size_bytes = trace_.config.packet_size_bytes;
+  if (flow.tuple.protocol == packet::Protocol::kTcp) {
+    pkt.tcp_seq = head.packet_index * trace_.config.packet_size_bytes;
+  }
+
+  const std::uint32_t next_index = head.packet_index + 1;
+  if (next_index < active.timestamps.size()) {
+    heap_.push(PendingPacket{active.timestamps[next_index], head.flow_index,
+                             next_index});
+  } else {
+    active.timestamps.clear();
+    active.timestamps.shrink_to_fit();
+  }
+  ++emitted_;
+  return pkt;
+}
+
+std::vector<packet::PacketRecord> expand_trace(const FlowTrace& trace,
+                                               std::uint64_t seed) {
+  PacketStream stream(trace, seed);
+  std::vector<packet::PacketRecord> packets;
+  packets.reserve(trace.total_packets());
+  while (auto pkt = stream.next()) packets.push_back(*pkt);
+  return packets;
+}
+
+}  // namespace flowrank::trace

@@ -1,0 +1,113 @@
+#include "flowrank/trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace flowrank::trace {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'R', 'T', '1'};
+
+struct PackedFlow {
+  double start_s;
+  double duration_s;
+  std::uint64_t packets;
+  std::uint64_t bytes;
+  std::uint32_t src_ip;
+  std::uint32_t dst_ip;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t protocol;
+  std::uint8_t pad[3];
+};
+static_assert(sizeof(PackedFlow) == 48, "unexpected PackedFlow layout");
+
+PackedFlow pack(const packet::FlowRecord& f) {
+  PackedFlow p{};
+  p.start_s = f.start_s;
+  p.duration_s = f.duration_s;
+  p.packets = f.packets;
+  p.bytes = f.bytes;
+  p.src_ip = f.tuple.src_ip;
+  p.dst_ip = f.tuple.dst_ip;
+  p.src_port = f.tuple.src_port;
+  p.dst_port = f.tuple.dst_port;
+  p.protocol = static_cast<std::uint8_t>(f.tuple.protocol);
+  return p;
+}
+
+packet::FlowRecord unpack(const PackedFlow& p) {
+  packet::FlowRecord f;
+  f.start_s = p.start_s;
+  f.duration_s = p.duration_s;
+  f.packets = p.packets;
+  f.bytes = p.bytes;
+  f.tuple.src_ip = p.src_ip;
+  f.tuple.dst_ip = p.dst_ip;
+  f.tuple.src_port = p.src_port;
+  f.tuple.dst_port = p.dst_port;
+  f.tuple.protocol = static_cast<packet::Protocol>(p.protocol);
+  return f;
+}
+}  // namespace
+
+void write_flow_records(std::ostream& os,
+                        const std::vector<packet::FlowRecord>& flows) {
+  os.write(kMagic, sizeof(kMagic));
+  const auto count = static_cast<std::uint64_t>(flows.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& f : flows) {
+    const PackedFlow p = pack(f);
+    os.write(reinterpret_cast<const char*>(&p), sizeof(p));
+  }
+  if (!os) throw std::runtime_error("write_flow_records: stream failure");
+}
+
+std::vector<packet::FlowRecord> read_flow_records(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("read_flow_records: bad magic");
+  }
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is) throw std::runtime_error("read_flow_records: truncated header");
+  std::vector<packet::FlowRecord> flows;
+  flows.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedFlow p;
+    is.read(reinterpret_cast<char*>(&p), sizeof(p));
+    if (!is) throw std::runtime_error("read_flow_records: truncated records");
+    flows.push_back(unpack(p));
+  }
+  return flows;
+}
+
+void save_flow_records(const std::string& path,
+                       const std::vector<packet::FlowRecord>& flows) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_flow_records: cannot open " + path);
+  write_flow_records(os, flows);
+}
+
+std::vector<packet::FlowRecord> load_flow_records(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_flow_records: cannot open " + path);
+  return read_flow_records(is);
+}
+
+void export_flow_records_csv(std::ostream& os,
+                             const std::vector<packet::FlowRecord>& flows) {
+  os << "start_s,duration_s,packets,bytes,proto,src_ip,src_port,dst_ip,dst_port\n";
+  for (const auto& f : flows) {
+    os << f.start_s << ',' << f.duration_s << ',' << f.packets << ',' << f.bytes << ','
+       << static_cast<int>(f.tuple.protocol) << ','
+       << packet::format_ipv4(f.tuple.src_ip) << ',' << f.tuple.src_port << ','
+       << packet::format_ipv4(f.tuple.dst_ip) << ',' << f.tuple.dst_port << '\n';
+  }
+  if (!os) throw std::runtime_error("export_flow_records_csv: stream failure");
+}
+
+}  // namespace flowrank::trace

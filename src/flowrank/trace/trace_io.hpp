@@ -1,0 +1,34 @@
+// Flow-trace persistence: a compact binary format plus CSV export.
+//
+// The binary format lets benchmarks reuse one generated trace across
+// binaries; CSV export feeds external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flowrank/packet/records.hpp"
+
+namespace flowrank::trace {
+
+/// Writes flow records in the flowrank binary format (magic "FRT1").
+/// Throws std::runtime_error on I/O failure.
+void write_flow_records(std::ostream& os,
+                        const std::vector<packet::FlowRecord>& flows);
+
+/// Reads flow records; validates the magic and record count.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<packet::FlowRecord> read_flow_records(std::istream& is);
+
+/// File-path conveniences.
+void save_flow_records(const std::string& path,
+                       const std::vector<packet::FlowRecord>& flows);
+[[nodiscard]] std::vector<packet::FlowRecord> load_flow_records(
+    const std::string& path);
+
+/// CSV export: start_s,duration_s,packets,bytes,proto,src,sport,dst,dport.
+void export_flow_records_csv(std::ostream& os,
+                             const std::vector<packet::FlowRecord>& flows);
+
+}  // namespace flowrank::trace

@@ -1,0 +1,71 @@
+#include "flowrank/util/cli.hpp"
+
+#include <stdexcept>
+
+namespace flowrank::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc < 1) throw std::invalid_argument("Cli: argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("Cli: bare '--' not supported");
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` if the next token is not itself an option; otherwise a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) > 0; }
+
+std::string Cli::get_string(const std::string& name, std::string fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: option --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: option --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Cli: option --" + name + " expects a boolean, got '" + v +
+                              "'");
+}
+
+}  // namespace flowrank::util

@@ -1,0 +1,46 @@
+// Minimal command-line option parser for examples and benchmark binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean flags `--name`.
+// Unknown options throw, so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flowrank::util {
+
+/// Parses argv into a key/value map and exposes typed getters.
+class Cli {
+ public:
+  /// Parses arguments. Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when the option is absent.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace flowrank::util

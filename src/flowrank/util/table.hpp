@@ -1,0 +1,58 @@
+// Lightweight tabular output: aligned console tables and CSV.
+//
+// Benchmarks regenerate paper figures as data series; this class prints
+// them both human-readably (aligned columns) and machine-readably (CSV)
+// without pulling in a formatting library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flowrank::util {
+
+/// A simple column-oriented table. Cells are stored as strings; numeric
+/// convenience overloads format with sensible precision.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add_cell calls fill it left to right.
+  void begin_row();
+
+  /// Appends a string cell to the current row.
+  void add_cell(std::string value);
+  /// Appends a formatted double (uses %.6g).
+  void add_cell(double value);
+  /// Appends an integer cell.
+  void add_cell(long long value);
+  void add_cell(unsigned long long value);
+  void add_cell(int value) { add_cell(static_cast<long long>(value)); }
+  void add_cell(std::size_t value) { add_cell(static_cast<unsigned long long>(value)); }
+
+  /// Convenience: append a whole row at once.
+  template <typename... Ts>
+  void add_row(Ts&&... cells) {
+    begin_row();
+    (add_cell(std::forward<Ts>(cells)), ...);
+  }
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Writes the table with space-aligned columns.
+  void print(std::ostream& os) const;
+  /// Writes the table as RFC-4180-ish CSV (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like printf("%.6g").
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace flowrank::util

@@ -1,0 +1,214 @@
+// Tests for flow-size distributions: analytic identities, sampling
+// agreement, and the discretized adaptor.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/dist/discretized.hpp"
+#include "flowrank/dist/empirical.hpp"
+#include "flowrank/dist/exponential.hpp"
+#include "flowrank/dist/pareto.hpp"
+#include "flowrank/numeric/stats.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace fd = flowrank::dist;
+
+namespace {
+
+/// Shared property checks every distribution must satisfy.
+void check_distribution_contract(const fd::FlowSizeDistribution& dist) {
+  SCOPED_TRACE(dist.name());
+  EXPECT_GT(dist.min_size(), 0.0);
+  EXPECT_DOUBLE_EQ(dist.ccdf(dist.min_size() * 0.5), 1.0);
+
+  // tail_quantile inverts ccdf across the support.
+  for (double y : {0.9, 0.5, 0.1, 1e-3, 1e-6, 1e-9}) {
+    const double x = dist.tail_quantile(y);
+    EXPECT_GE(x, dist.min_size() * (1.0 - 1e-12));
+    EXPECT_NEAR(dist.ccdf(x), y, 1e-6 * std::max(1.0, 1.0 / y) * y) << "y=" << y;
+  }
+
+  // ccdf decreasing.
+  double prev = 1.0;
+  for (double x = dist.min_size(); x < dist.tail_quantile(1e-9);
+       x = x * 1.7 + 1.0) {
+    const double c = dist.ccdf(x);
+    EXPECT_LE(c, prev + 1e-12);
+    prev = c;
+  }
+
+  // Sample mean close to analytic mean (heavy tails get a loose band).
+  auto engine = flowrank::util::make_engine(314159);
+  flowrank::numeric::RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.add(dist.sample(engine));
+  const double rel_err = std::abs(stats.mean() - dist.mean()) / dist.mean();
+  EXPECT_LT(rel_err, 0.25) << "sample mean " << stats.mean() << " vs " << dist.mean();
+
+  // Clone preserves behaviour.
+  const auto copy = dist.clone();
+  EXPECT_EQ(copy->name(), dist.name());
+  EXPECT_DOUBLE_EQ(copy->ccdf(dist.min_size() * 3.0), dist.ccdf(dist.min_size() * 3.0));
+}
+
+}  // namespace
+
+TEST(Pareto, ContractHolds) {
+  check_distribution_contract(fd::Pareto::from_mean(9.6, 1.5));
+  check_distribution_contract(fd::Pareto::from_mean(33.2, 2.5));
+}
+
+TEST(Pareto, FromMeanHitsRequestedMean) {
+  for (double beta : {1.2, 1.5, 2.0, 3.0}) {
+    const auto dist = fd::Pareto::from_mean(9.6, beta);
+    EXPECT_NEAR(dist.mean(), 9.6, 1e-9) << beta;
+  }
+}
+
+TEST(Pareto, CcdfClosedForm) {
+  const fd::Pareto dist(2.0, 1.5);
+  EXPECT_NEAR(dist.ccdf(4.0), std::pow(2.0, -1.5), 1e-12);
+  EXPECT_NEAR(dist.tail_quantile(std::pow(2.0, -1.5)), 4.0, 1e-9);
+}
+
+TEST(Pareto, InfiniteMeanThrows) {
+  const fd::Pareto dist(1.0, 0.9);
+  EXPECT_THROW((void)dist.mean(), std::logic_error);
+  EXPECT_THROW((void)fd::Pareto::from_mean(9.6, 1.0), std::invalid_argument);
+}
+
+TEST(Pareto, InvalidParameters) {
+  EXPECT_THROW(fd::Pareto(0.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(fd::Pareto(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)fd::Pareto(1.0, 1.5).tail_quantile(0.0), std::domain_error);
+  EXPECT_THROW((void)fd::Pareto(1.0, 1.5).tail_quantile(1.5), std::domain_error);
+}
+
+TEST(BoundedPareto, ContractHolds) {
+  check_distribution_contract(fd::BoundedPareto(4.0, 3.0, 2000.0));
+}
+
+TEST(BoundedPareto, TailVanishesAtBound) {
+  const fd::BoundedPareto dist(4.0, 3.0, 2000.0);
+  EXPECT_DOUBLE_EQ(dist.ccdf(2000.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.ccdf(5000.0), 0.0);
+  EXPECT_LE(dist.tail_quantile(1e-12), 2000.0);
+}
+
+TEST(BoundedPareto, MeanBelowUnboundedMean) {
+  const fd::BoundedPareto bounded(4.0, 3.0, 2000.0);
+  const fd::Pareto unbounded(4.0, 3.0);
+  EXPECT_LT(bounded.mean(), unbounded.mean());
+}
+
+TEST(BoundedPareto, InvalidParameters) {
+  EXPECT_THROW(fd::BoundedPareto(4.0, 3.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(fd::BoundedPareto(0.0, 3.0, 10.0), std::invalid_argument);
+}
+
+TEST(Exponential, ContractHolds) {
+  check_distribution_contract(fd::Exponential::from_mean(9.6));
+}
+
+TEST(Exponential, MemorylessCcdf) {
+  const auto dist = fd::Exponential::from_mean(10.0, 1.0);
+  // F̄(x+d)/F̄(x) constant.
+  const double r1 = dist.ccdf(5.0 + 2.0) / dist.ccdf(5.0);
+  const double r2 = dist.ccdf(20.0 + 2.0) / dist.ccdf(20.0);
+  EXPECT_NEAR(r1, r2, 1e-12);
+}
+
+TEST(Exponential, InvalidParameters) {
+  EXPECT_THROW(fd::Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)fd::Exponential::from_mean(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Weibull, ContractHolds) {
+  check_distribution_contract(fd::Weibull::from_mean(20.0, 2.0));
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const auto weibull = fd::Weibull::from_mean(10.0, 1.0, 1.0);
+  const auto expo = fd::Exponential::from_mean(10.0, 1.0);
+  for (double x : {2.0, 5.0, 20.0, 80.0}) {
+    EXPECT_NEAR(weibull.ccdf(x), expo.ccdf(x), 1e-12) << x;
+  }
+}
+
+TEST(Weibull, HigherShapeHasShorterTail) {
+  const auto light = fd::Weibull::from_mean(20.0, 2.5);
+  const auto heavy = fd::Weibull::from_mean(20.0, 0.7);
+  EXPECT_LT(light.ccdf(200.0), heavy.ccdf(200.0));
+}
+
+TEST(Empirical, ContractOnSampledData) {
+  auto engine = flowrank::util::make_engine(2718);
+  const auto source = fd::Pareto::from_mean(9.6, 2.0);
+  std::vector<double> samples(50000);
+  for (auto& s : samples) s = source.sample(engine);
+  const fd::Empirical empirical(samples);
+  EXPECT_EQ(empirical.size(), samples.size());
+  EXPECT_NEAR(empirical.mean(), source.mean(), 0.2 * source.mean());
+  // Quantiles roughly match the source distribution.
+  for (double y : {0.5, 0.1, 0.01}) {
+    EXPECT_NEAR(empirical.tail_quantile(y), source.tail_quantile(y),
+                0.25 * source.tail_quantile(y))
+        << y;
+  }
+}
+
+TEST(Empirical, CcdfQuantileRoundTrip) {
+  std::vector<double> samples{1, 2, 3, 5, 8, 13, 21, 34};
+  const fd::Empirical empirical(samples);
+  for (double y : {0.9, 0.5, 0.2}) {
+    const double x = empirical.tail_quantile(y);
+    EXPECT_NEAR(empirical.ccdf(x), y, 0.15) << y;
+  }
+}
+
+TEST(Empirical, RejectsDegenerateInput) {
+  std::vector<double> one{5.0};
+  EXPECT_THROW((void)fd::Empirical{std::span<const double>(one)},
+               std::invalid_argument);
+  std::vector<double> negatives{-1.0, -2.0, 3.0};
+  EXPECT_THROW((void)fd::Empirical{std::span<const double>(negatives)},
+               std::invalid_argument);
+}
+
+TEST(Discretized, PmfTelescopesToCcdf) {
+  const fd::Discretized disc(std::make_unique<fd::Pareto>(3.2, 1.5));
+  double acc = 0.0;
+  for (std::int64_t i = disc.min_packets(); i <= 5000; ++i) acc += disc.pmf(i);
+  EXPECT_NEAR(acc, 1.0 - disc.ccdf_geq(5001), 1e-10);
+}
+
+TEST(Discretized, CcdfConsistentWithSource) {
+  const fd::Discretized disc(std::make_unique<fd::Pareto>(3.2, 1.5));
+  for (std::int64_t i : {5, 10, 100, 1000}) {
+    EXPECT_NEAR(disc.ccdf_geq(i), fd::Pareto(3.2, 1.5).ccdf(static_cast<double>(i - 1)),
+                1e-12);
+  }
+}
+
+TEST(Discretized, MeanMatchesSampleMean) {
+  const fd::Discretized disc(std::make_unique<fd::Pareto>(3.2, 2.5));
+  auto engine = flowrank::util::make_engine(99);
+  flowrank::numeric::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(static_cast<double>(disc.sample(engine)));
+  }
+  EXPECT_NEAR(disc.mean(), stats.mean(), 0.05 * stats.mean());
+}
+
+TEST(Discretized, SamplesRespectSupportMinimum) {
+  const fd::Discretized disc(std::make_unique<fd::Pareto>(3.2, 1.5));
+  auto engine = flowrank::util::make_engine(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(disc.sample(engine), disc.min_packets());
+  }
+}
+
+TEST(Discretized, NullSourceThrows) {
+  EXPECT_THROW(fd::Discretized(nullptr), std::invalid_argument);
+}

@@ -1,0 +1,189 @@
+// Tests for the swapped-pair metrics: brute-force cross-checks, tie
+// conventions, and consistency with the two-flow model.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/core/misranking.hpp"
+#include "flowrank/metrics/rank_metrics.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace fm = flowrank::metrics;
+
+namespace {
+
+/// O(t*N) reference implementation straight from the definitions.
+fm::RankMetricsResult brute_force(const std::vector<std::uint64_t>& true_sizes,
+                                  const std::vector<std::uint64_t>& sampled,
+                                  std::size_t t, fm::TiePolicy policy) {
+  const std::size_t n = true_sizes.size();
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (true_sizes[a] != true_sizes[b]) return true_sizes[a] > true_sizes[b];
+    return a < b;
+  });
+  const auto swapped = [&](std::uint32_t i, std::uint32_t j) {
+    if (true_sizes[i] == true_sizes[j]) {
+      if (policy == fm::TiePolicy::kPaper) {
+        return sampled[i] != sampled[j] || sampled[i] == 0;
+      }
+      return sampled[i] == 0 && sampled[j] == 0;
+    }
+    const auto big = true_sizes[i] > true_sizes[j] ? i : j;
+    const auto small = big == i ? j : i;
+    if (policy == fm::TiePolicy::kPaper) return sampled[big] <= sampled[small];
+    return sampled[big] < sampled[small] ||
+           (sampled[big] == 0 && sampled[small] == 0);
+  };
+  fm::RankMetricsResult out;
+  for (std::size_t r = 0; r < t; ++r) {
+    for (std::size_t q = r + 1; q < n; ++q) {
+      if (swapped(order[r], order[q])) {
+        out.ranking_swapped += 1.0;
+        if (q >= t) out.detection_swapped += 1.0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(RankMetrics, PerfectSamplingHasNoSwaps) {
+  std::vector<std::uint64_t> sizes{100, 90, 80, 5, 4, 3, 2, 1};
+  const auto r = fm::compute_rank_metrics(sizes, sizes, 3);
+  EXPECT_DOUBLE_EQ(r.ranking_swapped, 0.0);
+  EXPECT_DOUBLE_EQ(r.detection_swapped, 0.0);
+  EXPECT_DOUBLE_EQ(r.top_set_recall, 1.0);
+}
+
+TEST(RankMetrics, PairCountsMatchPaperFormulas) {
+  std::vector<std::uint64_t> sizes(100);
+  for (std::size_t i = 0; i < sizes.size(); ++i) sizes[i] = 1000 - i;
+  for (std::size_t t : {1u, 5u, 25u}) {
+    const auto r = fm::compute_rank_metrics(sizes, sizes, t);
+    EXPECT_DOUBLE_EQ(r.ranking_pairs, 0.5 * (2.0 * 100 - t - 1.0) * t);
+    EXPECT_DOUBLE_EQ(r.detection_pairs, static_cast<double>(t) * (100.0 - t));
+  }
+}
+
+TEST(RankMetrics, SingleSwapWithNeighborCountsOne) {
+  // Paper Sec. 5.1: a flow swapped with its immediate successor gives a
+  // ranking error of 1.
+  std::vector<std::uint64_t> true_sizes{50, 40, 30, 20, 10};
+  std::vector<std::uint64_t> sampled{50, 29, 31, 20, 10};  // swap ranks 2,3
+  const auto r = fm::compute_rank_metrics(true_sizes, sampled, 5);
+  EXPECT_DOUBLE_EQ(r.ranking_swapped, 1.0);
+}
+
+TEST(RankMetrics, DistantSwapPenalizedMore) {
+  // Same flow swapped with a distant flow produces many swapped pairs.
+  std::vector<std::uint64_t> true_sizes{50, 40, 30, 20, 10};
+  std::vector<std::uint64_t> sampled{50, 9, 30, 20, 41};  // rank-2 <-> rank-5
+  const auto near_r = fm::compute_rank_metrics(
+      true_sizes, std::vector<std::uint64_t>{50, 29, 31, 20, 10}, 5);
+  const auto far_r = fm::compute_rank_metrics(true_sizes, sampled, 5);
+  EXPECT_GT(far_r.ranking_swapped, near_r.ranking_swapped);
+}
+
+TEST(RankMetrics, VanishedFlowsCountAsSwapped) {
+  std::vector<std::uint64_t> true_sizes{50, 40, 30};
+  std::vector<std::uint64_t> sampled{0, 0, 0};
+  const auto r = fm::compute_rank_metrics(true_sizes, sampled, 1);
+  // Pairs (1,2) and (1,3): all zero ties count as swapped under kPaper.
+  EXPECT_DOUBLE_EQ(r.ranking_swapped, 2.0);
+  const auto lenient =
+      fm::compute_rank_metrics(true_sizes, sampled, 1, fm::TiePolicy::kLenient);
+  EXPECT_DOUBLE_EQ(lenient.ranking_swapped, 2.0);  // both-zero also swaps
+}
+
+TEST(RankMetrics, LenientPolicyForgivesNonZeroTies) {
+  std::vector<std::uint64_t> true_sizes{50, 40};
+  std::vector<std::uint64_t> sampled{7, 7};
+  EXPECT_DOUBLE_EQ(fm::compute_rank_metrics(true_sizes, sampled, 1).ranking_swapped,
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      fm::compute_rank_metrics(true_sizes, sampled, 1, fm::TiePolicy::kLenient)
+          .ranking_swapped,
+      0.0);
+}
+
+TEST(RankMetrics, EqualTrueSizesUseEqualConvention) {
+  std::vector<std::uint64_t> true_sizes{50, 50};
+  // Equal flows, equal non-zero samples: correctly ranked.
+  EXPECT_DOUBLE_EQ(fm::compute_rank_metrics(true_sizes,
+                                            std::vector<std::uint64_t>{3, 3}, 1)
+                       .ranking_swapped,
+                   0.0);
+  // Different samples: swapped.
+  EXPECT_DOUBLE_EQ(fm::compute_rank_metrics(true_sizes,
+                                            std::vector<std::uint64_t>{3, 4}, 1)
+                       .ranking_swapped,
+                   1.0);
+  // Both zero: swapped.
+  EXPECT_DOUBLE_EQ(fm::compute_rank_metrics(true_sizes,
+                                            std::vector<std::uint64_t>{0, 0}, 1)
+                       .ranking_swapped,
+                   1.0);
+}
+
+TEST(RankMetrics, RecallCountsSetOverlapOnly) {
+  std::vector<std::uint64_t> true_sizes{100, 90, 80, 70, 1, 2};
+  // Top-4 preserved as a set but fully reordered.
+  std::vector<std::uint64_t> sampled{70, 80, 90, 100, 1, 2};
+  const auto r = fm::compute_rank_metrics(true_sizes, sampled, 4);
+  EXPECT_DOUBLE_EQ(r.top_set_recall, 1.0);
+  EXPECT_GT(r.ranking_swapped, 0.0);
+  EXPECT_DOUBLE_EQ(r.detection_swapped, 0.0);
+}
+
+TEST(RankMetrics, MatchesBruteForceOnRandomInstances) {
+  auto engine = flowrank::util::make_engine(97);
+  std::uniform_int_distribution<std::uint64_t> size_dist(0, 60);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 5 + trial % 60;
+    const std::size_t t = 1 + trial % std::min<std::size_t>(n, 12);
+    std::vector<std::uint64_t> true_sizes(n), sampled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      true_sizes[i] = size_dist(engine) + 1;
+      sampled[i] = size_dist(engine) / 3;
+    }
+    for (auto policy : {fm::TiePolicy::kPaper, fm::TiePolicy::kLenient}) {
+      const auto fast = fm::compute_rank_metrics(true_sizes, sampled, t, policy);
+      const auto slow = brute_force(true_sizes, sampled, t, policy);
+      EXPECT_DOUBLE_EQ(fast.ranking_swapped, slow.ranking_swapped)
+          << "trial " << trial << " t=" << t
+          << " policy=" << static_cast<int>(policy);
+      EXPECT_DOUBLE_EQ(fast.detection_swapped, slow.detection_swapped)
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(RankMetrics, MatchesTwoFlowModelInExpectation) {
+  // For N=2, t=1 the expected ranking metric IS Pm(S1,S2) from Eq. (1).
+  auto engine = flowrank::util::make_engine(31);
+  const double p = 0.15;
+  const std::uint64_t s1 = 40, s2 = 70;
+  std::binomial_distribution<std::uint64_t> b1(s1, p), b2(s2, p);
+  double swaps = 0.0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<std::uint64_t> true_sizes{s2, s1};
+    std::vector<std::uint64_t> sampled{b2(engine), b1(engine)};
+    swaps +=
+        fm::compute_rank_metrics(true_sizes, sampled, 1).ranking_swapped;
+  }
+  const double empirical = swaps / trials;
+  const double exact = flowrank::core::misranking_exact(40, 70, p);
+  EXPECT_NEAR(empirical, exact, 0.01);
+}
+
+TEST(RankMetrics, InvalidArguments) {
+  std::vector<std::uint64_t> a{1, 2, 3}, b{1, 2};
+  EXPECT_THROW((void)fm::compute_rank_metrics(a, b, 1), std::invalid_argument);
+  EXPECT_THROW((void)fm::compute_rank_metrics(a, a, 0), std::invalid_argument);
+  EXPECT_THROW((void)fm::compute_rank_metrics(a, a, 4), std::invalid_argument);
+}

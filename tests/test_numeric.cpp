@@ -1,0 +1,385 @@
+// Unit and property tests for the numeric substrate.
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/numeric/binomial.hpp"
+#include "flowrank/numeric/incbeta.hpp"
+#include "flowrank/numeric/quadrature.hpp"
+#include "flowrank/numeric/roots.hpp"
+#include "flowrank/numeric/special.hpp"
+#include "flowrank/numeric/stats.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace fn = flowrank::numeric;
+
+TEST(Special, LogFactorialMatchesDirectProduct) {
+  double acc = 0.0;
+  for (int n = 1; n <= 200; ++n) {
+    acc += std::log(static_cast<double>(n));
+    EXPECT_NEAR(fn::log_factorial(n), acc, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Special, LogFactorialLargeUsesLgamma) {
+  EXPECT_NEAR(fn::log_factorial(5000), std::lgamma(5001.0), 1e-9);
+}
+
+TEST(Special, LogChooseSymmetry) {
+  for (int n = 0; n <= 60; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(fn::log_choose(n, k), fn::log_choose(n, n - k), 1e-10);
+    }
+  }
+}
+
+TEST(Special, LogChooseOutOfRangeIsMinusInf) {
+  EXPECT_TRUE(std::isinf(fn::log_choose(10, -1)));
+  EXPECT_TRUE(std::isinf(fn::log_choose(10, 11)));
+}
+
+TEST(Special, LogChoosePascalIdentity) {
+  // C(n,k) = C(n-1,k-1) + C(n-1,k)
+  for (int n = 2; n <= 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      const double lhs = fn::log_choose(n, k);
+      const double rhs =
+          fn::log_sum_exp(fn::log_choose(n - 1, k - 1), fn::log_choose(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, 1e-9);
+    }
+  }
+}
+
+TEST(Special, LogSumExpHandlesInfinity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(fn::log_sum_exp(ninf, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(fn::log_sum_exp(3.0, ninf), 3.0);
+}
+
+TEST(Special, Log1mExpIdentity) {
+  for (double x : {-1e-8, -0.1, -0.5, -1.0, -5.0, -30.0}) {
+    EXPECT_NEAR(std::exp(fn::log1m_exp(x)), 1.0 - std::exp(x), 1e-12);
+  }
+}
+
+TEST(Special, NormalCdfSymmetry) {
+  for (double x : {0.0, 0.5, 1.0, 2.5, 6.0}) {
+    EXPECT_NEAR(fn::normal_cdf(x) + fn::normal_cdf(-x), 1.0, 1e-14);
+    EXPECT_NEAR(fn::normal_sf(x), fn::normal_cdf(-x), 1e-300);
+  }
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(fn::normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(fn::normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(fn::normal_sf(6.0), 9.865876e-10, 1e-14);
+}
+
+TEST(Special, DomainErrors) {
+  EXPECT_THROW((void)fn::log_gamma(0.0), std::domain_error);
+  EXPECT_THROW((void)fn::log_factorial(-1), std::domain_error);
+  EXPECT_THROW((void)fn::log1m_exp(0.5), std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Incomplete beta
+// ---------------------------------------------------------------------------
+
+TEST(IncBeta, EndpointValues) {
+  EXPECT_DOUBLE_EQ(fn::incbeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fn::incbeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    EXPECT_NEAR(fn::incbeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncBeta, PowerSpecialCase) {
+  // I_x(a,1) = x^a.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    for (double x : {0.1, 0.4, 0.9}) {
+      EXPECT_NEAR(fn::incbeta(a, 1.0, x), std::pow(x, a), 1e-12);
+    }
+  }
+}
+
+TEST(IncBeta, ComplementIdentity) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double a : {0.5, 2.0, 30.0}) {
+    for (double b : {1.5, 8.0, 200.0}) {
+      for (double x : {0.01, 0.3, 0.77, 0.999}) {
+        EXPECT_NEAR(fn::incbeta(a, b, x), 1.0 - fn::incbeta(b, a, 1.0 - x), 1e-10);
+      }
+    }
+  }
+}
+
+TEST(IncBeta, DomainErrors) {
+  EXPECT_THROW((void)fn::incbeta(0.0, 1.0, 0.5), std::domain_error);
+  EXPECT_THROW((void)fn::incbeta(1.0, 1.0, -0.1), std::domain_error);
+  EXPECT_THROW((void)fn::incbeta(1.0, 1.0, 1.1), std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Binomial / Poisson
+// ---------------------------------------------------------------------------
+
+TEST(Binomial, PmfSumsToOne) {
+  for (int n : {0, 1, 7, 40}) {
+    for (double p : {0.0, 0.05, 0.5, 0.93, 1.0}) {
+      double acc = 0.0;
+      for (int k = 0; k <= n; ++k) acc += fn::binomial_pmf(k, n, p);
+      EXPECT_NEAR(acc, 1.0, 1e-12) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Binomial, CdfMatchesDirectSumSmall) {
+  for (int n : {5, 31, 64}) {
+    for (double p : {0.01, 0.37, 0.8}) {
+      double acc = 0.0;
+      for (int k = 0; k <= n; ++k) {
+        acc += fn::binomial_pmf(k, n, p);
+        EXPECT_NEAR(fn::binomial_cdf(k, n, p), std::min(acc, 1.0), 1e-11);
+      }
+    }
+  }
+}
+
+TEST(Binomial, CdfMatchesDirectSumLarge) {
+  // n=1000 forces the incomplete-beta path; compare to direct log-space sum.
+  const int n = 1000;
+  for (double p : {0.001, 0.01, 0.1}) {
+    for (int k : {0, 1, 5, 20, 100, 999}) {
+      double acc = 0.0;
+      for (int i = 0; i <= k; ++i) acc += fn::binomial_pmf(i, n, p);
+      EXPECT_NEAR(fn::binomial_cdf(k, n, p), std::min(acc, 1.0), 1e-9)
+          << "p=" << p << " k=" << k;
+    }
+  }
+}
+
+TEST(Binomial, SfComplementsCdf) {
+  for (int n : {10, 2000}) {
+    for (double p : {0.002, 0.4}) {
+      for (int k = 0; k < n; k += n / 10 + 1) {
+        EXPECT_NEAR(fn::binomial_cdf(k, n, p) + fn::binomial_sf(k, n, p), 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Binomial, HugeNTinyPMatchesPoissonLimit) {
+  // Regime of the top-t membership probabilities: N ~ 1e6, Pi ~ 1e-5.
+  const std::int64_t n = 1000000;
+  const double p = 1e-5;  // lambda = 10
+  for (int k = 0; k <= 30; ++k) {
+    EXPECT_NEAR(fn::binomial_cdf(k, n, p), fn::poisson_cdf(k, 10.0), 2e-5) << k;
+  }
+}
+
+TEST(Binomial, ExtremeTailStaysInUnitInterval) {
+  const double v = fn::binomial_cdf(0, 3500000, 1e-3);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1e-300);  // (1-1e-3)^(3.5e6) ~ e^-3500
+}
+
+TEST(Binomial, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(fn::binomial_pmf(0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn::binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn::binomial_cdf(-1, 10, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fn::binomial_cdf(10, 10, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(fn::binomial_sf(10, 10, 0.5), 0.0);
+}
+
+TEST(Poisson, PmfSumsToOne) {
+  for (double lambda : {0.1, 1.0, 7.3, 40.0}) {
+    double acc = 0.0;
+    for (int k = 0; k < 400; ++k) acc += fn::poisson_pmf(k, lambda);
+    EXPECT_NEAR(acc, 1.0, 1e-12);
+  }
+}
+
+TEST(Poisson, CdfMonotone) {
+  double prev = 0.0;
+  for (int k = 0; k <= 50; ++k) {
+    const double c = fn::poisson_cdf(k, 12.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Quadrature
+// ---------------------------------------------------------------------------
+
+TEST(Quadrature, GaussLegendreIntegratesPolynomialsExactly) {
+  // Order-n GL is exact for degree 2n-1.
+  const auto poly = [](double x) { return 5 * x * x * x - 2 * x * x + x - 7; };
+  EXPECT_NEAR(fn::integrate_gl(poly, -2.0, 3.0, 2),
+              5.0 / 4 * (81 - 16) - 2.0 / 3 * (27 + 8) + 0.5 * (9 - 4) - 7 * 5, 1e-10);
+}
+
+TEST(Quadrature, WeightsSumToIntervalLength) {
+  for (int order : {4, 16, 32, 64, 128}) {
+    const auto& rule = fn::gauss_legendre(order);
+    double acc = 0.0;
+    for (double w : rule.weights) acc += w;
+    EXPECT_NEAR(acc, 2.0, 1e-13) << order;
+  }
+}
+
+TEST(Quadrature, IntegratesGaussianTail) {
+  // ∫_0^∞ e^{-x^2/2} dx = sqrt(pi/2); truncate at 40.
+  const auto f = [](double x) { return std::exp(-0.5 * x * x); };
+  EXPECT_NEAR(fn::integrate_adaptive(f, 0.0, 40.0, 1e-14, 1e-12),
+              std::sqrt(M_PI / 2.0), 1e-10);
+}
+
+TEST(Quadrature, LogPanelsHandleWideDynamicRange) {
+  // ∫_1e-9^1 1/x dx = ln(1e9).
+  const auto f = [](double x) { return 1.0 / x; };
+  EXPECT_NEAR(fn::integrate_gl_log(f, 1e-9, 1.0, 64, 32), std::log(1e9), 1e-8);
+}
+
+TEST(Quadrature, InvalidArguments) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)fn::gauss_legendre(0), std::domain_error);
+  EXPECT_THROW((void)fn::gauss_legendre(500), std::domain_error);
+  EXPECT_THROW((void)fn::integrate_gl_log(f, 0.0, 1.0, 4), std::domain_error);
+  EXPECT_THROW((void)fn::integrate_gl_log(f, 1.0, 1.0, 4), std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Roots
+// ---------------------------------------------------------------------------
+
+TEST(Roots, BisectFindsCubeRoot) {
+  const auto f = [](double x) { return x * x * x - 2.0; };
+  const auto r = fn::bisect(f, 0.0, 2.0, 1e-13);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::cbrt(2.0), 1e-10);
+}
+
+TEST(Roots, BrentFindsTranscendentalRoot) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const auto r = fn::brent(f, 0.0, 1.0, 1e-14);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-12);
+}
+
+TEST(Roots, BrentBeatsOrMatchesBisectIterations) {
+  const auto f = [](double x) { return std::exp(x) - 5.0; };
+  const auto rb = fn::bisect(f, 0.0, 3.0, 1e-12);
+  const auto rr = fn::brent(f, 0.0, 3.0, 1e-12);
+  EXPECT_LE(rr.iterations, rb.iterations);
+  EXPECT_NEAR(rr.x, std::log(5.0), 1e-10);
+}
+
+TEST(Roots, RejectsNonBracketingInterval) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)fn::bisect(f, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)fn::brent(f, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Roots, AcceptsRootAtEndpoint) {
+  const auto f = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(fn::bisect(f, 0.0, 1.0).x, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  fn::RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-12);
+  // Sample variance of 1..100 = (100^2-1)/12 * 100/99 = 841.6666...
+  EXPECT_NEAR(s.variance(), 841.66666666666663, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  auto eng = flowrank::util::make_engine(42);
+  std::normal_distribution<double> dist(3.0, 2.0);
+  fn::RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(eng);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(fn::quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fn::quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(fn::quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(fn::quantile(v, 0.25), 2.0);
+}
+
+TEST(Stats, HillEstimatorRecoversParetoShape) {
+  auto eng = flowrank::util::make_engine(7);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (double beta : {1.2, 1.5, 2.5}) {
+    std::vector<double> samples(200000);
+    for (auto& s : samples) {
+      s = std::pow(1.0 - unif(eng), -1.0 / beta);  // Pareto(a=1, beta)
+    }
+    const double est = fn::hill_tail_index(samples, 5000);
+    EXPECT_NEAR(est, beta, 0.1 * beta) << beta;
+  }
+}
+
+TEST(Stats, HillEstimatorValidation) {
+  std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW((void)fn::hill_tail_index(tiny, 5), std::invalid_argument);
+  EXPECT_THROW((void)fn::hill_tail_index(tiny, 0), std::invalid_argument);
+}
+
+TEST(Stats, KendallTauPerfectAgreement) {
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(fn::kendall_tau(x, x), 1.0);
+  std::vector<double> rev{6, 5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(fn::kendall_tau(x, rev), -1.0);
+}
+
+TEST(Stats, KendallTauMatchesBruteForce) {
+  auto eng = flowrank::util::make_engine(11);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(50), y(50);
+    for (auto& v : x) v = unif(eng);
+    for (auto& v : y) v = unif(eng);
+    double c = 0, d = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      for (std::size_t j = i + 1; j < x.size(); ++j) {
+        const double s = (x[i] - x[j]) * (y[i] - y[j]);
+        if (s > 0) ++c;
+        if (s < 0) ++d;
+      }
+    }
+    const double brute = (c - d) / (0.5 * 50 * 49);
+    EXPECT_NEAR(fn::kendall_tau(x, y), brute, 1e-12);
+  }
+}
+
+TEST(Stats, KendallTauRejectsBadInput) {
+  std::vector<double> a{1, 2, 3}, b{1, 2};
+  EXPECT_THROW((void)fn::kendall_tau(a, b), std::invalid_argument);
+  std::vector<double> single{1};
+  EXPECT_THROW((void)fn::kendall_tau(single, single), std::invalid_argument);
+}

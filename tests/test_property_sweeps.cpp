@@ -1,0 +1,195 @@
+// Parameterized property sweeps across the model stack: invariants that
+// must hold for every (size, rate, distribution) combination, exercised
+// on grids via TEST_P.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/core/misranking.hpp"
+#include "flowrank/core/model_common.hpp"
+#include "flowrank/core/optimal_rate.hpp"
+#include "flowrank/dist/exponential.hpp"
+#include "flowrank/dist/pareto.hpp"
+#include "flowrank/numeric/binomial.hpp"
+
+namespace fc = flowrank::core;
+namespace fd = flowrank::dist;
+namespace fn = flowrank::numeric;
+
+// ---------------------------------------------------------------------------
+// Pairwise misranking probability: invariants on a (s1, s2, p) grid
+// ---------------------------------------------------------------------------
+
+struct PairCase {
+  std::int64_t s1;
+  std::int64_t s2;
+  double p;
+};
+
+class MisrankingGrid : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(MisrankingGrid, ProbabilityBoundsAndSymmetry) {
+  const auto c = GetParam();
+  const double exact = fc::misranking_exact(c.s1, c.s2, c.p);
+  EXPECT_GE(exact, 0.0);
+  EXPECT_LE(exact, 1.0);
+  EXPECT_DOUBLE_EQ(exact, fc::misranking_exact(c.s2, c.s1, c.p));
+  const double hybrid = fc::misranking_hybrid(static_cast<double>(c.s1),
+                                              static_cast<double>(c.s2), c.p);
+  EXPECT_GE(hybrid, 0.0);
+  EXPECT_LE(hybrid, 1.0);
+  EXPECT_DOUBLE_EQ(hybrid, fc::misranking_hybrid(static_cast<double>(c.s2),
+                                                 static_cast<double>(c.s1), c.p));
+}
+
+TEST_P(MisrankingGrid, WideningTheGapNeverHurts) {
+  // Pm(S1, S2) >= Pm(S1 - k, S2): Sec. 3.1's aggregation argument.
+  const auto c = GetParam();
+  if (c.s1 <= 2 || c.s1 >= c.s2) return;
+  const double base = fc::misranking_exact(c.s1, c.s2, c.p);
+  const double wider = fc::misranking_exact(c.s1 / 2, c.s2, c.p);
+  EXPECT_GE(base + 1e-12, wider);
+}
+
+TEST_P(MisrankingGrid, HybridTracksExact) {
+  const auto c = GetParam();
+  const double exact = fc::misranking_exact(c.s1, c.s2, c.p);
+  const double hybrid = fc::misranking_hybrid(static_cast<double>(c.s1),
+                                              static_cast<double>(c.s2), c.p);
+  if (c.s1 == c.s2) {
+    // Equal sizes use different conventions (tie-aware vs P{s1>=s2});
+    // only the bounds apply.
+    return;
+  }
+  EXPECT_NEAR(hybrid, exact, 0.025 + 0.06 * exact)
+      << "s1=" << c.s1 << " s2=" << c.s2 << " p=" << c.p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MisrankingGrid,
+    ::testing::Values(PairCase{2, 5, 0.001}, PairCase{2, 5, 0.1},
+                      PairCase{2, 5, 0.9}, PairCase{30, 40, 0.01},
+                      PairCase{30, 40, 0.3}, PairCase{100, 100, 0.05},
+                      PairCase{200, 1000, 0.001}, PairCase{200, 1000, 0.02},
+                      PairCase{900, 1000, 0.005}, PairCase{900, 1000, 0.25},
+                      PairCase{5000, 5100, 0.002}, PairCase{50, 20000, 0.001}));
+
+// ---------------------------------------------------------------------------
+// Optimal sampling rate: consistency against the forward model
+// ---------------------------------------------------------------------------
+
+struct OptimalCase {
+  std::int64_t s1;
+  std::int64_t s2;
+  double target;
+};
+
+class OptimalRateGrid : public ::testing::TestWithParam<OptimalCase> {};
+
+TEST_P(OptimalRateGrid, SolutionIsMinimalAndFeasible) {
+  const auto c = GetParam();
+  const double p = fc::optimal_sampling_rate(c.s1, c.s2, c.target);
+  if (p < 1.0 && p > 1e-6) {
+    EXPECT_LE(fc::misranking_exact(c.s1, c.s2, p), c.target * 1.02);
+    EXPECT_GT(fc::misranking_exact(c.s1, c.s2, p * 0.8), c.target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, OptimalRateGrid,
+                         ::testing::Values(OptimalCase{10, 100, 1e-2},
+                                           OptimalCase{10, 100, 1e-3},
+                                           OptimalCase{100, 150, 1e-3},
+                                           OptimalCase{400, 800, 1e-3},
+                                           OptimalCase{400, 800, 1e-4},
+                                           OptimalCase{50, 2000, 1e-3}));
+
+// ---------------------------------------------------------------------------
+// top_probability: must match the direct binomial CDF everywhere
+// ---------------------------------------------------------------------------
+
+struct TopProbCase {
+  double y;
+  std::int64_t t;
+  std::int64_t n;
+};
+
+class TopProbabilityGrid : public ::testing::TestWithParam<TopProbCase> {};
+
+TEST_P(TopProbabilityGrid, MatchesBinomialCdf) {
+  const auto c = GetParam();
+  fc::QuadratureOptions opts;
+  opts.poisson_threshold = 1LL << 60;  // force the exact path
+  const double exact = fc::top_probability(c.y, c.t, c.n, opts);
+  EXPECT_NEAR(exact, fn::binomial_cdf(c.t - 1, c.n - 1, c.y), 1e-10);
+  // And the Poisson fast path agrees in its regime.
+  if (c.y < 0.01) {
+    opts.poisson_threshold = 1;
+    const double fast = fc::top_probability(c.y, c.t, c.n, opts);
+    EXPECT_NEAR(fast, exact, 5e-4 + 0.02 * exact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TopProbabilityGrid,
+    ::testing::Values(TopProbCase{1e-6, 10, 1000000}, TopProbCase{1e-5, 10, 1000000},
+                      TopProbCase{2e-5, 25, 1000000}, TopProbCase{1e-3, 5, 10000},
+                      TopProbCase{5e-3, 10, 2000}, TopProbCase{0.5, 3, 10}));
+
+// ---------------------------------------------------------------------------
+// Distribution tail-quantile round trips on dense grids
+// ---------------------------------------------------------------------------
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, ParetoAndExponentialInvert) {
+  const double y = GetParam();
+  const auto pareto = fd::Pareto::from_mean(9.6, 1.5);
+  EXPECT_NEAR(pareto.ccdf(pareto.tail_quantile(y)), y, 1e-9 * std::max(1.0, 1.0 / y) * y);
+  const auto expo = fd::Exponential::from_mean(9.6);
+  EXPECT_NEAR(expo.ccdf(expo.tail_quantile(y)), y, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileRoundTrip,
+                         ::testing::Values(0.999, 0.9, 0.5, 0.1, 1e-2, 1e-4, 1e-6,
+                                           1e-8, 1e-10));
+
+// ---------------------------------------------------------------------------
+// Square-root condition (Sec. 4): distributions whose quantile spacing
+// grows faster than sqrt(x) rank better as flows grow
+// ---------------------------------------------------------------------------
+
+TEST(SquareRootCondition, ParetoAndExponentialSatisfyItAtTheTail) {
+  // dx/dy grows faster than sqrt(x): check the ratio of quantile gaps to
+  // sqrt(size) increases as we go deeper into the tail.
+  for (const auto* name : {"pareto", "exponential"}) {
+    std::unique_ptr<fd::FlowSizeDistribution> dist;
+    if (std::string(name) == "pareto") {
+      dist = std::make_unique<fd::Pareto>(fd::Pareto::from_mean(9.6, 1.5));
+    } else {
+      dist = std::make_unique<fd::Exponential>(fd::Exponential::from_mean(9.6));
+    }
+    double prev_ratio = 0.0;
+    for (double y : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
+      const double x = dist->tail_quantile(y);
+      // |dx/dy| by finite difference with absolute step 0.1 y.
+      const double dxdy = (dist->tail_quantile(y * 0.9) - x) / (0.1 * y);
+      const double ratio = dxdy / std::sqrt(x);
+      EXPECT_GT(ratio, prev_ratio) << name << " y=" << y;
+      prev_ratio = ratio;
+    }
+  }
+}
+
+TEST(SquareRootCondition, MisrankingOfAdjacentQuantilesImprovesInTail) {
+  // The operational consequence: adjacent "rank neighbours" (y and 0.9y)
+  // become easier to rank as y shrinks, for sqrt-condition distributions.
+  const auto pareto = fd::Pareto::from_mean(9.6, 1.5);
+  double prev = 1.0;
+  for (double y : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    const double pm = fc::misranking_gaussian(pareto.tail_quantile(y),
+                                              pareto.tail_quantile(y * 0.9), 0.01);
+    EXPECT_LT(pm, prev) << y;
+    prev = pm;
+  }
+}
