@@ -1,0 +1,111 @@
+// Frozen copies of the pre-batching ingest path, kept verbatim so the
+// seed-path-vs-batch benchmark pair in micro_throughput.cpp keeps
+// measuring against the same baseline as the library evolves:
+//
+//  * LegacyFlowTable   — std::unordered_map-backed classifier (one node
+//                        allocation + pointer chase per new flow, hash
+//                        probe per packet);
+//  * LegacyBernoulli   — per-packet coin flip, constructing a fresh
+//                        std::bernoulli_distribution on every offer().
+//
+// Bench-only: nothing in the library links this header.
+#pragma once
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/numeric/binomial.hpp"
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/packet/records.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace bench {
+
+class LegacyFlowTable {
+ public:
+  explicit LegacyFlowTable(flowrank::flowtable::FlowTable::Options options)
+      : options_(options) {}
+
+  void add(const flowrank::packet::PacketRecord& pkt) {
+    const auto key = flowrank::packet::make_flow_key(pkt.tuple, options_.definition);
+    auto [it, inserted] = table_.try_emplace(key);
+    flowrank::flowtable::FlowCounter& counter = it->second;
+
+    if (!inserted && options_.idle_timeout_ns > 0 &&
+        pkt.timestamp_ns - counter.last_ns > options_.idle_timeout_ns) {
+      completed_.push_back(counter);
+      counter = flowrank::flowtable::FlowCounter{};
+    }
+
+    counter.key = key;
+    ++counter.packets;
+    counter.bytes += pkt.size_bytes;
+    counter.first_ns = std::min(counter.first_ns, pkt.timestamp_ns);
+    counter.last_ns = std::max(counter.last_ns, pkt.timestamp_ns);
+    if (pkt.tuple.protocol == flowrank::packet::Protocol::kTcp) {
+      counter.min_tcp_seq = std::min(counter.min_tcp_seq, pkt.tcp_seq);
+      counter.max_tcp_seq = std::max(counter.max_tcp_seq, pkt.tcp_seq);
+      counter.has_tcp_seq = true;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+  void clear() {
+    table_.clear();
+    completed_.clear();
+  }
+
+ private:
+  flowrank::flowtable::FlowTable::Options options_;
+  std::unordered_map<flowrank::packet::FlowKey, flowrank::flowtable::FlowCounter,
+                     flowrank::packet::FlowKeyHash>
+      table_;
+  std::vector<flowrank::flowtable::FlowCounter> completed_;
+};
+
+/// The seed implementation of the exact two-flow misranking probability
+/// (Eq. 1): one independently evaluated binomial pmf and one
+/// incomplete-beta cdf per term of the sum. The library version now runs
+/// on memoized recurrence sweeps; this copy is the "hours" baseline of
+/// the paper's hours-vs-seconds ablation.
+inline double legacy_misranking_exact(std::int64_t s1, std::int64_t s2, double p) {
+  if (p == 0.0) return 1.0;
+  if (s1 == s2) {
+    double agree = 0.0;
+    for (std::int64_t i = 1; i <= s1; ++i) {
+      const double b = flowrank::numeric::binomial_pmf(i, s1, p);
+      agree += b * b;
+      if (b < 1e-18 && i > static_cast<std::int64_t>(p * s1) + 1) break;
+    }
+    return 1.0 - agree;
+  }
+  const std::int64_t small = std::min(s1, s2);
+  const std::int64_t big = std::max(s1, s2);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i <= small; ++i) {
+    const double b = flowrank::numeric::binomial_pmf(i, small, p);
+    if (b == 0.0) continue;
+    acc += b * flowrank::numeric::binomial_cdf(i, big, p);
+  }
+  return std::min(acc, 1.0);
+}
+
+class LegacyBernoulli {
+ public:
+  LegacyBernoulli(double p, std::uint64_t seed)
+      : p_(p), engine_(flowrank::util::make_engine(seed, 0xBE44u)) {}
+
+  [[nodiscard]] bool offer(const flowrank::packet::PacketRecord&) {
+    std::bernoulli_distribution coin(p_);
+    return coin(engine_);
+  }
+
+ private:
+  double p_;
+  flowrank::util::Engine engine_;
+};
+
+}  // namespace bench

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Builds Release and regenerates BENCH_micro.json from the micro_throughput
+# suite (Google Benchmark JSON format). See docs/PERFORMANCE.md for how to
+# read the output.
+#
+# Usage: bench/run_bench.sh [extra --benchmark_* flags]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" --target micro_throughput
+
+"$build_dir/micro_throughput" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $repo_root/BENCH_micro.json"

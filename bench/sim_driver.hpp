@@ -75,6 +75,29 @@ inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
     table.print(std::cout);
   }
 
+  // Optional cross-validation of the count path against one pass of the
+  // production pipeline (batched packet stream -> skip-based Bernoulli
+  // sampler -> flat flow table); see docs/PERFORMANCE.md.
+  if (cli.get_bool("validate", false)) {
+    flowrank::sim::SimConfig v_cfg;
+    v_cfg.bin_seconds = 300.0;
+    v_cfg.top_t = static_cast<std::size_t>(cli.get_int("t", 10));
+    v_cfg.sampling_rates = spec.rates;
+    v_cfg.definition = spec.definition;
+    const double v_rate = spec.rates.back();
+    const auto packet_metrics = flowrank::sim::run_packet_level_once(
+        trace, v_rate, v_cfg, /*run_seed=*/static_cast<std::uint64_t>(
+            cli.get_int("seed", 7)));
+    std::cout << "\n## packet-path validation (batched pipeline, p = "
+              << v_rate * 100 << "%)\n";
+    flowrank::util::Table v_table({"bin", "ranking_swapped", "detection_swapped"});
+    for (std::size_t b = 0; b < packet_metrics.size(); ++b) {
+      v_table.add_row(b, packet_metrics[b].ranking_swapped,
+                      packet_metrics[b].detection_swapped);
+    }
+    v_table.print(std::cout);
+  }
+
   // Verdict: metric decreases with rate; the highest rate is accurate.
   flowrank::sim::SimConfig verdict_cfg;
   verdict_cfg.bin_seconds = 300.0;

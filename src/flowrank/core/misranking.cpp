@@ -23,24 +23,30 @@ void check_args(std::int64_t s1, std::int64_t s2, double p) {
 double misranking_exact(std::int64_t s1, std::int64_t s2, double p) {
   check_args(s1, s2, p);
   if (p == 0.0) return 1.0;  // nothing sampled: both zero, misranked
+  if (p == 1.0) return 0.0;  // lossless sampling ranks perfectly
   if (s1 == s2) {
     // 1 - P{s1 = s2 != 0} = 1 - sum_{i=1}^{S} b_p(i,S)^2.
+    const auto sweep = numeric::BinomialSweep::shared(s1, p);
     double agree = 0.0;
-    for (std::int64_t i = 1; i <= s1; ++i) {
-      const double b = numeric::binomial_pmf(i, s1, p);
+    for (std::int64_t i = std::max<std::int64_t>(1, sweep->lo()); i <= sweep->hi();
+         ++i) {
+      const double b = sweep->pmf(i);
       agree += b * b;
-      if (b < 1e-18 && i > static_cast<std::int64_t>(p * s1) + 1) break;
     }
     return 1.0 - agree;
   }
   const std::int64_t small = std::min(s1, s2);
   const std::int64_t big = std::max(s1, s2);
-  // P{s_small >= s_big} = sum_i b_p(i, small) * P{s_big <= i}.
+  // P{s_small >= s_big} = sum_i b_p(i, small) * P{s_big <= i}, with both
+  // rows advanced by the memoized recurrence instead of one incomplete-beta
+  // evaluation per term.
+  const auto sweep_small = numeric::BinomialSweep::shared(small, p);
+  const auto sweep_big = numeric::BinomialSweep::shared(big, p);
   double acc = 0.0;
-  for (std::int64_t i = 0; i <= small; ++i) {
-    const double b = numeric::binomial_pmf(i, small, p);
+  for (std::int64_t i = sweep_small->lo(); i <= sweep_small->hi(); ++i) {
+    const double b = sweep_small->pmf(i);
     if (b == 0.0) continue;
-    acc += b * numeric::binomial_cdf(i, big, p);
+    acc += b * sweep_big->cdf(i);
   }
   return std::min(acc, 1.0);
 }

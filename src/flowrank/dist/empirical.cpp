@@ -1,0 +1,54 @@
+#include "flowrank/dist/empirical.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowrank::dist {
+
+Empirical::Empirical(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  if (sorted_.size() < 2) {
+    throw std::invalid_argument("Empirical: need at least two samples");
+  }
+  for (double s : sorted_) {
+    if (!(s > 0.0)) throw std::invalid_argument("Empirical: samples must be > 0");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+}
+
+std::string Empirical::name() const {
+  std::ostringstream os;
+  os << "empirical(n=" << sorted_.size() << ")";
+  return os.str();
+}
+
+double Empirical::ccdf(double x) const {
+  // Fraction of samples strictly greater than x.
+  const auto above = sorted_.end() - std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(above) / static_cast<double>(sorted_.size());
+}
+
+double Empirical::tail_quantile(double y) const {
+  check_tail_quantile_arg(y);
+  // The sample below which a fraction ~(1-y) of the data lies.
+  const auto n = sorted_.size();
+  auto idx = static_cast<std::size_t>((1.0 - y) * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return sorted_[idx];
+}
+
+double Empirical::sample(util::Engine& engine) const {
+  std::uniform_int_distribution<std::size_t> pick(0, sorted_.size() - 1);
+  return sorted_[pick(engine)];
+}
+
+std::shared_ptr<FlowSizeDistribution> Empirical::clone() const {
+  return std::make_shared<Empirical>(*this);
+}
+
+}  // namespace flowrank::dist

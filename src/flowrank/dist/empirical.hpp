@@ -1,0 +1,37 @@
+// Empirical flow-size distribution built from observed samples, e.g. the
+// flow sizes of a real trace (the paper's Sprint/Abilene experiments use
+// measured size distributions rather than fitted ones in Sec. 8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "flowrank/dist/flow_size_distribution.hpp"
+
+namespace flowrank::dist {
+
+/// Step-function ccdf over a sorted copy of the input samples.
+class Empirical final : public FlowSizeDistribution {
+ public:
+  /// Copies and sorts the samples. Throws std::invalid_argument if fewer
+  /// than two samples are given or any sample is <= 0.
+  explicit Empirical(std::span<const double> samples);
+
+  /// Number of underlying samples.
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double min_size() const noexcept override { return sorted_.front(); }
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double tail_quantile(double y) const override;
+  [[nodiscard]] double sample(util::Engine& engine) const override;
+  [[nodiscard]] std::shared_ptr<FlowSizeDistribution> clone() const override;
+
+ private:
+  std::vector<double> sorted_;  ///< ascending
+  double mean_ = 0.0;
+};
+
+}  // namespace flowrank::dist

@@ -1,0 +1,88 @@
+#include "flowrank/dist/exponential.hpp"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowrank::dist {
+
+Exponential::Exponential(double scale, double min) : scale_(scale), min_(min) {
+  if (!(scale > 0.0)) throw std::invalid_argument("Exponential: scale > 0");
+  if (!(min > 0.0)) throw std::invalid_argument("Exponential: min > 0");
+}
+
+Exponential Exponential::from_mean(double mean, double min) {
+  if (!(mean > min)) {
+    throw std::invalid_argument("Exponential::from_mean: mean > min");
+  }
+  return Exponential(mean - min, min);
+}
+
+std::string Exponential::name() const {
+  std::ostringstream os;
+  os << "exponential(scale=" << scale_ << ", min=" << min_ << ")";
+  return os.str();
+}
+
+double Exponential::ccdf(double x) const {
+  if (x <= min_) return 1.0;
+  return std::exp(-(x - min_) / scale_);
+}
+
+double Exponential::tail_quantile(double y) const {
+  check_tail_quantile_arg(y);
+  return min_ - scale_ * std::log(y);
+}
+
+double Exponential::sample(util::Engine& engine) const {
+  return min_ - scale_ * std::log(util::uniform_unit_open(engine));
+}
+
+std::shared_ptr<FlowSizeDistribution> Exponential::clone() const {
+  return std::make_shared<Exponential>(*this);
+}
+
+Weibull::Weibull(double scale, double shape, double min)
+    : scale_(scale), shape_(shape), min_(min) {
+  if (!(scale > 0.0)) throw std::invalid_argument("Weibull: scale > 0");
+  if (!(shape > 0.0)) throw std::invalid_argument("Weibull: shape > 0");
+  if (!(min > 0.0)) throw std::invalid_argument("Weibull: min > 0");
+}
+
+Weibull Weibull::from_mean(double mean, double shape, double min) {
+  if (!(mean > min)) throw std::invalid_argument("Weibull::from_mean: mean > min");
+  if (!(shape > 0.0)) throw std::invalid_argument("Weibull::from_mean: shape > 0");
+  return Weibull((mean - min) / std::tgamma(1.0 + 1.0 / shape), shape, min);
+}
+
+std::string Weibull::name() const {
+  std::ostringstream os;
+  os << "weibull(scale=" << scale_ << ", shape=" << shape_ << ", min=" << min_
+     << ")";
+  return os.str();
+}
+
+double Weibull::mean() const {
+  return min_ + scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::ccdf(double x) const {
+  if (x <= min_) return 1.0;
+  return std::exp(-std::pow((x - min_) / scale_, shape_));
+}
+
+double Weibull::tail_quantile(double y) const {
+  check_tail_quantile_arg(y);
+  return min_ + scale_ * std::pow(-std::log(y), 1.0 / shape_);
+}
+
+double Weibull::sample(util::Engine& engine) const {
+  return tail_quantile(util::uniform_unit_open(engine));
+}
+
+std::shared_ptr<FlowSizeDistribution> Weibull::clone() const {
+  return std::make_shared<Weibull>(*this);
+}
+
+}  // namespace flowrank::dist

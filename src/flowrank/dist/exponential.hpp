@@ -1,0 +1,62 @@
+// Light-tailed flow-size distributions: shifted Exponential and Weibull.
+//
+// The paper's message is that heavy (Pareto) tails are what make ranking
+// under sampling feasible; these light-tailed alternatives are the
+// counterfactual (Fig. 6/7's beta sweep pushed to its limit). Both are
+// shifted so the support starts at a minimum flow size (>= 1 packet).
+#pragma once
+
+#include "flowrank/dist/flow_size_distribution.hpp"
+
+namespace flowrank::dist {
+
+/// min + Exp(scale): ccdf(x) = exp(-(x - min)/scale) for x >= min.
+class Exponential final : public FlowSizeDistribution {
+ public:
+  /// Throws std::invalid_argument unless scale > 0 and min > 0.
+  explicit Exponential(double scale, double min = 1.0);
+
+  /// The shifted exponential with the given mean: scale = mean - min.
+  /// Throws std::invalid_argument unless mean > min.
+  [[nodiscard]] static Exponential from_mean(double mean, double min = 1.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double min_size() const noexcept override { return min_; }
+  [[nodiscard]] double mean() const override { return min_ + scale_; }
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double tail_quantile(double y) const override;
+  [[nodiscard]] double sample(util::Engine& engine) const override;
+  [[nodiscard]] std::shared_ptr<FlowSizeDistribution> clone() const override;
+
+ private:
+  double scale_;
+  double min_;
+};
+
+/// min + Weibull(scale, shape): ccdf(x) = exp(-((x - min)/scale)^shape).
+/// shape == 1 reduces to the shifted Exponential.
+class Weibull final : public FlowSizeDistribution {
+ public:
+  /// Throws std::invalid_argument unless scale, shape and min are > 0.
+  Weibull(double scale, double shape, double min = 1.0);
+
+  /// The shifted Weibull with the given mean and shape:
+  /// scale = (mean - min) / Gamma(1 + 1/shape).
+  [[nodiscard]] static Weibull from_mean(double mean, double shape,
+                                         double min = 1.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double min_size() const noexcept override { return min_; }
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double ccdf(double x) const override;
+  [[nodiscard]] double tail_quantile(double y) const override;
+  [[nodiscard]] double sample(util::Engine& engine) const override;
+  [[nodiscard]] std::shared_ptr<FlowSizeDistribution> clone() const override;
+
+ private:
+  double scale_;
+  double shape_;
+  double min_;
+};
+
+}  // namespace flowrank::dist

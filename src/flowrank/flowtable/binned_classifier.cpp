@@ -6,19 +6,56 @@ namespace flowrank::flowtable {
 
 BinnedClassifier::BinnedClassifier(FlowTable::Options table_options,
                                    std::int64_t bin_ns, BinCallback on_bin)
+    : BinnedClassifier(
+          TableViewTag{}, table_options, bin_ns,
+          on_bin ? TableCallback([cb = std::move(on_bin)](
+                       std::size_t bin, const FlowTable& table) {
+              cb(bin, table.all());
+            })
+                 : TableCallback{}) {}
+
+BinnedClassifier::BinnedClassifier(TableViewTag, FlowTable::Options table_options,
+                                   std::int64_t bin_ns, TableCallback on_bin)
     : table_(table_options), bin_ns_(bin_ns), on_bin_(std::move(on_bin)) {
   if (bin_ns <= 0) throw std::invalid_argument("BinnedClassifier: bin_ns > 0");
   if (!on_bin_) throw std::invalid_argument("BinnedClassifier: callback required");
 }
 
-void BinnedClassifier::add(const packet::PacketRecord& pkt) {
-  const auto bin = static_cast<std::size_t>(pkt.timestamp_ns / bin_ns_);
+BinnedClassifier BinnedClassifier::with_table_view(
+    FlowTable::Options table_options, std::int64_t bin_ns, TableCallback on_bin) {
+  return BinnedClassifier(TableViewTag{}, table_options, bin_ns,
+                          std::move(on_bin));
+}
+
+void BinnedClassifier::advance_to_bin(std::size_t bin) {
   while (bin > current_bin_) {
     flush_bin();
     ++current_bin_;
   }
+}
+
+void BinnedClassifier::add(const packet::PacketRecord& pkt) {
+  advance_to_bin(static_cast<std::size_t>(pkt.timestamp_ns / bin_ns_));
   table_.add(pkt);
   saw_packet_ = true;
+}
+
+void BinnedClassifier::add_batch(std::span<const packet::PacketRecord> batch) {
+  std::size_t start = 0;
+  while (start < batch.size()) {
+    const auto bin =
+        static_cast<std::size_t>(batch[start].timestamp_ns / bin_ns_);
+    // Extend the run of packets that share this bin.
+    std::size_t end = start + 1;
+    while (end < batch.size() &&
+           static_cast<std::size_t>(batch[end].timestamp_ns / bin_ns_) == bin) {
+      ++end;
+    }
+    advance_to_bin(bin);
+    table_.add_batch(batch.subspan(start, end - start));
+    start = end;
+  }
+  if (!batch.empty()) saw_packet_ = true;
 }
 
 void BinnedClassifier::finish() {
@@ -27,7 +64,7 @@ void BinnedClassifier::finish() {
 }
 
 void BinnedClassifier::flush_bin() {
-  on_bin_(current_bin_, table_.all());
+  on_bin_(current_bin_, table_);
   table_.clear();
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "flowrank/flowtable/flow_table.hpp"
@@ -17,13 +18,32 @@ class BinnedClassifier {
   using BinCallback =
       std::function<void(std::size_t bin, std::vector<FlowCounter> flows)>;
 
+  /// Non-copying variant: called at the end of each bin with the table
+  /// still populated (completed subflows + active entries). The reference
+  /// is only valid during the call; use for_each_all()/for_each_active()
+  /// or top_k(table, t) to read it.
+  using TableCallback =
+      std::function<void(std::size_t bin, const FlowTable& table)>;
+
   /// `bin_ns` is the measurement-interval length. Throws on bin_ns <= 0.
   BinnedClassifier(FlowTable::Options table_options, std::int64_t bin_ns,
                    BinCallback on_bin);
 
+  /// Builds a classifier with the non-copying per-bin callback. (A named
+  /// factory rather than an overload: generic lambdas would make the two
+  /// std::function constructors ambiguous.)
+  [[nodiscard]] static BinnedClassifier with_table_view(
+      FlowTable::Options table_options, std::int64_t bin_ns,
+      TableCallback on_bin);
+
   /// Adds a packet. Packets must arrive in non-decreasing timestamp order;
   /// crossing a bin boundary flushes the previous bin first.
   void add(const packet::PacketRecord& pkt);
+
+  /// Adds a batch of time-ordered packets: runs of packets falling into
+  /// the same bin are classified with FlowTable::add_batch, with bin
+  /// flushes only at the (rare) boundaries inside the batch.
+  void add_batch(std::span<const packet::PacketRecord> batch);
 
   /// Flushes the final (possibly partial) bin. Call once at end of trace.
   void finish();
@@ -32,11 +52,18 @@ class BinnedClassifier {
   [[nodiscard]] std::size_t current_bin() const noexcept { return current_bin_; }
 
  private:
+  struct TableViewTag {};
+  BinnedClassifier(TableViewTag, FlowTable::Options table_options,
+                   std::int64_t bin_ns, TableCallback on_bin);
+
   void flush_bin();
+  /// Flushes all bins strictly before `bin`.
+  void advance_to_bin(std::size_t bin);
 
   FlowTable table_;
   std::int64_t bin_ns_;
-  BinCallback on_bin_;
+  /// Single flush path: a BinCallback is adapted to this at construction.
+  TableCallback on_bin_;
   std::size_t current_bin_ = 0;
   bool saw_packet_ = false;
 };

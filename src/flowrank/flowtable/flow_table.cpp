@@ -1,25 +1,84 @@
 #include "flowrank/flowtable/flow_table.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace flowrank::flowtable {
 
-FlowTable::FlowTable(Options options) : options_(options) {}
+namespace {
+/// Ordering used by both top_k overloads: packet count descending, ties
+/// broken by key ascending so results are deterministic across table
+/// layouts and platforms.
+bool by_size_desc(const FlowCounter& a, const FlowCounter& b) {
+  if (a.packets != b.packets) return a.packets > b.packets;
+  return a.key < b.key;
+}
+}  // namespace
 
-void FlowTable::add(const packet::PacketRecord& pkt) {
-  const packet::FlowKey key = packet::make_flow_key(pkt.tuple, options_.definition);
-  auto [it, inserted] = table_.try_emplace(key);
-  FlowCounter& counter = it->second;
+FlowTable::FlowTable(Options options) : options_(options) {
+  const std::size_t wanted = std::max<std::size_t>(options_.initial_capacity, 64);
+  hashes_.resize(std::bit_ceil(wanted), kEmptyHash);
+  counters_.resize(hashes_.size());
+  mask_ = hashes_.size() - 1;
+  grow_at_ = hashes_.size() - hashes_.size() / 4;  // load factor 0.75
+}
 
-  if (!inserted && options_.idle_timeout_ns > 0 &&
+std::uint64_t FlowTable::hash_key(const packet::FlowKey& key) noexcept {
+  const std::uint64_t h = packet::FlowKeyHash{}(key);
+  // 0 marks an empty slot; remap the (1-in-2^64) real hash that collides
+  // with it. Key equality is always checked, so any constant works.
+  return h == kEmptyHash ? 0x9e3779b97f4a7c15ULL : h;
+}
+
+std::size_t FlowTable::find_or_insert(const packet::FlowKey& key,
+                                      std::uint64_t hash) {
+  std::size_t idx = static_cast<std::size_t>(hash) & mask_;
+  while (true) {
+    const std::uint64_t slot_hash = hashes_[idx];
+    if (slot_hash == kEmptyHash) {
+      if (size_ >= grow_at_) {
+        grow();
+        return find_or_insert(key, hash);
+      }
+      hashes_[idx] = hash;
+      counters_[idx] = FlowCounter{};
+      counters_[idx].key = key;
+      ++size_;
+      return idx;
+    }
+    if (slot_hash == hash && counters_[idx].key == key) return idx;
+    idx = (idx + 1) & mask_;
+  }
+}
+
+void FlowTable::grow() {
+  std::vector<std::uint64_t> old_hashes = std::move(hashes_);
+  std::vector<FlowCounter> old_counters = std::move(counters_);
+  hashes_.assign(old_hashes.size() * 2, kEmptyHash);
+  counters_.assign(hashes_.size(), FlowCounter{});
+  mask_ = hashes_.size() - 1;
+  grow_at_ = hashes_.size() - hashes_.size() / 4;
+  for (std::size_t i = 0; i < old_hashes.size(); ++i) {
+    if (old_hashes[i] == kEmptyHash) continue;
+    std::size_t idx = static_cast<std::size_t>(old_hashes[i]) & mask_;
+    while (hashes_[idx] != kEmptyHash) idx = (idx + 1) & mask_;
+    hashes_[idx] = old_hashes[i];
+    counters_[idx] = old_counters[i];
+  }
+}
+
+void FlowTable::accumulate(FlowCounter& counter, const packet::FlowKey& key,
+                           const packet::PacketRecord& pkt) {
+  if (counter.packets != 0 && options_.idle_timeout_ns > 0 &&
       pkt.timestamp_ns - counter.last_ns > options_.idle_timeout_ns) {
     // Idle gap exceeded: the existing entry becomes a finished subflow and
-    // this packet opens a fresh one under the same key.
+    // this packet opens a fresh one under the same key (slot rewritten in
+    // place — no deletion, no tombstone).
     completed_.push_back(counter);
     counter = FlowCounter{};
+    counter.key = key;
   }
 
-  counter.key = key;
   ++counter.packets;
   counter.bytes += pkt.size_bytes;
   counter.first_ns = std::min(counter.first_ns, pkt.timestamp_ns);
@@ -31,38 +90,97 @@ void FlowTable::add(const packet::PacketRecord& pkt) {
   }
 }
 
+void FlowTable::add(const packet::PacketRecord& pkt) {
+  const packet::FlowKey key = packet::make_flow_key(pkt.tuple, options_.definition);
+  const std::uint64_t hash = hash_key(key);
+  accumulate(counters_[find_or_insert(key, hash)], key, pkt);
+}
+
+void FlowTable::add_batch(std::span<const packet::PacketRecord> batch) {
+  const std::size_t n = batch.size();
+  batch_keys_.resize(n);
+  batch_hashes_.resize(n);
+  // Pass 1 (sequential, vectorizable): collapse tuples to keys and hash
+  // them, so pass 2 is pure table work.
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_keys_[i] = packet::make_flow_key(batch[i].tuple, options_.definition);
+    batch_hashes_[i] = hash_key(batch_keys_[i]);
+  }
+  // Pass 2: probe + accumulate, prefetching the slot a fixed distance
+  // ahead. Random flow-table slots rarely sit in cache at production table
+  // sizes; the prefetch overlaps that DRAM fetch with the current packet's
+  // work instead of stalling on it.
+  constexpr std::size_t kPrefetchDistance = 16;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      const std::size_t pidx =
+          static_cast<std::size_t>(batch_hashes_[i + kPrefetchDistance]) & mask_;
+      __builtin_prefetch(hashes_.data() + pidx, /*rw=*/0);
+      __builtin_prefetch(counters_.data() + pidx, /*rw=*/1);
+    }
+    accumulate(counters_[find_or_insert(batch_keys_[i], batch_hashes_[i])],
+               batch_keys_[i], batch[i]);
+  }
+}
+
 std::vector<FlowCounter> FlowTable::active() const {
   std::vector<FlowCounter> out;
-  out.reserve(table_.size());
-  for (const auto& [key, counter] : table_) out.push_back(counter);
+  out.reserve(size_);
+  for_each_active([&out](const FlowCounter& counter) { out.push_back(counter); });
   return out;
 }
 
 std::vector<FlowCounter> FlowTable::all() const {
-  std::vector<FlowCounter> out = completed_;
-  out.reserve(completed_.size() + table_.size());
-  for (const auto& [key, counter] : table_) out.push_back(counter);
+  std::vector<FlowCounter> out;
+  out.reserve(completed_.size() + size_);
+  for_each_all([&out](const FlowCounter& counter) { out.push_back(counter); });
   return out;
 }
 
 void FlowTable::clear() {
-  table_.clear();
+  // Only the probe array needs wiping: counters are re-initialized on
+  // insert, so stale ones behind empty hashes are unreachable.
+  std::fill(hashes_.begin(), hashes_.end(), kEmptyHash);
+  size_ = 0;
   completed_.clear();
 }
 
 std::vector<FlowCounter> top_k(std::vector<FlowCounter> flows, std::size_t t) {
-  const auto by_size_desc = [](const FlowCounter& a, const FlowCounter& b) {
-    if (a.packets != b.packets) return a.packets > b.packets;
-    return a.key < b.key;
-  };
+  if (t == 0) return {};
   if (t >= flows.size()) {
     std::sort(flows.begin(), flows.end(), by_size_desc);
     return flows;
   }
-  std::partial_sort(flows.begin(), flows.begin() + static_cast<std::ptrdiff_t>(t),
-                    flows.end(), by_size_desc);
+  // Partition the top t to the front (linear), then order just the head.
+  const auto head_end = flows.begin() + static_cast<std::ptrdiff_t>(t);
+  std::nth_element(flows.begin(), head_end - 1, flows.end(), by_size_desc);
+  std::sort(flows.begin(), head_end, by_size_desc);
   flows.resize(t);
   return flows;
+}
+
+std::vector<FlowCounter> top_k(const FlowTable& table, std::size_t t) {
+  if (t == 0) return {};
+  // Min-heap of the best t seen so far: heap top is the current cutoff.
+  const auto worse = [](const FlowCounter& a, const FlowCounter& b) {
+    return by_size_desc(a, b);  // makes the heap top the smallest kept flow
+  };
+  std::vector<FlowCounter> heap;
+  heap.reserve(t + 1);
+  table.for_each_all([&](const FlowCounter& counter) {
+    if (heap.size() < t) {
+      heap.push_back(counter);
+      std::push_heap(heap.begin(), heap.end(), worse);
+      return;
+    }
+    if (by_size_desc(counter, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = counter;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  });
+  std::sort_heap(heap.begin(), heap.end(), worse);  // best-ranked first
+  return heap;
 }
 
 }  // namespace flowrank::flowtable

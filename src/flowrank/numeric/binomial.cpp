@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "flowrank/numeric/incbeta.hpp"
 #include "flowrank/numeric/special.hpp"
@@ -17,6 +20,81 @@ void check_binomial_args(std::int64_t n, double p) {
   }
 }
 }  // namespace
+
+BinomialSweep::BinomialSweep(std::int64_t n, double p) : n_(n), p_(p) {
+  check_binomial_args(n, p);
+  if (p_ <= 0.0 || p_ >= 1.0 || n_ == 0) {
+    // Degenerate: all mass at one point (0 or n).
+    lo_ = hi_ = p_ >= 1.0 ? n_ : 0;
+    pmf_.push_back(1.0);
+    cdf_.push_back(1.0);
+    return;
+  }
+  odds_ = p_ / (1.0 - p_);
+  const double mu = static_cast<double>(n_) * p_;
+  const double sigma = std::sqrt(mu * (1.0 - p_));
+  const double pad = 12.0 * sigma + 40.0;
+  lo_ = std::max<std::int64_t>(0, static_cast<std::int64_t>(std::floor(mu - pad)));
+  hi_ = std::min<std::int64_t>(n_, static_cast<std::int64_t>(std::ceil(mu + pad)));
+  // Exact anchors at the window's low edge; the recurrence takes over from
+  // here. Both anchor evaluations are O(1).
+  pmf_.push_back(std::exp(binomial_log_pmf(lo_, n_, p_)));
+  cdf_.push_back(lo_ == 0 ? pmf_.front() : binomial_cdf(lo_, n_, p_));
+}
+
+void BinomialSweep::ensure(std::int64_t k) {
+  const auto want = static_cast<std::size_t>(std::min(k, hi_) - lo_);
+  while (pmf_.size() <= want) {
+    const auto prev_k = lo_ + static_cast<std::int64_t>(pmf_.size()) - 1;
+    const double step = static_cast<double>(n_ - prev_k) /
+                        static_cast<double>(prev_k + 1) * odds_;
+    pmf_.push_back(pmf_.back() * step);
+    cdf_.push_back(std::min(cdf_.back() + pmf_.back(), 1.0));
+  }
+}
+
+double BinomialSweep::pmf(std::int64_t k) {
+  if (k < lo_ || k > hi_) return 0.0;
+  ensure(k);
+  return pmf_[static_cast<std::size_t>(k - lo_)];
+}
+
+double BinomialSweep::cdf(std::int64_t k) {
+  if (k < lo_) return 0.0;
+  if (k >= hi_) {
+    // The window always covers the upper tail (hi_ == n or pmf(hi_) ~ 0).
+    return 1.0;
+  }
+  ensure(k);
+  return cdf_[static_cast<std::size_t>(k - lo_)];
+}
+
+std::shared_ptr<BinomialSweep> BinomialSweep::shared(std::int64_t n, double p) {
+  struct KeyHash {
+    std::size_t operator()(const std::pair<std::int64_t, double>& key) const noexcept {
+      std::uint64_t z = static_cast<std::uint64_t>(key.first);
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(key.second));
+      __builtin_memcpy(&bits, &key.second, sizeof(bits));
+      z ^= bits * 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+  using Cache = std::unordered_map<std::pair<std::int64_t, double>,
+                                   std::shared_ptr<BinomialSweep>, KeyHash>;
+  constexpr std::size_t kMaxEntries = 256;
+  thread_local Cache cache;
+  const std::pair<std::int64_t, double> key{n, p};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    // Shared ownership: a reset here must not invalidate sweeps callers
+    // obtained from earlier shared() calls in the same expression.
+    if (cache.size() >= kMaxEntries) cache.clear();
+    it = cache.emplace(key, std::make_shared<BinomialSweep>(n, p)).first;
+  }
+  return it->second;
+}
 
 double binomial_log_pmf(std::int64_t k, std::int64_t n, double p) {
   check_binomial_args(n, p);

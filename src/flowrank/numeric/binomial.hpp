@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace flowrank::numeric {
 
@@ -24,6 +26,60 @@ namespace flowrank::numeric {
 
 /// P{Bin(n, p) > k} = 1 - cdf(k), computed without cancellation.
 [[nodiscard]] double binomial_sf(std::int64_t k, std::int64_t n, double p);
+
+/// Memoized pmf/cdf rows of one Bin(n, p).
+///
+/// The exact models sweep binomial pmf and cdf values over long contiguous
+/// ranges of k — evaluating each term independently costs a log-gamma (pmf)
+/// or an incomplete-beta continued fraction (cdf) per term, which is what
+/// made the paper's exact evaluation take "hours". BinomialSweep anchors
+/// the recurrence
+///     pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+/// once (in log space, exactly) at the low edge of the distribution's
+/// significant support window and then materializes pmf/cdf terms lazily,
+/// so any number of queries over a row costs O(1) amortized per term.
+///
+/// Outside the window (beyond ~12 sigma + 40 terms from the mean) the pmf
+/// is below 1e-30 and is reported as 0 (cdf as 0 below / 1 above), which
+/// is far under the rounding noise of the sums these rows feed.
+class BinomialSweep {
+ public:
+  /// Throws std::domain_error unless n >= 0 and p in [0,1].
+  BinomialSweep(std::int64_t n, double p);
+
+  /// First / last k of the significant support window (inclusive).
+  [[nodiscard]] std::int64_t lo() const noexcept { return lo_; }
+  [[nodiscard]] std::int64_t hi() const noexcept { return hi_; }
+
+  /// P{Bin(n,p) = k}; 0 outside the window.
+  [[nodiscard]] double pmf(std::int64_t k);
+
+  /// P{Bin(n,p) <= k}; 0 below the window, 1 above it.
+  [[nodiscard]] double cdf(std::int64_t k);
+
+  [[nodiscard]] std::int64_t n() const noexcept { return n_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+  /// Thread-local memo keyed by (n, p): repeated sweeps over the same
+  /// distribution (the common case in the model evaluations, which fix p
+  /// and vary the companion flow) reuse the materialized rows. The memo
+  /// is bounded and resets when it exceeds its cap; the returned
+  /// shared_ptr keeps a sweep alive across that reset, so callers may
+  /// hold several at once.
+  [[nodiscard]] static std::shared_ptr<BinomialSweep> shared(std::int64_t n,
+                                                             double p);
+
+ private:
+  /// Materializes terms up to k (clamped to the window).
+  void ensure(std::int64_t k);
+
+  std::int64_t n_;
+  double p_;
+  double odds_ = 0.0;            ///< p / (1-p)
+  std::int64_t lo_ = 0, hi_ = 0; ///< significant support window
+  std::vector<double> pmf_;      ///< pmf_[i] = pmf(lo_ + i)
+  std::vector<double> cdf_;      ///< cdf_[i] = cdf(lo_ + i)
+};
 
 /// log P{Pois(lambda) = k}.
 [[nodiscard]] double poisson_log_pmf(std::int64_t k, double lambda);

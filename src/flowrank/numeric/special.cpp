@@ -1,25 +1,41 @@
 #include "flowrank/numeric/special.hpp"
 
-#include <array>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace flowrank::numeric {
 
 namespace {
-constexpr int kFactorialCache = 1024;
+// ln n! values are memoized in a lazily grown table: the exact models
+// sweep binomial coefficients with n in the tens of thousands (flow sizes)
+// and the table means each ln n! is computed once per thread rather than
+// via lgamma on every pmf term. Beyond the cap (512 KiB per thread) a
+// query costs one lgamma, same as the pre-memo path — growth doubles up
+// to the requested index, so the cap also bounds the eager fill a single
+// large-n query can trigger.
+constexpr std::size_t kFactorialCacheCap = 1 << 16;
+// Below this index entries come from the exact cumulative recurrence (the
+// error of ~1e3 rounded additions is negligible); above it each entry is
+// an independent lgamma call so the cumulative rounding never compounds
+// across a million terms.
+constexpr std::size_t kCumulativeLimit = 1024;
 
-const std::array<double, kFactorialCache>& factorial_table() {
-  static const auto table = [] {
-    std::array<double, kFactorialCache> t{};
-    t[0] = 0.0;
-    for (int i = 1; i < kFactorialCache; ++i) {
-      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+double cached_log_factorial(std::size_t n) {
+  thread_local std::vector<double> table{0.0, 0.0};  // 0! and 1!
+  if (n >= table.size()) {
+    std::size_t new_size = table.size();
+    while (new_size <= n) new_size *= 2;
+    table.reserve(new_size);
+    for (std::size_t i = table.size(); i < new_size; ++i) {
+      table.push_back(i < kCumulativeLimit
+                          ? table[i - 1] + std::log(static_cast<double>(i))
+                          : std::lgamma(static_cast<double>(i) + 1.0));
     }
-    return t;
-  }();
-  return table;
+  }
+  return table[n];
 }
 }  // namespace
 
@@ -32,7 +48,9 @@ double log_gamma(double x) {
 
 double log_factorial(std::int64_t n) {
   if (n < 0) throw std::domain_error("log_factorial: requires n >= 0");
-  if (n < kFactorialCache) return factorial_table()[static_cast<std::size_t>(n)];
+  if (static_cast<std::size_t>(n) < kFactorialCacheCap) {
+    return cached_log_factorial(static_cast<std::size_t>(n));
+  }
   return std::lgamma(static_cast<double>(n) + 1.0);
 }
 

@@ -1,22 +1,75 @@
 #include "flowrank/sampler/packet_sampler.hpp"
 
+#include <cmath>
+#include <limits>
 #include <random>
 #include <sstream>
 #include <stdexcept>
 
 namespace flowrank::sampler {
 
+namespace {
+/// Countdown value meaning "never select" (p == 0).
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+void PacketSampler::select(std::span<const packet::PacketRecord> batch,
+                           std::vector<std::uint32_t>& out_indices) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (offer(batch[i])) out_indices.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void PacketSampler::select_into(std::span<const packet::PacketRecord> batch,
+                                std::vector<packet::PacketRecord>& selected) {
+  scratch_indices_.clear();
+  select(batch, scratch_indices_);
+  selected.clear();
+  for (const std::uint32_t i : scratch_indices_) selected.push_back(batch[i]);
+}
+
 BernoulliSampler::BernoulliSampler(double p, std::uint64_t seed)
     : p_(p), engine_(util::make_engine(seed, 0xBE44u)) {
   if (!(p >= 0.0 && p <= 1.0)) {
     throw std::invalid_argument("BernoulliSampler: p in [0,1]");
   }
+  if (p_ > 0.0 && p_ < 1.0) inv_log_q_ = 1.0 / std::log1p(-p_);
+  countdown_ = draw_gap();
+}
+
+std::uint64_t BernoulliSampler::draw_gap() {
+  if (p_ >= 1.0) return 0;
+  if (p_ <= 0.0) return kNever;
+  // Geometric(p) via inversion: floor(log(U) / log(1-p)), U in (0,1].
+  const double gap = std::floor(std::log(util::uniform_unit_open(engine_)) * inv_log_q_);
+  if (gap >= 9.2e18) return kNever - 1;  // beyond any realistic trace
+  return static_cast<std::uint64_t>(gap);
 }
 
 bool BernoulliSampler::offer(const packet::PacketRecord&) {
-  std::bernoulli_distribution coin(p_);
-  return coin(engine_);
+  if (countdown_ == 0) {
+    countdown_ = draw_gap();
+    return true;
+  }
+  --countdown_;
+  return false;
 }
+
+void BernoulliSampler::select(std::span<const packet::PacketRecord> batch,
+                              std::vector<std::uint32_t>& out_indices) {
+  const std::uint64_t n = batch.size();
+  std::uint64_t i = 0;
+  while (countdown_ < n - i) {
+    i += countdown_;
+    out_indices.push_back(static_cast<std::uint32_t>(i));
+    countdown_ = draw_gap();
+    ++i;
+  }
+  countdown_ -= n - i;
+}
+
+void BernoulliSampler::reset() { countdown_ = draw_gap(); }
 
 std::string BernoulliSampler::name() const {
   std::ostringstream os;
@@ -36,6 +89,18 @@ bool PeriodicSampler::offer(const packet::PacketRecord&) {
   return selected;
 }
 
+void PeriodicSampler::select(std::span<const packet::PacketRecord> batch,
+                             std::vector<std::uint32_t>& out_indices) {
+  const std::uint64_t n = batch.size();
+  // Offset within the batch of the first selected packet.
+  const std::uint64_t pos = counter_ % period_;
+  std::uint64_t i = pos <= phase_ ? phase_ - pos : period_ - pos + phase_;
+  for (; i < n; i += period_) {
+    out_indices.push_back(static_cast<std::uint32_t>(i));
+  }
+  counter_ += n;
+}
+
 std::string PeriodicSampler::name() const {
   std::ostringstream os;
   os << "periodic(1-in-" << period_ << ")";
@@ -43,15 +108,14 @@ std::string PeriodicSampler::name() const {
 }
 
 StratifiedSampler::StratifiedSampler(std::uint64_t period, std::uint64_t seed)
-    : period_(period), engine_(util::make_engine(seed, 0x57A7u)) {
+    : period_(period),
+      engine_(util::make_engine(seed, 0x57A7u)),
+      pick_dist_(0, period >= 1 ? period - 1 : 0) {
   if (period < 1) throw std::invalid_argument("StratifiedSampler: period >= 1");
   draw_pick();
 }
 
-void StratifiedSampler::draw_pick() {
-  std::uniform_int_distribution<std::uint64_t> unif(0, period_ - 1);
-  pick_ = unif(engine_);
-}
+void StratifiedSampler::draw_pick() { pick_ = pick_dist_(engine_); }
 
 bool StratifiedSampler::offer(const packet::PacketRecord&) {
   const bool selected = position_ == pick_;
@@ -61,6 +125,25 @@ bool StratifiedSampler::offer(const packet::PacketRecord&) {
     draw_pick();
   }
   return selected;
+}
+
+void StratifiedSampler::select(std::span<const packet::PacketRecord> batch,
+                               std::vector<std::uint32_t>& out_indices) {
+  const std::uint64_t n = batch.size();
+  std::uint64_t i = 0;
+  while (i < n) {
+    // The batch segment that falls inside the current group.
+    const std::uint64_t take = std::min(period_ - position_, n - i);
+    if (pick_ >= position_ && pick_ < position_ + take) {
+      out_indices.push_back(static_cast<std::uint32_t>(i + (pick_ - position_)));
+    }
+    position_ += take;
+    i += take;
+    if (position_ == period_) {
+      position_ = 0;
+      draw_pick();
+    }
+  }
 }
 
 void StratifiedSampler::reset() {
@@ -95,6 +178,16 @@ bool FlowSampler::selects(const packet::FlowKey& key) const noexcept {
 
 bool FlowSampler::offer(const packet::PacketRecord& pkt) {
   return selects(packet::make_flow_key(pkt.tuple, def_));
+}
+
+void FlowSampler::select(std::span<const packet::PacketRecord> batch,
+                         std::vector<std::uint32_t>& out_indices) {
+  // Stateless hash-threshold test: one key hash per packet, no RNG at all.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (selects(packet::make_flow_key(batch[i].tuple, def_))) {
+      out_indices.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
 }
 
 std::string FlowSampler::name() const {

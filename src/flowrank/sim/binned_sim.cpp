@@ -91,22 +91,33 @@ std::vector<metrics::RankMetricsResult> run_packet_level_once(
 
   flowtable::FlowTable::Options table_opts;
   table_opts.definition = config.definition;
-  flowtable::BinnedClassifier original_classifier(
-      table_opts, bin_ns, [&](std::size_t bin, std::vector<flowtable::FlowCounter> flows) {
-        if (bin >= total_bins) return;
-        for (const auto& f : flows) original[bin][f.key] += f.packets;
+  const auto accumulate_into = [total_bins](std::vector<SizeMap>& maps) {
+    return [&maps, total_bins](std::size_t bin, const flowtable::FlowTable& table) {
+      if (bin >= total_bins) return;
+      table.for_each_all([&maps, bin](const flowtable::FlowCounter& f) {
+        maps[bin][f.key] += f.packets;
       });
-  flowtable::BinnedClassifier sampled_classifier(
-      table_opts, bin_ns, [&](std::size_t bin, std::vector<flowtable::FlowCounter> flows) {
-        if (bin >= total_bins) return;
-        for (const auto& f : flows) sampled[bin][f.key] += f.packets;
-      });
+    };
+  };
+  auto original_classifier = flowtable::BinnedClassifier::with_table_view(
+      table_opts, bin_ns, accumulate_into(original));
+  auto sampled_classifier = flowtable::BinnedClassifier::with_table_view(
+      table_opts, bin_ns, accumulate_into(sampled));
 
+  // Batched ingest: pull a chunk of the packet stream, classify it whole,
+  // select the sampled subset with the skip-based sampler and classify the
+  // gathered selection. Identical counters to the per-packet path (the
+  // sampler state machine is shared between offer() and select()).
+  constexpr std::size_t kBatch = 4096;
   sampler::BernoulliSampler bernoulli(sampling_rate, run_seed);
   trace::PacketStream stream(trace);
-  while (auto pkt = stream.next()) {
-    original_classifier.add(*pkt);
-    if (bernoulli.offer(*pkt)) sampled_classifier.add(*pkt);
+  std::vector<packet::PacketRecord> batch, selected;
+  batch.reserve(kBatch);
+  selected.reserve(kBatch);
+  while (stream.next_batch(batch, kBatch) > 0) {
+    original_classifier.add_batch(batch);
+    bernoulli.select_into(batch, selected);
+    sampled_classifier.add_batch(selected);
   }
   original_classifier.finish();
   sampled_classifier.finish();

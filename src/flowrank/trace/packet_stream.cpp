@@ -97,6 +97,17 @@ std::optional<packet::PacketRecord> PacketStream::next() {
   return pkt;
 }
 
+std::size_t PacketStream::next_batch(std::vector<packet::PacketRecord>& out,
+                                     std::size_t max_packets) {
+  out.clear();
+  while (out.size() < max_packets) {
+    auto pkt = next();
+    if (!pkt) break;
+    out.push_back(*pkt);
+  }
+  return out.size();
+}
+
 std::vector<packet::PacketRecord> expand_trace(const FlowTrace& trace,
                                                std::uint64_t seed) {
   PacketStream stream(trace, seed);

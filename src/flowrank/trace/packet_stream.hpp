@@ -31,6 +31,13 @@ class PacketStream {
   /// Returns the next packet, or nullopt at end of trace.
   [[nodiscard]] std::optional<packet::PacketRecord> next();
 
+  /// Batched pull: clears `out` and refills it with up to `max_packets`
+  /// packets in timestamp order. Returns the number delivered (0 at end of
+  /// trace). Feeding the ingest pipeline in batches keeps the heap, the
+  /// sampler and the flow table each working over a cache-resident chunk.
+  std::size_t next_batch(std::vector<packet::PacketRecord>& out,
+                         std::size_t max_packets);
+
   /// Packets emitted so far.
   [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
 

@@ -44,4 +44,11 @@ using Engine = std::mt19937_64;
   return Engine{derive_seed(master, stream)};
 }
 
+/// Uniform draw on (0, 1]: always a valid ccdf value to invert and a
+/// valid log() argument (uniform_real_distribution yields [0, 1)).
+[[nodiscard]] inline double uniform_unit_open(Engine& engine) {
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  return 1.0 - unif(engine);
+}
+
 }  // namespace flowrank::util
