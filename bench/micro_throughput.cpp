@@ -9,6 +9,7 @@
 // select() + flat open-addressing FlowTable::add_batch()). Run via
 // `cmake --build build --target bench-json` to refresh BENCH_micro.json.
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <random>
 #include <span>
@@ -23,6 +24,7 @@
 #include "flowrank/core/ranking_model.hpp"
 #include "flowrank/dist/pareto.hpp"
 #include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/metrics/rank_metrics.hpp"
 #include "flowrank/numeric/binomial.hpp"
 #include "flowrank/numeric/incbeta.hpp"
@@ -243,6 +245,74 @@ void BM_IngestBatchPath(benchmark::State& state) {
                           static_cast<std::int64_t>(packets.size()));
 }
 BENCHMARK(BM_IngestBatchPath)->Unit(benchmark::kMillisecond);
+
+// Sharded ingest scaling: the same truth + sampled workload as
+// BM_Ingest{Seed,Batch}Path pushed through ingest::ShardedPipeline at 1,
+// 2 and 4 shards, in steady state: one long-lived pipeline, one
+// measurement interval per benchmark iteration (timestamps advance one
+// bin per iteration, so every shard table is flushed and clear()ed
+// between intervals, exactly like the inline benchmarks), results
+// consumed by a streaming on_shard_bin callback so memory stays bounded.
+// Rewriting the interval's timestamps is packet-source work the inline
+// benchmarks don't pay, so it sits outside the timed region. On a
+// single-vCPU runner the shard counts time-slice one core, so the column
+// to compare against is the per-packet seed path (BM_IngestSeedPath); on
+// a multi-core host the shard sweep shows the parallel speedup directly.
+void BM_ShardedIngest(benchmark::State& state) {
+  const auto packets = make_ingest_batch(kIngestPackets);
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch_size = 4096;
+  const std::int64_t interval_ns =
+      static_cast<std::int64_t>(kIngestPackets) * 1000;  // one bin per interval
+
+  flowrank::ingest::ShardedPipelineConfig cfg;
+  cfg.num_shards = shards;
+  cfg.num_streams = 2;  // stream 0 = truth, stream 1 = sampled
+  cfg.bin_ns = interval_ns;
+  cfg.table_options = {flowrank::packet::FlowDefinition::kFiveTuple, 0,
+                       (std::size_t{1} << 19) / shards};
+  std::atomic<std::uint64_t> flows_flushed{0};
+  cfg.on_shard_bin = [&flows_flushed](std::size_t, std::size_t, std::size_t,
+                                      const flowrank::flowtable::FlowTable& table) {
+    flows_flushed.fetch_add(table.size(), std::memory_order_relaxed);
+  };
+  flowrank::ingest::ShardedPipeline pipeline(cfg);
+  flowrank::sampler::BernoulliSampler sampler(kIngestRate, 1);
+  std::vector<flowrank::packet::PacketRecord> interval(packets);
+  std::vector<flowrank::packet::PacketRecord> selected;
+  selected.reserve(batch_size);
+  std::int64_t bin_base_ns = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();  // packet source: shift this interval's timestamps
+    for (std::size_t i = 0; i < interval.size(); ++i) {
+      interval[i].timestamp_ns = packets[i].timestamp_ns + bin_base_ns;
+    }
+    bin_base_ns += interval_ns;
+    state.ResumeTiming();
+
+    const std::span<const flowrank::packet::PacketRecord> all(interval);
+    for (std::size_t start = 0; start < all.size(); start += batch_size) {
+      const auto batch = all.subspan(start, std::min(batch_size, all.size() - start));
+      pipeline.add_batch(0, batch);
+      sampler.select_into(batch, selected);
+      pipeline.add_batch(1, selected);
+    }
+  }
+  pipeline.finish();
+  benchmark::DoNotOptimize(flows_flushed.load());
+  state.counters["shards"] = static_cast<double>(shards);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets.size()));
+}
+// UseRealTime: throughput must reflect end-to-end wall time (workers run
+// off the main thread, which Benchmark's CPU clock doesn't see).
+BENCHMARK(BM_ShardedIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_SamplerSelectBatch(benchmark::State& state) {
   const auto packets = make_ingest_batch(1 << 16);

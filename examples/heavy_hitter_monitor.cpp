@@ -11,18 +11,28 @@
 // results are read straight off the flow table with for_each_all/top_k —
 // no per-packet virtual calls and no per-bin counter copies.
 //
+// With --threads N (N > 1) classification runs on the sharded ingest
+// pipeline: flows are hash-partitioned across N worker threads, each with
+// a private flow table, and per-bin tables are merged at flush time. The
+// report is identical to the single-threaded one — sharding never splits
+// a flow across workers.
+//
 // The report compares against ground truth computed from the unsampled
 // stream, illustrating how much of the error budget is sampling vs memory.
 //
-// Usage: example_heavy_hitter_monitor [--rate 0.05] [--memory 256] [--t 10]
+// Usage: example_heavy_hitter_monitor [--rate 0.05] [--memory 256]
+//        [--t 10] [--threads 4]
 #include <algorithm>
 #include <iostream>
+#include <mutex>
 #include <unordered_map>
 
 #include "flowrank/estimators/heavy_hitter_trackers.hpp"
 #include "flowrank/estimators/tcp_seq.hpp"
 #include "flowrank/flowtable/binned_classifier.hpp"
+#include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/bin_counts.hpp"
 #include "flowrank/trace/flow_trace_generator.hpp"
 #include "flowrank/trace/packet_stream.hpp"
 #include "flowrank/util/cli.hpp"
@@ -31,6 +41,7 @@
 namespace {
 
 using flowrank::flowtable::FlowCounter;
+using flowrank::flowtable::FlowTable;
 using flowrank::packet::FlowKey;
 using flowrank::packet::FlowKeyHash;
 
@@ -38,6 +49,12 @@ struct IntervalReport {
   std::vector<FlowCounter> true_top;
   std::vector<FlowCounter> sampled_top;
   std::unordered_map<FlowKey, FlowCounter, FlowKeyHash> sampled_by_key;
+  // Sharded mode only: per-shard top-t candidates, reduced after finish().
+  // Shards partition flows, so a bin's true top-t is contained in the
+  // union of its shards' top-t — keeping t flows per shard instead of the
+  // full table keeps streaming memory bounded.
+  std::vector<FlowCounter> true_top_candidates;
+  std::vector<FlowCounter> sampled_top_candidates;
 };
 
 }  // namespace
@@ -48,6 +65,12 @@ int main(int argc, char** argv) {
   const auto memory = static_cast<std::size_t>(cli.get_int("memory", 256));
   const auto t = static_cast<std::size_t>(cli.get_int("t", 10));
   const double bin_s = cli.get_double("bin", 60.0);
+  const int threads_arg = cli.get_int("threads", 1);
+  if (threads_arg < 1) {
+    std::cerr << "--threads must be >= 1\n";
+    return 1;
+  }
+  const auto threads = static_cast<std::size_t>(threads_arg);
 
   auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, /*seed=*/11);
   trace_cfg.duration_s = cli.get_double("duration", 180.0);
@@ -60,39 +83,28 @@ int main(int argc, char** argv) {
     return reports[bin];
   };
 
-  // Ground truth per bin from the unsampled stream: only the top-t is
-  // retained, selected directly off the table (no full-counter copy).
-  auto truth_classifier = flowrank::flowtable::BinnedClassifier::with_table_view(
-      {flowrank::packet::FlowDefinition::kFiveTuple, 0},
-      static_cast<std::int64_t>(bin_s * 1e9),
-      [&](std::size_t bin, const flowrank::flowtable::FlowTable& table) {
-        report_at(bin).true_top = flowrank::flowtable::top_k(table, t);
-      });
-  // Sampled stream feeds both a flow table (for seq estimates) and the
-  // bounded-memory tracker.
-  auto sampled_classifier = flowrank::flowtable::BinnedClassifier::with_table_view(
-      {flowrank::packet::FlowDefinition::kFiveTuple, 0},
-      static_cast<std::int64_t>(bin_s * 1e9),
-      [&](std::size_t bin, const flowrank::flowtable::FlowTable& table) {
-        IntervalReport& report = report_at(bin);
-        report.sampled_top = flowrank::flowtable::top_k(table, t);
-        table.for_each_all([&report](const FlowCounter& f) {
-          auto [it, fresh] = report.sampled_by_key.try_emplace(f.key, f);
-          if (fresh) return;
-          // Timeout-split subflows of the same key: merge every field so
-          // the TCP-seq estimate stays consistent with the packet count.
-          FlowCounter& acc = it->second;
-          acc.packets += f.packets;
-          acc.bytes += f.bytes;
-          acc.first_ns = std::min(acc.first_ns, f.first_ns);
-          acc.last_ns = std::max(acc.last_ns, f.last_ns);
-          if (f.has_tcp_seq) {
-            acc.min_tcp_seq = std::min(acc.min_tcp_seq, f.min_tcp_seq);
-            acc.max_tcp_seq = std::max(acc.max_tcp_seq, f.max_tcp_seq);
-            acc.has_tcp_seq = true;
-          }
-        });
-      });
+  // Per-bin consumers, shared by the inline and sharded paths. Ground
+  // truth keeps only the top-t, selected directly off the table (no
+  // full-counter copy); the sampled stream additionally builds a by-key
+  // index so the TCP-seq estimator can look up any true-top flow.
+  // Timeout-split subflows of the same key are merged so the TCP-seq
+  // estimate stays consistent with the packet count.
+  const auto index_sampled_flow = [](IntervalReport& report, const FlowCounter& f) {
+    auto [it, fresh] = report.sampled_by_key.try_emplace(f.key, f);
+    if (!fresh) flowrank::flowtable::merge_counter(it->second, f);
+  };
+  const auto record_truth = [&](std::size_t bin, const FlowTable& table) {
+    report_at(bin).true_top = flowrank::flowtable::top_k(table, t);
+  };
+  const auto record_sampled = [&](std::size_t bin, const FlowTable& table) {
+    IntervalReport& report = report_at(bin);
+    report.sampled_top = flowrank::flowtable::top_k(table, t);
+    table.for_each_all([&](const FlowCounter& f) { index_sampled_flow(report, f); });
+  };
+
+  const flowrank::flowtable::FlowTable::Options table_opts{
+      flowrank::packet::FlowDefinition::kFiveTuple, 0};
+  const std::int64_t bin_ns = flowrank::trace::bin_length_ns(bin_s);
 
   flowrank::sampler::BernoulliSampler sampler(rate, /*seed=*/3);
   flowrank::estimators::SpaceSavingTracker tracker(memory);
@@ -103,21 +115,75 @@ int main(int argc, char** argv) {
   batch.reserve(kBatch);
   selected.reserve(kBatch);
   std::uint64_t sampled_packets = 0;
-  while (stream.next_batch(batch, kBatch) > 0) {
-    truth_classifier.add_batch(batch);
-    sampler.select_into(batch, selected);
-    sampled_packets += selected.size();
-    sampled_classifier.add_batch(selected);
-    for (const auto& pkt : selected) {
+
+  const auto feed_tracker = [&](const auto& packets) {
+    sampled_packets += packets.size();
+    for (const auto& pkt : packets) {
       tracker.offer(flowrank::packet::make_flow_key(
           pkt.tuple, flowrank::packet::FlowDefinition::kFiveTuple));
     }
+  };
+
+  if (threads == 1) {
+    auto truth_classifier =
+        flowrank::flowtable::BinnedClassifier::with_table_view(table_opts, bin_ns,
+                                                               record_truth);
+    auto sampled_classifier =
+        flowrank::flowtable::BinnedClassifier::with_table_view(table_opts, bin_ns,
+                                                               record_sampled);
+    while (stream.next_batch(batch, kBatch) > 0) {
+      truth_classifier.add_batch(batch);
+      sampler.select_into(batch, selected);
+      feed_tracker(selected);
+      sampled_classifier.add_batch(selected);
+    }
+    truth_classifier.finish();
+    sampled_classifier.finish();
+  } else {
+    // Sharded ingest: sampling and the bounded-memory tracker stay on the
+    // driver (both are sequential state machines); classification fans
+    // out across `threads` hash-sharded workers. Per-shard bin flushes
+    // are consumed by the streaming callback — memory stays bounded by
+    // top-t candidates per shard plus the sampled by-key index, the same
+    // shape as the single-threaded path — and reduced to per-bin top-t
+    // after finish().
+    std::mutex reports_mutex;
+    flowrank::ingest::ShardedPipelineConfig pipe_cfg;
+    pipe_cfg.num_shards = threads;
+    pipe_cfg.num_streams = 2;  // stream 0 = truth, stream 1 = sampled
+    pipe_cfg.bin_ns = bin_ns;
+    pipe_cfg.table_options = table_opts;
+    pipe_cfg.on_shard_bin = [&](std::size_t /*shard*/, std::size_t stream_id,
+                                std::size_t bin, const FlowTable& table) {
+      auto top = flowrank::flowtable::top_k(table, t);
+      std::lock_guard lock(reports_mutex);
+      IntervalReport& report = report_at(bin);
+      auto& candidates = stream_id == 0 ? report.true_top_candidates
+                                        : report.sampled_top_candidates;
+      candidates.insert(candidates.end(), top.begin(), top.end());
+      if (stream_id == 1) {
+        table.for_each_all([&](const FlowCounter& f) { index_sampled_flow(report, f); });
+      }
+    };
+    flowrank::ingest::ShardedPipeline pipeline(pipe_cfg);
+    while (stream.next_batch(batch, kBatch) > 0) {
+      pipeline.add_batch(0, batch);
+      sampler.select_into(batch, selected);
+      feed_tracker(selected);
+      pipeline.add_batch(1, selected);
+    }
+    pipeline.finish();
+    for (auto& report : reports) {
+      report.true_top =
+          flowrank::flowtable::top_k(std::move(report.true_top_candidates), t);
+      report.sampled_top =
+          flowrank::flowtable::top_k(std::move(report.sampled_top_candidates), t);
+    }
   }
-  truth_classifier.finish();
-  sampled_classifier.finish();
 
   std::cout << "monitor: rate " << rate * 100 << "%, memory " << memory
-            << " entries, " << sampled_packets << " sampled packets\n";
+            << " entries, " << threads << " ingest thread(s), "
+            << sampled_packets << " sampled packets\n";
 
   for (std::size_t bin = 0; bin < reports.size(); ++bin) {
     const auto& report = reports[bin];

@@ -15,6 +15,18 @@ bool by_size_desc(const FlowCounter& a, const FlowCounter& b) {
 }
 }  // namespace
 
+void merge_counter(FlowCounter& into, const FlowCounter& from) noexcept {
+  into.packets += from.packets;
+  into.bytes += from.bytes;
+  into.first_ns = std::min(into.first_ns, from.first_ns);
+  into.last_ns = std::max(into.last_ns, from.last_ns);
+  if (from.has_tcp_seq) {
+    into.min_tcp_seq = std::min(into.min_tcp_seq, from.min_tcp_seq);
+    into.max_tcp_seq = std::max(into.max_tcp_seq, from.max_tcp_seq);
+    into.has_tcp_seq = true;
+  }
+}
+
 FlowTable::FlowTable(Options options) : options_(options) {
   const std::size_t wanted = std::max<std::size_t>(options_.initial_capacity, 64);
   hashes_.resize(std::bit_ceil(wanted), kEmptyHash);
@@ -135,6 +147,20 @@ std::vector<FlowCounter> FlowTable::all() const {
   out.reserve(completed_.size() + size_);
   for_each_all([&out](const FlowCounter& counter) { out.push_back(counter); });
   return out;
+}
+
+void FlowTable::merge_from(const FlowTable& other) {
+  completed_.insert(completed_.end(), other.completed_.begin(),
+                    other.completed_.end());
+  other.for_each_active([this](const FlowCounter& counter) {
+    const std::uint64_t hash = hash_key(counter.key);
+    const std::size_t idx = find_or_insert(counter.key, hash);
+    if (counters_[idx].packets == 0) {
+      counters_[idx] = counter;  // fresh slot: take the counter whole
+    } else {
+      merge_counter(counters_[idx], counter);
+    }
+  });
 }
 
 void FlowTable::clear() {

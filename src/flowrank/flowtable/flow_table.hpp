@@ -42,6 +42,10 @@ struct FlowCounter {
   bool has_tcp_seq = false;
 };
 
+/// Folds `from` into `into`: counts add, time and TCP-seq ranges widen.
+/// Both counters must describe the same flow key.
+void merge_counter(FlowCounter& into, const FlowCounter& from) noexcept;
+
 /// Hash-table flow classifier.
 class FlowTable {
  public:
@@ -98,6 +102,15 @@ class FlowTable {
 
   /// Current slot count (power of two).
   [[nodiscard]] std::size_t capacity() const noexcept { return hashes_.size(); }
+
+  /// Merges another table's flows into this one (the shard-merge step of
+  /// the sharded ingest pipeline): `other`'s completed subflows are
+  /// appended to completed(), its active entries are unioned in by key
+  /// (merge_counter() on key collision). When the two tables hold
+  /// disjoint key sets — the invariant of hash-sharded ingest — the
+  /// merged table is element-wise identical to one classified serially;
+  /// only iteration order may differ.
+  void merge_from(const FlowTable& other);
 
   /// Clears all state (end of measurement interval, "memory is cleared").
   /// Capacity is retained so the next interval does not re-grow.

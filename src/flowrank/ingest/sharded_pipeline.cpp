@@ -1,0 +1,189 @@
+#include "flowrank/ingest/sharded_pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "flowrank/packet/flow_key.hpp"
+
+namespace flowrank::ingest {
+
+ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
+    : config_(config) {
+  if (config_.num_shards < 1) {
+    throw std::invalid_argument("ShardedPipeline: num_shards >= 1");
+  }
+  if (config_.num_streams < 1) {
+    throw std::invalid_argument("ShardedPipeline: num_streams >= 1");
+  }
+  if (config_.bin_ns <= 0) {
+    throw std::invalid_argument("ShardedPipeline: bin_ns > 0");
+  }
+  if (config_.max_queue_chunks < 1) {
+    throw std::invalid_argument("ShardedPipeline: max_queue_chunks >= 1");
+  }
+  if (config_.chunk_packets < 1) {
+    throw std::invalid_argument("ShardedPipeline: chunk_packets >= 1");
+  }
+
+  merged_.resize(config_.num_streams);
+  pending_.resize(config_.num_streams);
+  for (auto& per_shard : pending_) per_shard.resize(config_.num_shards);
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->classifiers.reserve(config_.num_streams);
+    for (std::size_t stream = 0; stream < config_.num_streams; ++stream) {
+      shard->classifiers.push_back(flowtable::BinnedClassifier::with_table_view(
+          config_.table_options, config_.bin_ns,
+          [this, s, stream](std::size_t bin, const flowtable::FlowTable& table) {
+            on_bin_flush(s, stream, bin, table);
+          }));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // Spawn only after every shard exists: workers never touch other shards,
+  // but keeping construction fully sequenced costs nothing.
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    shards_[s]->thread = std::thread([this, s] { worker_loop(s); });
+  }
+}
+
+ShardedPipeline::~ShardedPipeline() { finish(); }
+
+void ShardedPipeline::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  while (true) {
+    Chunk chunk;
+    {
+      std::unique_lock lock(shard.mutex);
+      shard.can_pop.wait(lock,
+                         [&] { return !shard.queue.empty() || shard.closing; });
+      if (shard.queue.empty()) break;  // closing and drained
+      chunk = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.can_push.notify_one();
+    }
+    shard.classifiers[chunk.stream].add_batch(chunk.packets);
+    chunk.packets.clear();
+    {
+      std::lock_guard lock(shard.mutex);
+      shard.spare_buffers.push_back(std::move(chunk.packets));
+    }
+  }
+  // Queue drained and closed: flush the final (possibly partial) bins.
+  for (auto& classifier : shard.classifiers) classifier.finish();
+}
+
+std::vector<packet::PacketRecord> ShardedPipeline::take_buffer(Shard& shard) {
+  std::lock_guard lock(shard.mutex);
+  if (shard.spare_buffers.empty()) return {};
+  auto buffer = std::move(shard.spare_buffers.back());
+  shard.spare_buffers.pop_back();
+  return buffer;
+}
+
+void ShardedPipeline::enqueue(std::size_t shard_index, std::size_t stream,
+                              std::vector<packet::PacketRecord>&& packets) {
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock lock(shard.mutex);
+  shard.can_push.wait(
+      lock, [&] { return shard.queue.size() < config_.max_queue_chunks; });
+  shard.queue.push_back(
+      Chunk{static_cast<std::uint32_t>(stream), std::move(packets)});
+  shard.can_pop.notify_one();
+}
+
+void ShardedPipeline::flush_pending(std::size_t stream,
+                                    std::size_t shard_index) {
+  auto refill = take_buffer(*shards_[shard_index]);
+  refill.clear();
+  std::swap(pending_[stream][shard_index], refill);
+  enqueue(shard_index, stream, std::move(refill));
+}
+
+void ShardedPipeline::add_batch(std::size_t stream,
+                                std::span<const packet::PacketRecord> batch) {
+  if (finished_) {
+    throw std::logic_error("ShardedPipeline: add_batch after finish");
+  }
+  if (stream >= config_.num_streams) {
+    throw std::out_of_range("ShardedPipeline: bad stream index");
+  }
+  if (batch.empty()) return;
+
+  auto& pending = pending_[stream];
+  if (config_.num_shards == 1) {
+    pending[0].insert(pending[0].end(), batch.begin(), batch.end());
+  } else {
+    for (const auto& pkt : batch) {
+      const packet::FlowKey key =
+          packet::make_flow_key(pkt.tuple, config_.table_options.definition);
+      pending[packet::FlowKeyHash{}(key) % config_.num_shards].push_back(pkt);
+    }
+  }
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    if (pending[s].size() >= config_.chunk_packets) flush_pending(stream, s);
+  }
+}
+
+void ShardedPipeline::finish() {
+  if (finished_) return;
+  for (std::size_t stream = 0; stream < config_.num_streams; ++stream) {
+    for (std::size_t s = 0; s < config_.num_shards; ++s) {
+      if (!pending_[stream][s].empty()) flush_pending(stream, s);
+    }
+  }
+  finished_ = true;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard lock(shard->mutex);
+      shard->closing = true;
+    }
+    shard->can_pop.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+void ShardedPipeline::on_bin_flush(std::size_t shard, std::size_t stream,
+                                   std::size_t bin,
+                                   const flowtable::FlowTable& table) {
+  if (config_.on_shard_bin) {
+    config_.on_shard_bin(shard, stream, bin, table);
+    return;
+  }
+  // Disjoint shard key sets: retaining the merged view is pure
+  // concatenation, no re-probing. The lock is held once per bin per shard
+  // per stream — far off the packet path.
+  std::lock_guard lock(merged_mutex_);
+  auto& bins = merged_[stream];
+  if (bins.size() <= bin) bins.resize(bin + 1);
+  auto& flows = bins[bin];
+  flows.reserve(flows.size() + table.completed().size() + table.size());
+  table.for_each_all(
+      [&flows](const flowtable::FlowCounter& f) { flows.push_back(f); });
+}
+
+std::size_t ShardedPipeline::bin_count(std::size_t stream) const {
+  if (!finished_) {
+    throw std::logic_error("ShardedPipeline: results read before finish");
+  }
+  if (stream >= merged_.size()) {
+    throw std::out_of_range("ShardedPipeline: bad stream index");
+  }
+  return merged_[stream].size();
+}
+
+std::span<const flowtable::FlowCounter> ShardedPipeline::bin_flows(
+    std::size_t stream, std::size_t bin) const {
+  if (!finished_) {
+    throw std::logic_error("ShardedPipeline: results read before finish");
+  }
+  if (stream >= merged_.size() || bin >= merged_[stream].size()) {
+    throw std::out_of_range("ShardedPipeline: bad stream/bin index");
+  }
+  return merged_[stream][bin];
+}
+
+}  // namespace flowrank::ingest

@@ -1,0 +1,156 @@
+// Sharded multi-threaded ingest (the ROADMAP's line-rate scaling step).
+//
+// The inherently sequential stages — pulling the packet stream and running
+// the skip-based sampler, whose state machines must see every packet in
+// order — stay on the driver thread. Everything downstream is
+// embarrassingly parallel per flow: the driver partitions each
+// time-ordered batch by FlowKeyHash % num_shards, so every flow's packets
+// land on exactly one shard, and each shard worker owns a private
+// FlowTable-backed BinnedClassifier. At each bin flush a shard folds its
+// table into the bin's merged view; because shard key sets are disjoint
+// and partitioning preserves per-flow packet order, the merged per-bin
+// flow counters are bit-identical to a single-threaded classification of
+// the same stream, at any shard count.
+//
+// Disjointness is also what makes the merge cheap: no two shards ever
+// contribute the same key to a bin, so the merged view is a plain
+// concatenation of per-shard snapshots (memcpy-class work per bin) rather
+// than a second round of hash probing. FlowTable::merge_from remains the
+// primitive for callers that want a probe-able merged table.
+//
+// This is the hash-shard-and-merge shape of multi-core packet pipelines
+// (cf. pktgen's per-core generators and heyp's sharded host agents),
+// specialized to the paper's binning method.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "flowrank/flowtable/binned_classifier.hpp"
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/packet/records.hpp"
+
+namespace flowrank::ingest {
+
+struct ShardedPipelineConfig {
+  /// Worker threads; each owns one FlowTable per stream. >= 1.
+  std::size_t num_shards = 1;
+  /// Independent packet streams classified side by side (e.g. stream 0 =
+  /// unsampled truth, stream 1 = sampled). >= 1.
+  std::size_t num_streams = 1;
+  /// Measurement-interval length; derive via trace::bin_length_ns. > 0.
+  std::int64_t bin_ns = 0;
+  /// Options for every per-shard table (initial_capacity is per shard).
+  flowtable::FlowTable::Options table_options;
+  /// Backpressure: add_batch blocks once this many chunks queue per shard.
+  std::size_t max_queue_chunks = 8;
+  /// Packets staged per (stream, shard) before a chunk is handed to the
+  /// worker. Staging across add_batch calls amortizes the queue/wakeup
+  /// cost per chunk over many packets; correctness is unaffected (each
+  /// worker still sees its packets in arrival order), only the latency of
+  /// bin flushes relative to add_batch calls changes.
+  std::size_t chunk_packets = 8192;
+  /// Streaming consumer for long-running monitors: when set, each shard's
+  /// per-bin table is handed to this callback at flush time — on the
+  /// flushing worker's thread, concurrently across shards, so it must be
+  /// thread-safe — and NO per-bin snapshots are retained (bin_flows()
+  /// stays empty, memory stays bounded by the live tables). When unset,
+  /// flushes are concatenated into the per-bin views served by
+  /// bin_flows() after finish().
+  std::function<void(std::size_t shard, std::size_t stream, std::size_t bin,
+                     const flowtable::FlowTable& table)>
+      on_shard_bin;
+};
+
+/// Driver-side facade over the shard workers. Not thread-safe itself: one
+/// driver thread calls add_batch()/finish(); results are read after
+/// finish() returns.
+class ShardedPipeline {
+ public:
+  /// Spawns the shard workers. Throws std::invalid_argument on a bad config.
+  explicit ShardedPipeline(ShardedPipelineConfig config);
+
+  /// Joins the workers (finish() is called if it has not been).
+  ~ShardedPipeline();
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  /// Partitions a time-ordered batch of `stream` by flow-key hash and
+  /// enqueues the per-shard slices. Blocks when a shard's queue is full.
+  /// Batches of each stream must arrive in non-decreasing timestamp order.
+  void add_batch(std::size_t stream,
+                 std::span<const packet::PacketRecord> batch);
+
+  /// Drains the queues, flushes every shard's final bin and joins the
+  /// workers. Must be called before reading results. Idempotent.
+  void finish();
+
+  /// Bins seen by `stream` (valid after finish()): one past the highest
+  /// bin any of its packets landed in, 0 for a packet-less stream (always
+  /// 0 when a streaming on_shard_bin callback consumed the flushes).
+  [[nodiscard]] std::size_t bin_count(std::size_t stream) const;
+
+  /// Merged per-bin view: every shard's flows for (stream, bin) — each
+  /// shard's completed subflows followed by its active entries, exactly
+  /// the multiset a single-threaded table's for_each_all() yields. Shard
+  /// order within the span is unspecified (it depends on flush timing);
+  /// contents are not.
+  [[nodiscard]] std::span<const flowtable::FlowCounter> bin_flows(
+      std::size_t stream, std::size_t bin) const;
+
+  [[nodiscard]] const ShardedPipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Chunk {
+    std::uint32_t stream = 0;
+    std::vector<packet::PacketRecord> packets;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable can_push;  ///< driver waits here when full
+    std::condition_variable can_pop;   ///< worker waits here when empty
+    std::deque<Chunk> queue;
+    /// Recycled packet buffers, handed back to the driver.
+    std::vector<std::vector<packet::PacketRecord>> spare_buffers;
+    bool closing = false;
+    /// One classifier per stream, owned (and only touched) by the worker.
+    std::vector<flowtable::BinnedClassifier> classifiers;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t shard_index);
+  /// Hands pending_[stream][shard] to the worker and replaces it with a
+  /// recycled buffer.
+  void flush_pending(std::size_t stream, std::size_t shard_index);
+  void enqueue(std::size_t shard_index, std::size_t stream,
+               std::vector<packet::PacketRecord>&& packets);
+  [[nodiscard]] std::vector<packet::PacketRecord> take_buffer(Shard& shard);
+  void on_bin_flush(std::size_t shard, std::size_t stream, std::size_t bin,
+                    const flowtable::FlowTable& table);
+
+  ShardedPipelineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Driver-side staging: pending_[stream][shard] accumulates partitioned
+  /// packets until chunk_packets of them are ready to enqueue.
+  std::vector<std::vector<std::vector<packet::PacketRecord>>> pending_;
+
+  std::mutex merged_mutex_;
+  /// merged_[stream][bin]: concatenated per-shard flow snapshots, built
+  /// up as shards flush; grown under the lock. Unused (left empty) when
+  /// config_.on_shard_bin streams flushes out instead.
+  std::vector<std::vector<std::vector<flowtable::FlowCounter>>> merged_;
+  bool finished_ = false;
+};
+
+}  // namespace flowrank::ingest

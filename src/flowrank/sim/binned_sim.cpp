@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "flowrank/flowtable/binned_classifier.hpp"
+#include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
 #include "flowrank/trace/packet_stream.hpp"
 
@@ -57,8 +60,12 @@ SimResult run_binned_simulation(const trace::FlowTrace& trace,
       for (std::size_t i = 0; i < bin.size(); ++i) true_sizes[i] = bin[i].packets;
 
       for (int run = 0; run < config.runs; ++run) {
+        // Splitmix-mixed stream id: the previous shift-packed mix
+        // ((rate_idx << 40) ^ (run << 20) ^ b) reused streams once a trace
+        // had >= 2^20 bins, correlating Monte-Carlo runs.
         auto engine = util::make_engine(
-            config.seed, (rate_idx << 40) ^ (static_cast<std::uint64_t>(run) << 20) ^ b);
+            config.seed,
+            util::mix_streams(rate_idx, static_cast<std::uint64_t>(run), b));
         for (std::size_t i = 0; i < bin.size(); ++i) {
           sampled_sizes[i] = sampler::thin_count(true_sizes[i], p, engine);
         }
@@ -75,15 +82,23 @@ SimResult run_binned_simulation(const trace::FlowTrace& trace,
 
 std::vector<metrics::RankMetricsResult> run_packet_level_once(
     const trace::FlowTrace& trace, double sampling_rate, const SimConfig& config,
-    std::uint64_t run_seed) {
+    std::uint64_t run_seed, std::size_t num_shards) {
   check_config(config);
   if (!(sampling_rate > 0.0 && sampling_rate <= 1.0)) {
     throw std::invalid_argument("sim: sampling rate in (0,1]");
   }
+  if (num_shards < 1) {
+    throw std::invalid_argument("sim: num_shards >= 1");
+  }
 
-  const auto bin_ns = static_cast<std::int64_t>(config.bin_seconds * 1e9);
-  const auto total_bins = static_cast<std::size_t>(
-      std::ceil(trace.config.duration_s / config.bin_seconds));
+  // Shared bin geometry with the count path: bin_length_ns rounds (0.3 s
+  // is 300 000 000 ns, not the 299 999 999 a double truncation produced),
+  // so the packet path's integer bin edges no longer drift away from
+  // bin_flow_counts' double-division edges by one ns per bin.
+  const std::int64_t bin_ns = trace::bin_length_ns(config.bin_seconds);
+  const std::size_t total_bins =
+      trace::bin_count(trace.config.duration_s, config.bin_seconds);
+  if (total_bins == 0) return {};
 
   // Original and sampled per-bin flow sizes, keyed by flow identity.
   using SizeMap = std::unordered_map<packet::FlowKey, std::uint64_t, packet::FlowKeyHash>;
@@ -91,48 +106,97 @@ std::vector<metrics::RankMetricsResult> run_packet_level_once(
 
   flowtable::FlowTable::Options table_opts;
   table_opts.definition = config.definition;
-  const auto accumulate_into = [total_bins](std::vector<SizeMap>& maps) {
-    return [&maps, total_bins](std::size_t bin, const flowtable::FlowTable& table) {
-      if (bin >= total_bins) return;
-      table.for_each_all([&maps, bin](const flowtable::FlowCounter& f) {
-        maps[bin][f.key] += f.packets;
-      });
-    };
-  };
-  auto original_classifier = flowtable::BinnedClassifier::with_table_view(
-      table_opts, bin_ns, accumulate_into(original));
-  auto sampled_classifier = flowtable::BinnedClassifier::with_table_view(
-      table_opts, bin_ns, accumulate_into(sampled));
 
-  // Batched ingest: pull a chunk of the packet stream, classify it whole,
-  // select the sampled subset with the skip-based sampler and classify the
-  // gathered selection. Identical counters to the per-packet path (the
-  // sampler state machine is shared between offer() and select()).
+  // A packet landing exactly at duration_s classifies into bin
+  // total_bins; clamp it into the final bin (the same clamp
+  // bin_flow_counts applies to flow end times) instead of silently
+  // dropping the whole final table flush.
+  const auto accumulate_table = [total_bins](std::vector<SizeMap>& maps,
+                                             std::size_t bin,
+                                             const flowtable::FlowTable& table) {
+    const std::size_t clamped = std::min(bin, total_bins - 1);
+    table.for_each_all([&maps, clamped](const flowtable::FlowCounter& f) {
+      maps[clamped][f.key] += f.packets;
+    });
+  };
+  const auto accumulate_flows =
+      [total_bins](std::vector<SizeMap>& maps, std::size_t bin,
+                   std::span<const flowtable::FlowCounter> flows) {
+        const std::size_t clamped = std::min(bin, total_bins - 1);
+        for (const auto& f : flows) maps[clamped][f.key] += f.packets;
+      };
+
+  // Batched ingest: pull a chunk of the packet stream, select the sampled
+  // subset with the skip-based sampler (inherently sequential, so always
+  // on this thread), and classify both streams — inline for num_shards ==
+  // 1, on the sharded pipeline's workers otherwise. Identical counters
+  // either way: the sampler sees the identical packet sequence, and
+  // hash-sharding assigns every flow wholly to one shard.
   constexpr std::size_t kBatch = 4096;
   sampler::BernoulliSampler bernoulli(sampling_rate, run_seed);
   trace::PacketStream stream(trace);
   std::vector<packet::PacketRecord> batch, selected;
   batch.reserve(kBatch);
   selected.reserve(kBatch);
-  while (stream.next_batch(batch, kBatch) > 0) {
-    original_classifier.add_batch(batch);
-    bernoulli.select_into(batch, selected);
-    sampled_classifier.add_batch(selected);
+
+  if (num_shards == 1) {
+    auto original_classifier = flowtable::BinnedClassifier::with_table_view(
+        table_opts, bin_ns,
+        [&](std::size_t bin, const flowtable::FlowTable& table) {
+          accumulate_table(original, bin, table);
+        });
+    auto sampled_classifier = flowtable::BinnedClassifier::with_table_view(
+        table_opts, bin_ns,
+        [&](std::size_t bin, const flowtable::FlowTable& table) {
+          accumulate_table(sampled, bin, table);
+        });
+    while (stream.next_batch(batch, kBatch) > 0) {
+      original_classifier.add_batch(batch);
+      bernoulli.select_into(batch, selected);
+      sampled_classifier.add_batch(selected);
+    }
+    original_classifier.finish();
+    sampled_classifier.finish();
+  } else {
+    ingest::ShardedPipelineConfig pipe_cfg;
+    pipe_cfg.num_shards = num_shards;
+    pipe_cfg.num_streams = 2;  // stream 0 = original, stream 1 = sampled
+    pipe_cfg.bin_ns = bin_ns;
+    pipe_cfg.table_options = table_opts;
+    ingest::ShardedPipeline pipeline(pipe_cfg);
+    while (stream.next_batch(batch, kBatch) > 0) {
+      pipeline.add_batch(0, batch);
+      bernoulli.select_into(batch, selected);
+      pipeline.add_batch(1, selected);
+    }
+    pipeline.finish();
+    for (std::size_t b = 0; b < pipeline.bin_count(0); ++b) {
+      accumulate_flows(original, b, pipeline.bin_flows(0, b));
+    }
+    for (std::size_t b = 0; b < pipeline.bin_count(1); ++b) {
+      accumulate_flows(sampled, b, pipeline.bin_flows(1, b));
+    }
   }
-  original_classifier.finish();
-  sampled_classifier.finish();
 
   std::vector<metrics::RankMetricsResult> out;
   out.reserve(total_bins);
+  // Key-sorted flow order: deterministic across platforms, hash-map
+  // implementations and shard counts (the metrics' tie-breaks depend on
+  // input order, so a canonical order is what makes the single-thread and
+  // N-shard paths bit-identical).
+  std::vector<std::pair<packet::FlowKey, std::uint64_t>> bin_flows;
   std::vector<std::uint64_t> true_sizes, sampled_sizes;
   for (std::size_t b = 0; b < total_bins; ++b) {
     if (original[b].size() < config.top_t) {
       out.push_back(metrics::RankMetricsResult{});
       continue;
     }
+    bin_flows.assign(original[b].begin(), original[b].end());
+    std::sort(bin_flows.begin(), bin_flows.end(),
+              [](const auto& a, const auto& c) { return a.first < c.first; });
     true_sizes.clear();
     sampled_sizes.clear();
-    for (const auto& [key, packets] : original[b]) {
+    for (const auto& [key, packets] : bin_flows) {
       true_sizes.push_back(packets);
       const auto it = sampled[b].find(key);
       sampled_sizes.push_back(it == sampled[b].end() ? 0 : it->second);

@@ -64,8 +64,13 @@ struct SimResult {
 /// Packet-path single run: returns the per-bin metrics of one sampling
 /// pass over the real packet stream (used in tests to validate the count
 /// path, and by examples as the reference pipeline).
+///
+/// `num_shards` > 1 routes classification through the multi-threaded
+/// ingest::ShardedPipeline (one worker per shard); sampling stays on the
+/// driver thread, so the result is bit-identical to the single-threaded
+/// path for the same `run_seed` at any shard count.
 [[nodiscard]] std::vector<metrics::RankMetricsResult> run_packet_level_once(
     const trace::FlowTrace& trace, double sampling_rate, const SimConfig& config,
-    std::uint64_t run_seed);
+    std::uint64_t run_seed, std::size_t num_shards = 1);
 
 }  // namespace flowrank::sim

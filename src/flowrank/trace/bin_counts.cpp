@@ -8,14 +8,24 @@
 
 namespace flowrank::trace {
 
+std::int64_t bin_length_ns(double bin_seconds) {
+  if (!(bin_seconds > 0.0)) {
+    throw std::invalid_argument("bin_length_ns: bin_seconds must be > 0");
+  }
+  return std::llround(bin_seconds * 1e9);
+}
+
+std::size_t bin_count(double duration_s, double bin_seconds) {
+  if (!(bin_seconds > 0.0)) {
+    throw std::invalid_argument("bin_count: bin_seconds must be > 0");
+  }
+  return static_cast<std::size_t>(std::ceil(duration_s / bin_seconds));
+}
+
 BinnedCounts bin_flow_counts(const FlowTrace& trace, double bin_seconds,
                              packet::FlowDefinition def,
                              std::uint64_t placement_seed) {
-  if (!(bin_seconds > 0.0)) {
-    throw std::invalid_argument("bin_flow_counts: bin_seconds must be > 0");
-  }
-  const auto bin_count = static_cast<std::size_t>(
-      std::ceil(trace.config.duration_s / bin_seconds));
+  const std::size_t bin_count = trace::bin_count(trace.config.duration_s, bin_seconds);
   BinnedCounts out;
   out.bin_seconds = bin_seconds;
   out.bins.resize(bin_count);

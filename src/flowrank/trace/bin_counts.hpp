@@ -19,6 +19,19 @@
 
 namespace flowrank::trace {
 
+/// Measurement-interval length in nanoseconds. Rounded, not truncated:
+/// truncation turns e.g. 0.3 s into 299 999 999 ns, which makes the
+/// packet path's integer bin edges drift one nanosecond per bin away from
+/// the double-division edges used by bin_flow_counts. Every consumer that
+/// bins integer timestamps must derive bin_ns through this helper.
+[[nodiscard]] std::int64_t bin_length_ns(double bin_seconds);
+
+/// Number of measurement intervals covering a trace of `duration_s`
+/// seconds cut into `bin_seconds` bins (the final bin may be partial).
+/// The single definition shared by the count path and the packet path, so
+/// the two always agree on how many bins a trace has.
+[[nodiscard]] std::size_t bin_count(double duration_s, double bin_seconds);
+
 /// Packet count of one flow inside one bin.
 struct BinFlowCount {
   packet::FlowKey key;        ///< flow identity at the chosen aggregation

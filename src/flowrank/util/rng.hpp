@@ -34,6 +34,26 @@ namespace flowrank::util {
   return splitmix64(s);
 }
 
+/// Folds one more coordinate into a stream id, splitmix-style. Unlike
+/// shift-packing ((a << 40) ^ (b << 20) ^ c), which silently collides as
+/// soon as a coordinate outgrows its bit field (e.g. >= 2^20 bins of a
+/// long trace aliasing the run index), every coordinate is diffused over
+/// all 64 bits before the next one is folded in, so distinct tuples give
+/// distinct streams up to a ~2^-64 accidental collision.
+[[nodiscard]] constexpr std::uint64_t mix_stream(std::uint64_t stream,
+                                                 std::uint64_t coordinate) noexcept {
+  std::uint64_t s = stream ^ (0x94d049bb133111ebULL * (coordinate + 1));
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+/// Stream id for a (a, b, c) coordinate triple, e.g. (rate index, run,
+/// bin). Feed the result to make_engine() as the stream argument.
+[[nodiscard]] constexpr std::uint64_t mix_streams(std::uint64_t a, std::uint64_t b,
+                                                  std::uint64_t c) noexcept {
+  return mix_stream(mix_stream(a, b), c);
+}
+
 /// Engine used across the library. mt19937_64 is deterministic across
 /// platforms, which matters for golden-value tests.
 using Engine = std::mt19937_64;

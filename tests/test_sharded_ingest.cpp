@@ -1,0 +1,327 @@
+// Tests for the sharded multi-threaded ingest pipeline: FlowTable merge
+// semantics, and the load-bearing guarantee that hash-sharded
+// classification is bit-identical to the single-threaded path at any
+// shard count (per-bin flow counters and downstream rank metrics alike).
+#include <map>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/flowtable/binned_classifier.hpp"
+#include "flowrank/ingest/sharded_pipeline.hpp"
+#include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/trace/bin_counts.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+
+namespace fp = flowrank::packet;
+namespace ftab = flowrank::flowtable;
+namespace fing = flowrank::ingest;
+namespace ftr = flowrank::trace;
+namespace fsim = flowrank::sim;
+
+namespace {
+
+fp::PacketRecord make_packet(std::uint32_t src_ip, std::int64_t ts_ns,
+                             std::uint32_t bytes = 500) {
+  fp::PacketRecord pkt;
+  pkt.timestamp_ns = ts_ns;
+  pkt.tuple.src_ip = src_ip;
+  pkt.tuple.dst_ip = 0x0A000001;
+  pkt.tuple.src_port = 1234;
+  pkt.tuple.dst_port = 80;
+  pkt.tuple.protocol = fp::Protocol::kTcp;
+  pkt.size_bytes = bytes;
+  return pkt;
+}
+
+/// A trace whose flows straddle many bin boundaries: mean duration well
+/// above the 2.5 s bin used by the equivalence tests.
+ftr::FlowTrace make_boundary_heavy_trace() {
+  auto cfg = ftr::FlowTraceConfig::sprint_5tuple(1.5, /*seed=*/33);
+  cfg.duration_s = 30.0;
+  cfg.flow_rate_per_s = 120.0;
+  return ftr::generate_flow_trace(cfg);
+}
+
+/// Canonical footprint of a table: every flow (completed subflows and
+/// active entries) keyed and ordered so two tables can be compared
+/// regardless of internal layout.
+using FlowFootprint =
+    std::map<std::tuple<std::uint64_t, std::uint64_t, std::int64_t>,
+             std::tuple<std::uint64_t, std::uint64_t, std::int64_t, std::int64_t>>;
+
+void footprint_add(FlowFootprint& out, const ftab::FlowCounter& f) {
+  // (key, first_ns) identifies a subflow even under timeout splitting.
+  auto& entry = out[{f.key.hi, f.key.lo, f.first_ns}];
+  entry = {std::get<0>(entry) + f.packets, std::get<1>(entry) + f.bytes,
+           f.first_ns, f.last_ns};
+}
+
+FlowFootprint footprint(const ftab::FlowTable& table) {
+  FlowFootprint out;
+  table.for_each_all([&out](const ftab::FlowCounter& f) { footprint_add(out, f); });
+  return out;
+}
+
+FlowFootprint footprint(std::span<const ftab::FlowCounter> flows) {
+  FlowFootprint out;
+  for (const auto& f : flows) footprint_add(out, f);
+  return out;
+}
+
+/// Runs the whole trace through a single-threaded BinnedClassifier and
+/// returns per-bin footprints.
+std::vector<FlowFootprint> classify_inline(const ftr::FlowTrace& trace,
+                                           const ftab::FlowTable::Options& opts,
+                                           std::int64_t bin_ns) {
+  std::vector<FlowFootprint> bins;
+  auto classifier = ftab::BinnedClassifier::with_table_view(
+      opts, bin_ns, [&bins](std::size_t bin, const ftab::FlowTable& table) {
+        if (bins.size() <= bin) bins.resize(bin + 1);
+        bins[bin] = footprint(table);
+      });
+  ftr::PacketStream stream(trace);
+  std::vector<fp::PacketRecord> batch;
+  while (stream.next_batch(batch, 4096) > 0) classifier.add_batch(batch);
+  classifier.finish();
+  return bins;
+}
+
+std::vector<FlowFootprint> classify_sharded(const ftr::FlowTrace& trace,
+                                            const ftab::FlowTable::Options& opts,
+                                            std::int64_t bin_ns,
+                                            std::size_t num_shards) {
+  fing::ShardedPipelineConfig cfg;
+  cfg.num_shards = num_shards;
+  cfg.num_streams = 1;
+  cfg.bin_ns = bin_ns;
+  cfg.table_options = opts;
+  fing::ShardedPipeline pipeline(cfg);
+  ftr::PacketStream stream(trace);
+  std::vector<fp::PacketRecord> batch;
+  while (stream.next_batch(batch, 4096) > 0) pipeline.add_batch(0, batch);
+  pipeline.finish();
+  std::vector<FlowFootprint> bins(pipeline.bin_count(0));
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    bins[b] = footprint(pipeline.bin_flows(0, b));
+  }
+  return bins;
+}
+
+}  // namespace
+
+TEST(FlowTableMerge, MergeCounterFoldsEveryField) {
+  ftab::FlowCounter a;
+  a.packets = 3;
+  a.bytes = 1500;
+  a.first_ns = 100;
+  a.last_ns = 900;
+  ftab::FlowCounter b = a;
+  b.packets = 2;
+  b.bytes = 1000;
+  b.first_ns = 50;
+  b.last_ns = 600;
+  b.min_tcp_seq = 10;
+  b.max_tcp_seq = 2000;
+  b.has_tcp_seq = true;
+
+  ftab::merge_counter(a, b);
+  EXPECT_EQ(a.packets, 5u);
+  EXPECT_EQ(a.bytes, 2500u);
+  EXPECT_EQ(a.first_ns, 50);
+  EXPECT_EQ(a.last_ns, 900);
+  EXPECT_TRUE(a.has_tcp_seq);
+  EXPECT_EQ(a.min_tcp_seq, 10u);
+  EXPECT_EQ(a.max_tcp_seq, 2000u);
+}
+
+TEST(FlowTableMerge, MergeFromUnionsDisjointTables) {
+  const ftab::FlowTable::Options opts{fp::FlowDefinition::kFiveTuple, 0};
+  ftab::FlowTable a(opts), b(opts);
+  for (std::uint32_t ip = 0; ip < 10; ++ip) a.add(make_packet(ip, 1000 + ip));
+  for (std::uint32_t ip = 100; ip < 120; ++ip) b.add(make_packet(ip, 2000 + ip));
+
+  ftab::FlowTable merged(opts);
+  merged.merge_from(a);
+  merged.merge_from(b);
+  EXPECT_EQ(merged.size(), 30u);
+
+  auto expected = footprint(a);
+  for (auto& [key, value] : footprint(b)) expected[key] = value;
+  EXPECT_EQ(footprint(merged), expected);
+}
+
+TEST(FlowTableMerge, MergeFromAccumulatesOnKeyCollision) {
+  const ftab::FlowTable::Options opts{fp::FlowDefinition::kFiveTuple, 0};
+  ftab::FlowTable a(opts), b(opts);
+  a.add(make_packet(7, 100));
+  a.add(make_packet(7, 200));
+  b.add(make_packet(7, 150));
+
+  a.merge_from(b);
+  EXPECT_EQ(a.size(), 1u);
+  a.for_each_active([](const ftab::FlowCounter& f) {
+    EXPECT_EQ(f.packets, 3u);
+    EXPECT_EQ(f.first_ns, 100);
+    EXPECT_EQ(f.last_ns, 200);
+  });
+}
+
+TEST(FlowTableMerge, MergeFromKeepsCompletedSubflowsSeparate) {
+  ftab::FlowTable::Options opts{fp::FlowDefinition::kFiveTuple, 0};
+  opts.idle_timeout_ns = 100;
+  ftab::FlowTable split(opts);
+  split.add(make_packet(1, 0));
+  split.add(make_packet(1, 1000));  // idle gap: first packet becomes a subflow
+
+  ftab::FlowTable merged(opts);
+  merged.merge_from(split);
+  EXPECT_EQ(merged.completed().size(), 1u);
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(footprint(merged), footprint(split));
+}
+
+TEST(ShardedPipeline, RejectsBadConfigs) {
+  fing::ShardedPipelineConfig cfg;
+  cfg.bin_ns = 1000;
+  cfg.num_shards = 0;
+  EXPECT_THROW(fing::ShardedPipeline{cfg}, std::invalid_argument);
+  cfg.num_shards = 1;
+  cfg.num_streams = 0;
+  EXPECT_THROW(fing::ShardedPipeline{cfg}, std::invalid_argument);
+  cfg.num_streams = 1;
+  cfg.bin_ns = 0;
+  EXPECT_THROW(fing::ShardedPipeline{cfg}, std::invalid_argument);
+}
+
+TEST(ShardedPipeline, LifecycleGuards) {
+  fing::ShardedPipelineConfig cfg;
+  cfg.bin_ns = 1000;
+  fing::ShardedPipeline pipeline(cfg);
+  EXPECT_THROW((void)pipeline.bin_count(0), std::logic_error);
+  pipeline.finish();
+  pipeline.finish();  // idempotent
+  EXPECT_EQ(pipeline.bin_count(0), 0u);
+  const std::vector<fp::PacketRecord> batch{make_packet(1, 10)};
+  EXPECT_THROW(pipeline.add_batch(0, batch), std::logic_error);
+  EXPECT_THROW((void)pipeline.bin_flows(0, 0), std::out_of_range);
+}
+
+TEST(ShardedPipeline, StreamsAreIndependent) {
+  fing::ShardedPipelineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.num_streams = 2;
+  cfg.bin_ns = 1000;
+  fing::ShardedPipeline pipeline(cfg);
+  const std::vector<fp::PacketRecord> batch0{make_packet(1, 10), make_packet(2, 20)};
+  const std::vector<fp::PacketRecord> batch1{make_packet(3, 2500)};
+  pipeline.add_batch(0, batch0);
+  pipeline.add_batch(1, batch1);
+  pipeline.finish();
+
+  ASSERT_EQ(pipeline.bin_count(0), 1u);
+  ASSERT_EQ(pipeline.bin_count(1), 3u);
+  EXPECT_EQ(pipeline.bin_flows(0, 0).size(), 2u);
+  EXPECT_EQ(pipeline.bin_flows(1, 0).size(), 0u);
+  EXPECT_EQ(pipeline.bin_flows(1, 2).size(), 1u);
+}
+
+TEST(ShardedPipeline, StreamingCallbackReplacesRetention) {
+  const auto trace = make_boundary_heavy_trace();
+  const ftab::FlowTable::Options opts{fp::FlowDefinition::kFiveTuple, 0};
+  const std::int64_t bin_ns = ftr::bin_length_ns(2.5);
+
+  // Streamed flushes, folded into per-bin footprints under a lock (the
+  // callback runs on whichever worker flushes).
+  std::mutex mutex;
+  std::vector<FlowFootprint> streamed;
+  fing::ShardedPipelineConfig cfg;
+  cfg.num_shards = 4;
+  cfg.bin_ns = bin_ns;
+  cfg.table_options = opts;
+  cfg.on_shard_bin = [&](std::size_t shard, std::size_t stream, std::size_t bin,
+                         const ftab::FlowTable& table) {
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(stream, 0u);
+    std::lock_guard lock(mutex);
+    if (streamed.size() <= bin) streamed.resize(bin + 1);
+    table.for_each_all(
+        [&](const ftab::FlowCounter& f) { footprint_add(streamed[bin], f); });
+  };
+  fing::ShardedPipeline pipeline(cfg);
+  ftr::PacketStream stream(trace);
+  std::vector<fp::PacketRecord> batch;
+  while (stream.next_batch(batch, 4096) > 0) pipeline.add_batch(0, batch);
+  pipeline.finish();
+
+  EXPECT_EQ(pipeline.bin_count(0), 0u);  // nothing retained
+  EXPECT_EQ(streamed, classify_inline(trace, opts, bin_ns));
+}
+
+TEST(ShardedPipeline, ShardCountsAreBitIdenticalToInline) {
+  const auto trace = make_boundary_heavy_trace();
+  const ftab::FlowTable::Options opts{fp::FlowDefinition::kFiveTuple, 0};
+  const std::int64_t bin_ns = ftr::bin_length_ns(2.5);
+
+  const auto inline_bins = classify_inline(trace, opts, bin_ns);
+  ASSERT_GE(inline_bins.size(), 12u);
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    const auto sharded_bins = classify_sharded(trace, opts, bin_ns, shards);
+    ASSERT_EQ(sharded_bins.size(), inline_bins.size()) << shards << " shards";
+    for (std::size_t b = 0; b < inline_bins.size(); ++b) {
+      EXPECT_EQ(sharded_bins[b], inline_bins[b])
+          << shards << " shards, bin " << b;
+    }
+  }
+}
+
+TEST(ShardedPipeline, TimeoutSplittingSurvivesSharding) {
+  const auto trace = make_boundary_heavy_trace();
+  ftab::FlowTable::Options opts{fp::FlowDefinition::kFiveTuple, 0};
+  opts.idle_timeout_ns = 500'000'000;  // 0.5 s: plenty of splits
+  const std::int64_t bin_ns = ftr::bin_length_ns(5.0);
+
+  const auto inline_bins = classify_inline(trace, opts, bin_ns);
+  const auto sharded_bins = classify_sharded(trace, opts, bin_ns, 4);
+  EXPECT_EQ(sharded_bins, inline_bins);
+}
+
+TEST(ShardedSim, PacketLevelMetricsBitIdenticalAcrossShardCounts) {
+  const auto trace = make_boundary_heavy_trace();
+  fsim::SimConfig cfg;
+  cfg.bin_seconds = 2.5;
+  cfg.top_t = 5;
+  cfg.sampling_rates = {0.2};
+  cfg.seed = 17;
+
+  const auto reference = fsim::run_packet_level_once(trace, 0.2, cfg, 77);
+  ASSERT_GE(reference.size(), 12u);
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    const auto sharded = fsim::run_packet_level_once(trace, 0.2, cfg, 77, shards);
+    ASSERT_EQ(sharded.size(), reference.size());
+    for (std::size_t b = 0; b < reference.size(); ++b) {
+      EXPECT_EQ(sharded[b].ranking_swapped, reference[b].ranking_swapped)
+          << shards << " shards, bin " << b;
+      EXPECT_EQ(sharded[b].detection_swapped, reference[b].detection_swapped)
+          << shards << " shards, bin " << b;
+      EXPECT_EQ(sharded[b].ranking_pairs, reference[b].ranking_pairs)
+          << shards << " shards, bin " << b;
+      EXPECT_EQ(sharded[b].detection_pairs, reference[b].detection_pairs)
+          << shards << " shards, bin " << b;
+      EXPECT_EQ(sharded[b].top_set_recall, reference[b].top_set_recall)
+          << shards << " shards, bin " << b;
+    }
+  }
+}
+
+TEST(ShardedSim, RejectsZeroShards) {
+  const auto trace = make_boundary_heavy_trace();
+  fsim::SimConfig cfg;
+  cfg.bin_seconds = 10.0;
+  EXPECT_THROW((void)fsim::run_packet_level_once(trace, 0.5, cfg, 1, 0),
+               std::invalid_argument);
+}

@@ -122,6 +122,88 @@ TEST(BinnedSim, CountPathConsistentWithPacketPath) {
   }
 }
 
+namespace {
+
+/// Hand-built trace of single-packet flows at exact timestamps (a
+/// single-packet flow's packet lands at to_ns(start_s) deterministically,
+/// with no RNG involved).
+ft::FlowTrace make_point_trace(double duration_s,
+                               const std::vector<double>& starts) {
+  ft::FlowTrace trace;
+  trace.config = ft::FlowTraceConfig::sprint_5tuple(1.5, 1);
+  trace.config.duration_s = duration_s;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    fp::FlowRecord flow;
+    flow.tuple.src_ip = static_cast<std::uint32_t>(i + 1);
+    flow.tuple.dst_ip = 0x0A000001;
+    flow.tuple.protocol = fp::Protocol::kUdp;
+    flow.start_s = starts[i];
+    flow.duration_s = 0.0;
+    flow.packets = 1;
+    flow.bytes = 500;
+    trace.flows.push_back(flow);
+  }
+  return trace;
+}
+
+}  // namespace
+
+// Regression (bin-edge truncation): the packet path used
+// static_cast<int64>(bin_seconds * 1e9), which truncates whenever the
+// double product lands just under an integer (1.001 s -> 1 000 999 999 ns
+// instead of 1 001 000 000), so its integer bin edges drifted one ns per
+// bin away from the double-division edges of bin_flow_counts. bin_ns must
+// round — trace::bin_length_ns — so a packet at 3.002999998 s stays in
+// bin 2 of 1.001-s bins instead of leaking into bin 3.
+TEST(BinnedSim, PacketPathBinEdgesDoNotTruncate) {
+  // Flows at 2.5 s and 3.002999998 s (bin 2), 3.5 s (bin 3).
+  const auto trace = make_point_trace(4.5, {2.5, 3.002999998, 3.5});
+  fsim::SimConfig cfg;
+  cfg.bin_seconds = 1.001;
+  cfg.top_t = 1;
+  cfg.sampling_rates = {1.0};
+  cfg.seed = 2;
+  const auto out = fsim::run_packet_level_once(trace, 1.0, cfg, 5);
+  ASSERT_EQ(out.size(), 5u);  // ceil(4.5 / 1.001)
+  // t = 1, so ranking_pairs = N - 1 reveals each bin's flow population.
+  EXPECT_DOUBLE_EQ(out[2].ranking_pairs, 1.0);  // two flows in bin 2
+  EXPECT_DOUBLE_EQ(out[3].ranking_pairs, 0.0);  // one flow in bin 3
+}
+
+// The ISSUE's canonical sub-second interval: with bin_seconds = 0.3 the
+// packet path's edges must agree with the double-division edges exactly
+// (a packet 2 ns below the 0.9 s edge belongs to bin 2, not bin 3).
+TEST(BinnedSim, PacketPathBinEdgesMatchDoubleDivisionEdgesAt300ms) {
+  EXPECT_EQ(ft::bin_length_ns(0.3), 300'000'000);
+  const auto trace = make_point_trace(1.21, {0.85, 0.899999998, 0.95});
+  fsim::SimConfig cfg;
+  cfg.bin_seconds = 0.3;
+  cfg.top_t = 1;
+  cfg.sampling_rates = {1.0};
+  cfg.seed = 2;
+  const auto out = fsim::run_packet_level_once(trace, 1.0, cfg, 5);
+  ASSERT_EQ(out.size(), 5u);  // ceil(1.21 / 0.3)
+  EXPECT_DOUBLE_EQ(out[2].ranking_pairs, 1.0);  // two flows in bin 2
+  EXPECT_DOUBLE_EQ(out[3].ranking_pairs, 0.0);  // one flow in bin 3
+}
+
+// Regression (final-bin flush drop): a packet landing exactly at
+// duration_s classifies one past the last bin; it must be clamped into
+// the final bin (like bin_counts' last_bin clamp), not silently dropped
+// with the whole final table flush.
+TEST(BinnedSim, PacketAtTraceEndCountsInFinalBin) {
+  // One flow mid-bin-5 plus two flows exactly at the trace end (3.0 s).
+  const auto trace = make_point_trace(3.0, {2.7, 3.0, 3.0});
+  fsim::SimConfig cfg;
+  cfg.bin_seconds = 0.5;
+  cfg.top_t = 1;
+  cfg.sampling_rates = {1.0};
+  cfg.seed = 2;
+  const auto out = fsim::run_packet_level_once(trace, 1.0, cfg, 5);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_DOUBLE_EQ(out[5].ranking_pairs, 2.0);  // all three flows present
+}
+
 TEST(BinnedSim, SkipsBinsWithTooFewFlows) {
   // A near-empty trace: bins with fewer flows than top_t keep empty stats.
   auto cfg = ft::FlowTraceConfig::sprint_5tuple(1.5, 5);

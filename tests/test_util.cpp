@@ -1,5 +1,8 @@
 // Tests for utilities: RNG determinism, table formatting, CLI parsing.
+#include <cstdint>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -21,6 +24,44 @@ TEST(Rng, DeriveSeedIsDeterministicAndSpreads) {
     differing_bits += ((a >> bit) & 1) != ((b >> bit) & 1);
   }
   EXPECT_GT(differing_bits, 16);
+}
+
+// Regression: the simulation used to pack (rate_idx, run, bin) into one
+// stream id with shifts ((rate_idx << 40) ^ (run << 20) ^ bin), which
+// collides once a trace has >= 2^20 bins — (run=1, bin=0) aliased
+// (run=0, bin=2^20), correlating Monte-Carlo runs. The splitmix mixing
+// must keep such triples on distinct streams.
+TEST(Rng, MixStreamsSeparatesTriplesBeyondShiftFieldWidths) {
+  const auto stream_a = fu::mix_streams(0, 1, 0);
+  const auto stream_b = fu::mix_streams(0, 0, std::uint64_t{1} << 20);
+  EXPECT_NE(stream_a, stream_b);
+  // The engines they seed must diverge too.
+  auto ea = fu::make_engine(3, stream_a);
+  auto eb = fu::make_engine(3, stream_b);
+  EXPECT_NE(ea(), eb());
+}
+
+TEST(Rng, MixStreamsIsDeterministicAndCollisionFreeOnAGrid) {
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  // Rate/run ranges as the simulation uses them; bins sweep both small
+  // indices and the 2^20 / 2^40 aliasing boundaries of the old packing.
+  std::vector<std::uint64_t> bins;
+  for (std::uint64_t b = 0; b < 64; ++b) bins.push_back(b);
+  for (const std::uint64_t base : {std::uint64_t{1} << 20, std::uint64_t{1} << 40}) {
+    for (std::uint64_t off = 0; off < 8; ++off) bins.push_back(base + off);
+  }
+  for (std::uint64_t rate_idx = 0; rate_idx < 4; ++rate_idx) {
+    for (std::uint64_t run = 0; run < 30; ++run) {
+      for (const std::uint64_t bin : bins) {
+        EXPECT_EQ(fu::mix_streams(rate_idx, run, bin),
+                  fu::mix_streams(rate_idx, run, bin));
+        seen.insert(fu::mix_streams(rate_idx, run, bin));
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
 }
 
 TEST(Rng, EnginesReproduce) {
