@@ -6,7 +6,10 @@
 //                        allocation + pointer chase per new flow, hash
 //                        probe per packet);
 //  * LegacyBernoulli   — per-packet coin flip, constructing a fresh
-//                        std::bernoulli_distribution on every offer().
+//                        std::bernoulli_distribution on every offer();
+//  * legacy_run_binned_simulation — the PR 2 sequential Monte-Carlo
+//                        sweep (per-flow std::binomial_distribution
+//                        construction, per-run true-ranking sort).
 //
 // Bench-only: nothing in the library links this header.
 #pragma once
@@ -16,9 +19,12 @@
 #include <unordered_map>
 
 #include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/metrics/rank_metrics.hpp"
 #include "flowrank/numeric/binomial.hpp"
 #include "flowrank/packet/flow_key.hpp"
 #include "flowrank/packet/records.hpp"
+#include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/trace/bin_counts.hpp"
 #include "flowrank/util/rng.hpp"
 
 namespace bench {
@@ -107,5 +113,66 @@ class LegacyBernoulli {
   double p_;
   flowrank::util::Engine engine_;
 };
+
+/// The PR 2 count-path sweep, frozen verbatim: sequential walk of the
+/// rates x bins x runs grid, a fresh std::binomial_distribution per flow
+/// per run for the thinning, and one full compute_rank_metrics call per
+/// run (re-sorting the run-invariant true ranking every time). This is
+/// the single-threaded baseline the SweepEngine + RankMetricsContext +
+/// util::binomial_sample path in sim::run_binned_simulation is measured
+/// against (BM_BinnedSimSweep vs BM_BinnedSimSweepSeedPath).
+inline flowrank::sim::SimResult legacy_run_binned_simulation(
+    const flowrank::trace::FlowTrace& trace,
+    const flowrank::sim::SimConfig& config) {
+  namespace sim = flowrank::sim;
+  const flowrank::trace::BinnedCounts counts = flowrank::trace::bin_flow_counts(
+      trace, config.bin_seconds, config.definition, /*placement_seed=*/config.seed);
+
+  sim::SimResult result;
+  result.config = config;
+  result.series.resize(config.sampling_rates.size());
+
+  std::vector<std::uint64_t> true_sizes;
+  std::vector<std::uint64_t> sampled_sizes;
+
+  for (std::size_t rate_idx = 0; rate_idx < config.sampling_rates.size(); ++rate_idx) {
+    const double p = config.sampling_rates[rate_idx];
+    sim::RateSeries& series = result.series[rate_idx];
+    series.sampling_rate = p;
+    series.bins.resize(counts.bins.size());
+
+    for (std::size_t b = 0; b < counts.bins.size(); ++b) {
+      const auto& bin = counts.bins[b];
+      series.bins[b].flows_in_bin = bin.size();
+      if (bin.size() < config.top_t) continue;  // not enough flows to rank
+
+      true_sizes.resize(bin.size());
+      sampled_sizes.resize(bin.size());
+      for (std::size_t i = 0; i < bin.size(); ++i) true_sizes[i] = bin[i].packets;
+
+      for (int run = 0; run < config.runs; ++run) {
+        auto engine = flowrank::util::make_engine(
+            config.seed,
+            flowrank::util::mix_streams(rate_idx, static_cast<std::uint64_t>(run), b));
+        for (std::size_t i = 0; i < bin.size(); ++i) {
+          if (true_sizes[i] == 0 || p == 0.0) {
+            sampled_sizes[i] = 0;
+          } else if (p == 1.0) {
+            sampled_sizes[i] = true_sizes[i];
+          } else {
+            std::binomial_distribution<std::uint64_t> thin(true_sizes[i], p);
+            sampled_sizes[i] = thin(engine);
+          }
+        }
+        const auto m = flowrank::metrics::compute_rank_metrics(
+            true_sizes, sampled_sizes, config.top_t, config.tie_policy);
+        series.bins[b].ranking.add(m.ranking_swapped);
+        series.bins[b].detection.add(m.detection_swapped);
+        series.bins[b].recall.add(m.top_set_recall);
+      }
+    }
+  }
+  return result;
+}
 
 }  // namespace bench

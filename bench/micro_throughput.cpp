@@ -30,8 +30,10 @@
 #include "flowrank/numeric/incbeta.hpp"
 #include "flowrank/numeric/quadrature.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/sim/binned_sim.hpp"
 #include "flowrank/trace/flow_trace_generator.hpp"
 #include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/binomial_sample.hpp"
 
 namespace {
 
@@ -361,6 +363,118 @@ void BM_RankMetrics(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_RankMetrics)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// Context reuse: the same population scored repeatedly (the Monte-Carlo
+// sweep shape — one context per bin, one evaluate per run). Compare
+// against BM_RankMetrics at the same n, which rebuilds the context
+// (true-ranking sort included) on every call.
+void BM_RankMetricsContext(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto engine = flowrank::util::make_engine(9);
+  const auto pareto = flowrank::dist::Pareto::from_mean(9.6, 1.5);
+  std::vector<std::uint64_t> true_sizes(n), sampled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    true_sizes[i] = static_cast<std::uint64_t>(pareto.sample(engine));
+    sampled[i] = true_sizes[i] / 10;
+  }
+  flowrank::metrics::RankMetricsContext context(true_sizes, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context.evaluate(sampled));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RankMetricsContext)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Monte-Carlo sweep: binomial sampling + the parallel sweep engine -------
+
+// Thinning kernel head-to-head: the portable sampler vs a per-call
+// std::binomial_distribution (what thin_count and run_mc_model used
+// through PR 2). Small mean hits the BINV branch, large mean BTPE.
+void BM_BinomialSample(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  auto engine = flowrank::util::make_engine(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flowrank::util::binomial_sample(n, 0.01, engine));
+  }
+}
+BENCHMARK(BM_BinomialSample)->Arg(100)->Arg(1000000);
+
+void BM_BinomialSampleStdSeedPath(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  auto engine = flowrank::util::make_engine(17);
+  for (auto _ : state) {
+    std::binomial_distribution<std::uint64_t> thin(n, 0.01);
+    benchmark::DoNotOptimize(thin(engine));
+  }
+}
+BENCHMARK(BM_BinomialSampleStdSeedPath)->Arg(100)->Arg(1000000);
+
+/// Shared workload for the sweep benchmarks: a generated trace and a
+/// figure-shaped SimConfig (4 rates x 15 bins x 20 runs, top-10).
+const flowrank::trace::FlowTrace& sweep_trace() {
+  static const flowrank::trace::FlowTrace trace = [] {
+    auto cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, 21);
+    cfg.duration_s = 150.0;
+    cfg.flow_rate_per_s = 250.0;
+    return flowrank::trace::generate_flow_trace(cfg);
+  }();
+  return trace;
+}
+
+flowrank::sim::SimConfig sweep_config() {
+  flowrank::sim::SimConfig cfg;
+  cfg.bin_seconds = 10.0;
+  cfg.top_t = 10;
+  cfg.sampling_rates = {0.001, 0.01, 0.1, 0.5};
+  cfg.runs = 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// The whole count-path Monte-Carlo sweep on the SweepEngine at 1, 2 and 4
+// threads. Results are bit-identical at every thread count (asserted in
+// tests/test_sweep_engine.cpp); only wall time changes. On a single-vCPU
+// runner the thread counts time-slice one core, so the honest column to
+// compare there is the frozen PR 2 path below; on a multi-core host the
+// sweep shows the parallel speedup directly. UseRealTime for the same
+// reason as BM_ShardedIngest: workers run off the benchmark's CPU clock.
+void BM_BinnedSimSweep(benchmark::State& state) {
+  const auto& trace = sweep_trace();
+  auto cfg = sweep_config();
+  cfg.num_threads = static_cast<std::size_t>(state.range(0));
+  double cells = 0.0;
+  for (auto _ : state) {
+    const auto result = flowrank::sim::run_binned_simulation(trace, cfg);
+    benchmark::DoNotOptimize(result.series.front().bins.front().ranking.mean());
+    cells = static_cast<double>(result.series.size() *
+                                result.series.front().bins.size());
+  }
+  state.counters["threads"] = static_cast<double>(cfg.num_threads);
+  state.counters["grid_cells"] = cells;
+}
+BENCHMARK(BM_BinnedSimSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The frozen PR 2 sweep on the identical workload: sequential grid walk,
+// per-flow std::binomial_distribution construction, full
+// compute_rank_metrics (true-ranking sort included) per run.
+void BM_BinnedSimSweepSeedPath(benchmark::State& state) {
+  const auto& trace = sweep_trace();
+  const auto cfg = sweep_config();
+  for (auto _ : state) {
+    const auto result = bench::legacy_run_binned_simulation(trace, cfg);
+    benchmark::DoNotOptimize(result.series.front().bins.front().ranking.mean());
+  }
+}
+BENCHMARK(BM_BinnedSimSweepSeedPath)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -34,6 +34,14 @@ inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
   spec.trace_config.duration_s = cli.get_double("duration", full ? 1800.0 : 900.0);
   spec.trace_config.flow_rate_per_s *= scale;
   const int runs = static_cast<int>(cli.get_int("runs", full ? 30 : 15));
+  // --threads N parallelizes the Monte-Carlo grid on sim::SweepEngine
+  // (N = 0: all hardware threads). Output is bit-identical at any N.
+  const int threads_arg = static_cast<int>(cli.get_int("threads", 1));
+  if (threads_arg < 0) {
+    std::cerr << "--threads must be >= 0 (0 = all hardware threads)\n";
+    return 1;
+  }
+  const auto num_threads = static_cast<std::size_t>(threads_arg);
 
   std::cout << "# " << spec.figure << " — " << spec.what << "\n";
   std::cout << "# trace: " << spec.trace_config.duration_s << " s at "
@@ -50,6 +58,7 @@ inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
     sim_cfg.runs = runs;
     sim_cfg.definition = spec.definition;
     sim_cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+    sim_cfg.num_threads = num_threads;
     const auto result = flowrank::sim::run_binned_simulation(trace, sim_cfg);
 
     std::cout << "\n## bin = " << bin_seconds << " s ("
@@ -105,6 +114,7 @@ inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
   verdict_cfg.sampling_rates = spec.rates;
   verdict_cfg.runs = runs;
   verdict_cfg.definition = spec.definition;
+  verdict_cfg.num_threads = num_threads;
   const auto result = flowrank::sim::run_binned_simulation(trace, verdict_cfg);
   std::vector<double> avg(spec.rates.size(), 0.0);
   int bins_counted = 0;

@@ -1,11 +1,12 @@
 #include "flowrank/core/mc_model.hpp"
 
 #include <cmath>
-#include <random>
 #include <stdexcept>
 #include <vector>
 
 #include "flowrank/metrics/rank_metrics.hpp"
+#include "flowrank/sim/sweep_engine.hpp"
+#include "flowrank/util/binomial_sample.hpp"
 
 namespace flowrank::core {
 
@@ -24,7 +25,7 @@ double McModelResult::detection_stderr() const {
 }
 
 McModelResult run_mc_model(const RankingModelConfig& config, int runs,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, std::size_t num_threads) {
   if (!config.size_dist) {
     throw std::invalid_argument("run_mc_model: size_dist is required");
   }
@@ -36,29 +37,50 @@ McModelResult run_mc_model(const RankingModelConfig& config, int runs,
   }
   if (runs < 1) throw std::invalid_argument("run_mc_model: runs >= 1");
 
-  McModelResult result;
   const auto n = static_cast<std::size_t>(config.n);
-  std::vector<std::uint64_t> true_sizes(n);
-  std::vector<std::uint64_t> sampled_sizes(n);
 
-  for (int run = 0; run < runs; ++run) {
+  // One slot per run; runs execute in any order on the pool (each derives
+  // its own engine stream), and the slots are folded below in run order so
+  // the Welford accumulation sequence — and therefore every output bit —
+  // matches the sequential path at any thread count.
+  struct RunOutput {
+    double ranking = 0.0;
+    double detection = 0.0;
+    double recall = 0.0;
+  };
+  std::vector<RunOutput> outputs(static_cast<std::size_t>(runs));
+
+  const auto run_one = [&](std::size_t run) {
+    // Reused per worker thread across runs (hoisted out of the per-flow
+    // loop, where the seed path also constructed a fresh
+    // std::binomial_distribution per flow).
+    thread_local std::vector<std::uint64_t> true_sizes;
+    thread_local std::vector<std::uint64_t> sampled_sizes;
+    true_sizes.resize(n);
+    sampled_sizes.resize(n);
+
     auto engine = util::make_engine(seed, static_cast<std::uint64_t>(run));
     for (std::size_t i = 0; i < n; ++i) {
       const double s = config.size_dist->sample(engine);
-      true_sizes[i] =
-          static_cast<std::uint64_t>(std::llround(std::max(1.0, s)));
-      if (config.p >= 1.0) {
-        sampled_sizes[i] = true_sizes[i];
-      } else {
-        std::binomial_distribution<std::uint64_t> thin(true_sizes[i], config.p);
-        sampled_sizes[i] = thin(engine);
-      }
+      true_sizes[i] = static_cast<std::uint64_t>(std::llround(std::max(1.0, s)));
+      sampled_sizes[i] = config.p >= 1.0
+                             ? true_sizes[i]
+                             : util::binomial_sample(true_sizes[i], config.p, engine);
     }
-    const auto metrics_result = metrics::compute_rank_metrics(
+    const auto m = metrics::compute_rank_metrics(
         true_sizes, sampled_sizes, static_cast<std::size_t>(config.t));
-    result.ranking_metric.add(metrics_result.ranking_swapped);
-    result.detection_metric.add(metrics_result.detection_swapped);
-    result.top_set_recall.add(metrics_result.top_set_recall);
+    outputs[run] = RunOutput{m.ranking_swapped, m.detection_swapped,
+                             m.top_set_recall};
+  };
+
+  sim::SweepEngine pool(sim::SweepEngine::resolve_thread_count(num_threads));
+  pool.parallel_for(outputs.size(), run_one);
+
+  McModelResult result;
+  for (const RunOutput& out : outputs) {
+    result.ranking_metric.add(out.ranking);
+    result.detection_metric.add(out.detection);
+    result.top_set_recall.add(out.recall);
   }
   return result;
 }

@@ -26,8 +26,16 @@ struct McModelResult {
 };
 
 /// Runs `runs` independent populations (sizes and sampling redrawn each
-/// run). Deterministic in `seed`. Throws on invalid configuration.
+/// run). Deterministic in `seed`, including across `num_threads`: each run
+/// owns its own derived RNG stream and result slot, runs execute on a
+/// sim::SweepEngine pool, and per-run partials are folded in run order —
+/// so any thread count reproduces the sequential aggregates bit for bit
+/// (num_threads: 1 = sequential, 0 = all hardware threads; requires
+/// config.size_dist->sample() to be safe for concurrent calls with
+/// distinct engines, true of every dist:: implementation). Throws on
+/// invalid configuration.
 [[nodiscard]] McModelResult run_mc_model(const RankingModelConfig& config,
-                                         int runs, std::uint64_t seed);
+                                         int runs, std::uint64_t seed,
+                                         std::size_t num_threads = 1);
 
 }  // namespace flowrank::core

@@ -8,32 +8,6 @@ namespace flowrank::metrics {
 
 namespace {
 
-/// Fenwick (binary indexed) tree counting elements by compressed rank.
-class Fenwick {
- public:
-  explicit Fenwick(std::size_t size) : tree_(size + 1, 0) {}
-
-  void add(std::size_t rank) {
-    for (std::size_t i = rank + 1; i < tree_.size(); i += i & (~i + 1)) {
-      ++tree_[i];
-    }
-    ++total_count_;
-  }
-
-  /// Number of inserted elements with compressed rank <= `rank`.
-  [[nodiscard]] std::uint64_t count_leq(std::size_t rank) const {
-    std::uint64_t acc = 0;
-    for (std::size_t i = rank + 1; i > 0; i -= i & (~i + 1)) acc += tree_[i];
-    return acc;
-  }
-
-  [[nodiscard]] std::uint64_t total() const noexcept { return total_count_; }
-
- private:
-  std::vector<std::uint64_t> tree_;
-  std::uint64_t total_count_ = 0;
-};
-
 /// True if a pair with distinct true sizes is swapped under the policy.
 /// `s_big` samples the larger flow, `s_small` the smaller one.
 bool swapped_distinct(std::uint64_t s_big, std::uint64_t s_small, TiePolicy policy) {
@@ -48,34 +22,89 @@ bool swapped_equal(std::uint64_t sa, std::uint64_t sb, TiePolicy policy) {
   return sa == 0 && sb == 0;
 }
 
+/// Fenwick add over a zeroed tree vector (tree.size() = ranks + 1).
+inline void fenwick_add(std::vector<std::uint64_t>& tree, std::size_t rank) {
+  for (std::size_t i = rank + 1; i < tree.size(); i += i & (~i + 1)) ++tree[i];
+}
+
+/// Number of inserted elements with compressed rank <= `rank`.
+inline std::uint64_t fenwick_count_leq(const std::vector<std::uint64_t>& tree,
+                                       std::size_t rank) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = rank + 1; i > 0; i -= i & (~i + 1)) acc += tree[i];
+  return acc;
+}
+
 }  // namespace
 
-RankMetricsResult compute_rank_metrics(std::span<const std::uint64_t> true_sizes,
-                                       std::span<const std::uint64_t> sampled_sizes,
-                                       std::size_t t, TiePolicy policy) {
-  const std::size_t n = true_sizes.size();
-  if (sampled_sizes.size() != n) {
-    throw std::invalid_argument("compute_rank_metrics: size mismatch");
-  }
-  if (n == 0 || t < 1 || t > n) {
-    throw std::invalid_argument("compute_rank_metrics: requires 1 <= t <= N");
+RankMetricsContext::RankMetricsContext(std::span<const std::uint64_t> true_sizes,
+                                       std::size_t t)
+    : n_(true_sizes.size()), t_(t) {
+  if (n_ == 0 || t_ < 1 || t_ > n_) {
+    throw std::invalid_argument("RankMetricsContext: requires 1 <= t <= N");
   }
 
   // True ranking: size descending, index ascending.
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+  order_.resize(n_);
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::sort(order_.begin(), order_.end(), [&](std::uint32_t a, std::uint32_t b) {
     if (true_sizes[a] != true_sizes[b]) return true_sizes[a] > true_sizes[b];
     return a < b;
   });
 
-  // Compress sampled sizes to ranks for the Fenwick tree.
-  std::vector<std::uint64_t> values(sampled_sizes.begin(), sampled_sizes.end());
-  std::sort(values.begin(), values.end());
-  values.erase(std::unique(values.begin(), values.end()), values.end());
+  // Extent of each top-t position's equal-true-size run (contiguous in
+  // order_, so positions sharing a run share the end).
+  equal_run_end_.resize(t_);
+  for (std::size_t r = 0; r < t_; ++r) {
+    const std::uint64_t size_r = true_sizes[order_[r]];
+    if (r > 0 && true_sizes[order_[r - 1]] == size_r) {
+      equal_run_end_[r] = equal_run_end_[r - 1];
+      continue;
+    }
+    std::size_t q = r + 1;
+    while (q < n_ && true_sizes[order_[q]] == size_r) ++q;
+    equal_run_end_[r] = static_cast<std::uint32_t>(q);
+  }
+
+  const double nd = static_cast<double>(n_);
+  const double td = static_cast<double>(t_);
+  ranking_pairs_ = 0.5 * (2.0 * nd - td - 1.0) * td;
+  detection_pairs_ = td * (nd - td);
+}
+
+RankMetricsResult RankMetricsContext::evaluate(
+    std::span<const std::uint64_t> sampled_sizes, TiePolicy policy) {
+  if (sampled_sizes.size() != n_) {
+    throw std::invalid_argument("RankMetricsContext: size mismatch");
+  }
+
+  // Rank function for the Fenwick tree. Small sampled sizes — the common
+  // case under thinning, where a bin's samples rarely exceed a few
+  // thousand — index the tree by value directly; only large, sparse size
+  // ranges pay the O(N log N) sort-compress. Both modes rank every value
+  // identically (count_leq(rank(v)) counts exactly the samples <= v), so
+  // the choice never changes a result, only the constant factor.
+  std::uint64_t max_sample = 0;
+  for (const std::uint64_t s : sampled_sizes) max_sample = std::max(max_sample, s);
+  constexpr std::uint64_t kDirectFenwickCap = 1u << 16;
+  // Direct mode must also be cheap relative to N: zeroing a value-indexed
+  // tree costs O(max_sample), which a small bin with moderately large
+  // samples should not pay (16·N words is well under one N log N sort).
+  const bool direct = max_sample < kDirectFenwickCap &&
+                      max_sample < 16 * static_cast<std::uint64_t>(n_);
+  std::size_t rank_count;
+  if (direct) {
+    rank_count = static_cast<std::size_t>(max_sample) + 1;
+  } else {
+    values_.assign(sampled_sizes.begin(), sampled_sizes.end());
+    std::sort(values_.begin(), values_.end());
+    values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+    rank_count = values_.size();
+  }
   const auto rank_of = [&](std::uint64_t v) {
+    if (direct) return static_cast<std::size_t>(v);
     return static_cast<std::size_t>(
-        std::lower_bound(values.begin(), values.end(), v) - values.begin());
+        std::lower_bound(values_.begin(), values_.end(), v) - values_.begin());
   };
 
   // Scan true order from the back, inserting sampled sizes; when reaching a
@@ -83,56 +112,59 @@ RankMetricsResult compute_rank_metrics(std::span<const std::uint64_t> true_sizes
   // "#suffix with s_j >= s_r" is one Fenwick query. The query applies the
   // distinct-size rule; pairs with equal TRUE size inside the suffix are
   // then corrected to the equal-size rule, and top-vs-top pairs are
-  // re-derived exactly for the detection metric.
-  Fenwick tree(values.size());
-  std::vector<std::uint64_t> suffix_geq(t, 0);  // distinct-rule swap count at r
-  for (std::size_t pos = n; pos-- > 0;) {
-    if (pos < t) {
-      const std::uint64_t s_r = sampled_sizes[order[pos]];
+  // re-derived exactly for the detection metric. The count of zero samples
+  // already inserted rides along for free — one counter instead of the
+  // O(t·N) per-row rescans the lenient policy used to pay.
+  fenwick_.assign(rank_count + 1, 0);
+  suffix_geq_.assign(t_, 0);
+  suffix_zeros_.assign(t_, 0);
+  std::uint64_t inserted = 0;
+  std::uint64_t zeros_inserted = 0;
+  for (std::size_t pos = n_; pos-- > 0;) {
+    if (pos < t_) {
+      const std::uint64_t s_r = sampled_sizes[order_[pos]];
       std::uint64_t geq;
       if (policy == TiePolicy::kPaper) {
         // s_j >= s_r  <=>  total - count(s_j <= s_r - 1); careful with 0.
         const std::uint64_t below =
-            s_r == 0 ? 0
-                     : (rank_of(s_r) == 0 ? 0 : tree.count_leq(rank_of(s_r) - 1));
-        geq = tree.total() - below;
+            s_r == 0
+                ? 0
+                : (rank_of(s_r) == 0 ? 0
+                                     : fenwick_count_leq(fenwick_, rank_of(s_r) - 1));
+        geq = inserted - below;
       } else {
         // strict s_j > s_r
-        geq = tree.total() - tree.count_leq(rank_of(s_r));
+        geq = inserted - fenwick_count_leq(fenwick_, rank_of(s_r));
       }
-      suffix_geq[pos] = geq;
+      suffix_geq_[pos] = geq;
+      suffix_zeros_[pos] = zeros_inserted;
     }
-    tree.add(rank_of(sampled_sizes[order[pos]]));
+    const std::uint64_t s = sampled_sizes[order_[pos]];
+    fenwick_add(fenwick_, rank_of(s));
+    ++inserted;
+    if (s == 0) ++zeros_inserted;
   }
 
   double ranking_swapped = 0.0;
   double detection_swapped = 0.0;
 
-  for (std::size_t r = 0; r < t; ++r) {
-    const std::uint32_t i = order[r];
+  for (std::size_t r = 0; r < t_; ++r) {
+    const std::uint32_t i = order_[r];
     const std::uint64_t s_i = sampled_sizes[i];
-    const std::uint64_t size_i = true_sizes[i];
 
-    double count = static_cast<double>(suffix_geq[r]);
-    if (policy == TiePolicy::kLenient) {
+    double count = static_cast<double>(suffix_geq_[r]);
+    if (policy == TiePolicy::kLenient && s_i == 0) {
       // Lenient distinct rule also swaps when both are zero; the Fenwick
       // query counted only strict inversions. Both-zero pairs are added in
       // the equal/zero correction below only for equal true sizes, so add
-      // the distinct-size both-zero pairs here.
-      if (s_i == 0) {
-        // every suffix flow with sampled 0 and distinct true size
-        std::uint64_t zeros_after = 0;
-        for (std::size_t q = r + 1; q < n; ++q) {
-          if (sampled_sizes[order[q]] == 0) ++zeros_after;
-        }
-        count += static_cast<double>(zeros_after);
-        // equal-true-size zeros get corrected below together with the rest
-      }
+      // the distinct-size both-zero pairs here (equal-true-size zeros get
+      // corrected below together with the rest).
+      count += static_cast<double>(suffix_zeros_[r]);
     }
 
     // Correct pairs whose TRUE sizes are equal (contiguous run after r).
-    for (std::size_t q = r + 1; q < n && true_sizes[order[q]] == size_i; ++q) {
-      const std::uint64_t s_j = sampled_sizes[order[q]];
+    for (std::size_t q = r + 1; q < equal_run_end_[r]; ++q) {
+      const std::uint64_t s_j = sampled_sizes[order_[q]];
       const bool counted = swapped_distinct(s_i, s_j, policy);
       const bool correct = swapped_equal(s_i, s_j, policy);
       count += static_cast<double>(correct) - static_cast<double>(counted);
@@ -142,43 +174,50 @@ RankMetricsResult compute_rank_metrics(std::span<const std::uint64_t> true_sizes
 
     // Detection: remove pairs whose second element is also a top-t flow.
     double top_top = 0.0;
-    for (std::size_t q = r + 1; q < t; ++q) {
-      const std::uint32_t j = order[q];
-      const std::uint64_t s_j = sampled_sizes[j];
-      const bool swapped = true_sizes[j] == size_i ? swapped_equal(s_i, s_j, policy)
-                                                   : swapped_distinct(s_i, s_j, policy);
+    for (std::size_t q = r + 1; q < t_; ++q) {
+      const std::uint64_t s_j = sampled_sizes[order_[q]];
+      const bool swapped = q < equal_run_end_[r] ? swapped_equal(s_i, s_j, policy)
+                                                 : swapped_distinct(s_i, s_j, policy);
       if (swapped) top_top += 1.0;
     }
     detection_swapped += count - top_top;
   }
 
   // Sampled top-t set for recall, same deterministic tie-break.
-  std::vector<std::uint32_t> sampled_order(n);
-  std::iota(sampled_order.begin(), sampled_order.end(), 0u);
-  std::nth_element(sampled_order.begin(),
-                   sampled_order.begin() + static_cast<std::ptrdiff_t>(t - 1),
-                   sampled_order.end(), [&](std::uint32_t a, std::uint32_t b) {
+  sampled_order_.resize(n_);
+  std::iota(sampled_order_.begin(), sampled_order_.end(), 0u);
+  std::nth_element(sampled_order_.begin(),
+                   sampled_order_.begin() + static_cast<std::ptrdiff_t>(t_ - 1),
+                   sampled_order_.end(), [&](std::uint32_t a, std::uint32_t b) {
                      if (sampled_sizes[a] != sampled_sizes[b]) {
                        return sampled_sizes[a] > sampled_sizes[b];
                      }
                      return a < b;
                    });
-  std::vector<bool> in_sampled_top(n, false);
-  for (std::size_t r = 0; r < t; ++r) in_sampled_top[sampled_order[r]] = true;
+  in_sampled_top_.assign(n_, false);
+  for (std::size_t r = 0; r < t_; ++r) in_sampled_top_[sampled_order_[r]] = true;
   std::size_t hits = 0;
-  for (std::size_t r = 0; r < t; ++r) {
-    if (in_sampled_top[order[r]]) ++hits;
+  for (std::size_t r = 0; r < t_; ++r) {
+    if (in_sampled_top_[order_[r]]) ++hits;
   }
 
   RankMetricsResult result;
   result.ranking_swapped = ranking_swapped;
   result.detection_swapped = detection_swapped;
-  const double nd = static_cast<double>(n);
-  const double td = static_cast<double>(t);
-  result.ranking_pairs = 0.5 * (2.0 * nd - td - 1.0) * td;
-  result.detection_pairs = td * (nd - td);
-  result.top_set_recall = static_cast<double>(hits) / td;
+  result.ranking_pairs = ranking_pairs_;
+  result.detection_pairs = detection_pairs_;
+  result.top_set_recall = static_cast<double>(hits) / static_cast<double>(t_);
   return result;
+}
+
+RankMetricsResult compute_rank_metrics(std::span<const std::uint64_t> true_sizes,
+                                       std::span<const std::uint64_t> sampled_sizes,
+                                       std::size_t t, TiePolicy policy) {
+  if (sampled_sizes.size() != true_sizes.size()) {
+    throw std::invalid_argument("compute_rank_metrics: size mismatch");
+  }
+  RankMetricsContext context(true_sizes, t);
+  return context.evaluate(sampled_sizes, policy);
 }
 
 }  // namespace flowrank::metrics

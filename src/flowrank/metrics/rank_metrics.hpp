@@ -15,7 +15,17 @@
 // non-zero (Sec. 3's equal-size convention). A lenient policy (ties are
 // fine) is provided for sensitivity analysis.
 //
-// Complexity: O(N log N) via a Fenwick tree over compressed sampled sizes.
+// The Monte-Carlo sweeps evaluate the same true population against
+// hundreds of sampled realizations (one per run). Everything that depends
+// only on (true_sizes, t) — the descending true order, the extents of
+// equal-true-size runs, the pair-count denominators — is therefore hoisted
+// into RankMetricsContext, built once per bin; evaluate() then costs one
+// Fenwick pass over the sampled sizes per run, with no true-side sort.
+// compute_rank_metrics() remains as the one-shot convenience (build a
+// context, evaluate once).
+//
+// Complexity: O(N log N) per evaluation via a Fenwick tree over compressed
+// sampled sizes; context construction adds one O(N log N) sort, paid once.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +49,55 @@ struct RankMetricsResult {
   double top_set_recall = 0.0;     ///< |true top-t ∩ sampled top-t| / t
 };
 
-/// Computes all metrics for one realization.
+/// Run-invariant state of one (true_sizes, t) population, reusable across
+/// any number of sampled realizations.
+///
+/// Not safe for concurrent evaluate() calls on the same instance (it owns
+/// reusable scratch buffers); give each worker its own context.
+class RankMetricsContext {
+ public:
+  /// Copies what it needs from `true_sizes`; the span need not outlive
+  /// the context. Requires N >= 1 and 1 <= t <= N; throws
+  /// std::invalid_argument otherwise. The true top-t is chosen by size
+  /// descending with index ascending as the deterministic tie-break.
+  RankMetricsContext(std::span<const std::uint64_t> true_sizes, std::size_t t);
+
+  /// Scores one sampled realization against the fixed true population.
+  /// `sampled_sizes[i]` must describe the same flow i the context's
+  /// `true_sizes[i]` did; throws std::invalid_argument on a length
+  /// mismatch. Identical output to compute_rank_metrics() on the same
+  /// inputs.
+  [[nodiscard]] RankMetricsResult evaluate(
+      std::span<const std::uint64_t> sampled_sizes,
+      TiePolicy policy = TiePolicy::kPaper);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t t() const noexcept { return t_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t t_ = 0;
+  /// Flow indices in true order: size descending, index ascending.
+  std::vector<std::uint32_t> order_;
+  /// equal_run_end_[r] (r < t): one past the last position whose true size
+  /// equals position r's — equal-true-size runs are contiguous in order_.
+  std::vector<std::uint32_t> equal_run_end_;
+  double ranking_pairs_ = 0.0;    ///< (2N-t-1) t / 2
+  double detection_pairs_ = 0.0;  ///< t (N-t)
+
+  // Per-evaluate scratch, reused across runs to keep the sweep hot loop
+  // allocation-free after the first evaluation.
+  std::vector<std::uint64_t> values_;  ///< sorted unique samples (sparse mode)
+  std::vector<std::uint64_t> fenwick_;     ///< Fenwick tree over values_
+  std::vector<std::uint64_t> suffix_geq_;  ///< distinct-rule swap counts
+  std::vector<std::uint64_t> suffix_zeros_;  ///< zero-sample counts after r
+  std::vector<std::uint32_t> sampled_order_;  ///< recall's sampled top-t
+  std::vector<bool> in_sampled_top_;
+};
+
+/// Computes all metrics for one realization (one-shot: builds a context
+/// and evaluates once — callers scoring many realizations of the same
+/// true population should hold a RankMetricsContext instead).
 ///
 /// `true_sizes[i]` and `sampled_sizes[i]` describe flow i. Requires equal
 /// lengths, N >= 1 and 1 <= t <= N; throws std::invalid_argument otherwise.

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "flowrank/util/binomial_sample.hpp"
+
 namespace flowrank::sampler {
 
 namespace {
@@ -200,10 +202,12 @@ std::uint64_t thin_count(std::uint64_t count, double p, util::Engine& engine) {
   if (!(p >= 0.0 && p <= 1.0)) {
     throw std::invalid_argument("thin_count: p in [0,1]");
   }
-  if (count == 0 || p == 0.0) return 0;
-  if (p == 1.0) return count;
-  std::binomial_distribution<std::uint64_t> bin(count, p);
-  return bin(engine);
+  // util::binomial_sample rather than std::binomial_distribution: no
+  // per-call distribution construction, O(1) draws for large counts, and
+  // a variate stream that is identical across standard libraries (the
+  // std:: one is implementation-defined, which silently forked the
+  // "deterministic" figure data between libstdc++ and libc++).
+  return util::binomial_sample(count, p, engine);
 }
 
 }  // namespace flowrank::sampler

@@ -161,7 +161,10 @@ class FlowSampler final : public PacketSampler {
 };
 
 /// Binomial thinning of a packet count: the count-level equivalent of
-/// Bernoulli-sampling `count` packets at rate p.
+/// Bernoulli-sampling `count` packets at rate p. Backed by
+/// util::binomial_sample, so the variate stream is the canonical portable
+/// one (identical across standard libraries), not the
+/// implementation-defined std::binomial_distribution stream.
 [[nodiscard]] std::uint64_t thin_count(std::uint64_t count, double p,
                                        util::Engine& engine);
 

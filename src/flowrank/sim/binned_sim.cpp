@@ -11,7 +11,9 @@
 #include "flowrank/flowtable/binned_classifier.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/sim/sweep_engine.hpp"
 #include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/binomial_sample.hpp"
 
 namespace flowrank::sim {
 
@@ -41,42 +43,71 @@ SimResult run_binned_simulation(const trace::FlowTrace& trace,
   result.config = config;
   result.series.resize(config.sampling_rates.size());
 
-  std::vector<std::uint64_t> true_sizes;
-  std::vector<std::uint64_t> sampled_sizes;
-
+  // The Monte-Carlo grid: one cell per (sampling rate, rankable bin).
+  // Cells are fully independent — each (rate, run, bin) triple owns its
+  // own splitmix-mixed RNG stream (the previous shift-packed mix
+  // ((rate_idx << 40) ^ (run << 20) ^ b) reused streams once a trace had
+  // >= 2^20 bins, correlating Monte-Carlo runs) and writes its own
+  // BinStats slot, so the SweepEngine may execute them on any thread in
+  // any order and the result is still bit-identical to the sequential
+  // walk. Within a cell, runs stay in run order: RunningStats folds are
+  // order-sensitive in floating point.
+  struct Cell {
+    std::size_t rate_idx = 0;
+    std::size_t bin = 0;
+  };
+  std::vector<Cell> cells;
   for (std::size_t rate_idx = 0; rate_idx < config.sampling_rates.size(); ++rate_idx) {
-    const double p = config.sampling_rates[rate_idx];
     RateSeries& series = result.series[rate_idx];
-    series.sampling_rate = p;
+    series.sampling_rate = config.sampling_rates[rate_idx];
     series.bins.resize(counts.bins.size());
-
     for (std::size_t b = 0; b < counts.bins.size(); ++b) {
-      const auto& bin = counts.bins[b];
-      series.bins[b].flows_in_bin = bin.size();
-      if (bin.size() < config.top_t) continue;  // not enough flows to rank
-
-      true_sizes.resize(bin.size());
-      sampled_sizes.resize(bin.size());
-      for (std::size_t i = 0; i < bin.size(); ++i) true_sizes[i] = bin[i].packets;
-
-      for (int run = 0; run < config.runs; ++run) {
-        // Splitmix-mixed stream id: the previous shift-packed mix
-        // ((rate_idx << 40) ^ (run << 20) ^ b) reused streams once a trace
-        // had >= 2^20 bins, correlating Monte-Carlo runs.
-        auto engine = util::make_engine(
-            config.seed,
-            util::mix_streams(rate_idx, static_cast<std::uint64_t>(run), b));
-        for (std::size_t i = 0; i < bin.size(); ++i) {
-          sampled_sizes[i] = sampler::thin_count(true_sizes[i], p, engine);
-        }
-        const auto m = metrics::compute_rank_metrics(true_sizes, sampled_sizes,
-                                                     config.top_t, config.tie_policy);
-        series.bins[b].ranking.add(m.ranking_swapped);
-        series.bins[b].detection.add(m.detection_swapped);
-        series.bins[b].recall.add(m.top_set_recall);
-      }
+      series.bins[b].flows_in_bin = counts.bins[b].size();
+      if (counts.bins[b].size() < config.top_t) continue;  // not enough to rank
+      cells.push_back(Cell{rate_idx, b});
     }
   }
+
+  const auto run_cell = [&](std::size_t cell_index) {
+    // Reused per worker thread: the sweep's hot loop allocates nothing
+    // after each worker's first cell.
+    thread_local std::vector<std::uint64_t> true_sizes;
+    thread_local std::vector<std::uint64_t> sampled_sizes;
+
+    const Cell cell = cells[cell_index];
+    const double p = config.sampling_rates[cell.rate_idx];
+    const auto& bin = counts.bins[cell.bin];
+    BinStats& stats = result.series[cell.rate_idx].bins[cell.bin];
+
+    true_sizes.resize(bin.size());
+    sampled_sizes.resize(bin.size());
+    for (std::size_t i = 0; i < bin.size(); ++i) true_sizes[i] = bin[i].packets;
+
+    // Everything that depends only on the bin's true population — the
+    // descending true order, equal-size run extents, pair counts — is
+    // computed once here and shared by all runs of the cell. Likewise the
+    // thinner memoizes the per-flow-size binomial setup at this cell's
+    // rate (same stream as sampler::thin_count, less setup per draw).
+    metrics::RankMetricsContext context(true_sizes, config.top_t);
+    util::BinomialThinner thin(p);
+
+    for (int run = 0; run < config.runs; ++run) {
+      auto engine = util::make_engine(
+          config.seed,
+          util::mix_streams(cell.rate_idx, static_cast<std::uint64_t>(run),
+                            cell.bin));
+      for (std::size_t i = 0; i < bin.size(); ++i) {
+        sampled_sizes[i] = thin(true_sizes[i], engine);
+      }
+      const auto m = context.evaluate(sampled_sizes, config.tie_policy);
+      stats.ranking.add(m.ranking_swapped);
+      stats.detection.add(m.detection_swapped);
+      stats.recall.add(m.top_set_recall);
+    }
+  };
+
+  SweepEngine pool(SweepEngine::resolve_thread_count(config.num_threads));
+  pool.parallel_for(cells.size(), run_cell);
   return result;
 }
 

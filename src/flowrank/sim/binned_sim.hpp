@@ -33,6 +33,11 @@ struct SimConfig {
   packet::FlowDefinition definition = packet::FlowDefinition::kFiveTuple;
   metrics::TiePolicy tie_policy = metrics::TiePolicy::kPaper;
   std::uint64_t seed = 1;
+  /// Worker threads for the (rate, bin) Monte-Carlo grid (sim::SweepEngine);
+  /// every cell has its own RNG stream (util::mix_streams), so results are
+  /// bit-identical at any thread count. 1 = sequential, 0 = all hardware
+  /// threads.
+  std::size_t num_threads = 1;
 };
 
 /// Per-bin aggregates over runs at one sampling rate.
@@ -56,7 +61,11 @@ struct SimResult {
 };
 
 /// Runs the count-path simulation over a generated flow trace.
-/// Deterministic in (trace.config.seed, config.seed). Bins whose original
+/// Deterministic in (trace.config.seed, config.seed) — including across
+/// `config.num_threads`: the (rate, bin) grid cells are independent tasks
+/// on a SweepEngine pool, each seeded by its own mix_streams stream, with
+/// per-cell results folded back in (rate, bin, run) order, so any thread
+/// count reproduces the sequential output bit for bit. Bins whose original
 /// flow population is smaller than top_t are skipped (stats left empty).
 [[nodiscard]] SimResult run_binned_simulation(const trace::FlowTrace& trace,
                                               const SimConfig& config);

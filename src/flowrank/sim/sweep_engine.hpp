@@ -1,0 +1,83 @@
+// Persistent worker pool for the Monte-Carlo sweeps.
+//
+// The evaluation grids this repo sweeps — run_binned_simulation's
+// (sampling_rate, bin) cells, run_mc_model's runs — are embarrassingly
+// parallel by construction: PR 2's util::mix_streams gives every cell its
+// own independent RNG stream, so a cell's result depends only on its own
+// coordinates, never on which thread computes it or in what order. The
+// engine exploits exactly that shape: parallel_for() hands out task
+// indices dynamically (cells vary wildly in cost with bin population),
+// every task writes to its own pre-allocated slot, and the caller folds
+// slots back in deterministic index order. Results are therefore
+// bit-identical at any thread count — the property
+// tests/test_sweep_engine.cpp pins down.
+//
+// Unlike ingest::ShardedPipeline (a streaming pipeline with per-shard
+// queues and backpressure), this is a plain fork-join pool: tasks are
+// index ranges known up front, and the pool persists across any number of
+// parallel_for() calls so a sweep pays thread start-up once, not per
+// grid row.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flowrank::sim {
+
+/// Fork-join worker pool. One instance may serve many parallel_for()
+/// calls (sequentially — the class is not itself thread-safe; one driver
+/// thread submits work).
+class SweepEngine {
+ public:
+  /// `num_threads` >= 1 is the total parallelism: num_threads - 1 workers
+  /// are spawned and the calling thread participates in every
+  /// parallel_for. num_threads == 1 spawns nothing and runs inline.
+  /// Throws std::invalid_argument on 0.
+  explicit SweepEngine(std::size_t num_threads);
+
+  /// Joins the workers.
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Executes fn(i) once for every i in [0, count), spread dynamically
+  /// over the pool; returns when all calls have finished. fn must be safe
+  /// to call concurrently for distinct i (tasks writing to disjoint slots
+  /// is the intended pattern). If a task throws, unclaimed tasks are
+  /// skipped, in-flight ones finish, and the first exception is rethrown
+  /// here.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Clamp helper for config plumbing: 0 means "all hardware threads".
+  [[nodiscard]] static std::size_t resolve_thread_count(std::size_t requested);
+
+ private:
+  void worker_loop();
+  /// Claims and runs tasks of the current job until its indices run out.
+  void drain_current_job();
+
+  // All fields below are guarded by mutex_ (job_fn_ points at the
+  // caller-owned closure, which outlives the job by construction).
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;  ///< new job published
+  std::condition_variable job_done_;      ///< last task of the job retired
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_count_ = 0;       ///< total tasks of the current job
+  std::size_t next_index_ = 0;      ///< first unclaimed task index
+  std::size_t in_flight_ = 0;       ///< claimed tasks not yet retired
+  std::exception_ptr first_error_;  ///< first exception thrown by a task
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace flowrank::sim

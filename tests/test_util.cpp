@@ -1,11 +1,16 @@
-// Tests for utilities: RNG determinism, table formatting, CLI parsing.
+// Tests for utilities: RNG determinism, the portable binomial sampler,
+// table formatting, CLI parsing.
+#include <cmath>
 #include <cstdint>
 #include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "flowrank/numeric/binomial.hpp"
+#include "flowrank/util/binomial_sample.hpp"
 #include "flowrank/util/cli.hpp"
 #include "flowrank/util/rng.hpp"
 #include "flowrank/util/table.hpp"
@@ -132,4 +137,133 @@ TEST(Cli, BooleanSpellings) {
   const char* bad[] = {"prog", "--x=maybe"};
   fu::Cli bad_cli(2, bad);
   EXPECT_THROW((void)bad_cli.get_bool("x", false), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// util::binomial_sample: the portable canonical binomial stream
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Chi-squared goodness-of-fit of binomial_sample(n, p) draws against the
+/// exact pmf, with tail bins merged until every cell expects >= 5 counts.
+/// Returns (statistic, degrees of freedom).
+std::pair<double, int> binomial_chi_squared(std::uint64_t n, double p,
+                                            int trials, std::uint64_t seed) {
+  auto engine = fu::make_engine(seed);
+  std::vector<std::uint64_t> counts(n + 1, 0);
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t k = fu::binomial_sample(n, p, engine);
+    EXPECT_LE(k, n);
+    ++counts[k];
+  }
+  // Merge k-cells left to right into bins with expected count >= 5.
+  double chi2 = 0.0;
+  int cells = 0;
+  double expected_acc = 0.0;
+  double observed_acc = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    expected_acc +=
+        trials * flowrank::numeric::binomial_pmf(static_cast<std::int64_t>(k),
+                                                 static_cast<std::int64_t>(n), p);
+    observed_acc += static_cast<double>(counts[k]);
+    if (expected_acc >= 5.0 && k < n) {
+      const double d = observed_acc - expected_acc;
+      chi2 += d * d / expected_acc;
+      ++cells;
+      expected_acc = 0.0;
+      observed_acc = 0.0;
+    }
+  }
+  // Whatever remains (the right tail, incl. pmf mass beyond the last
+  // observed k) forms the final cell.
+  if (expected_acc > 0.0) {
+    const double d = observed_acc - expected_acc;
+    chi2 += d * d / expected_acc;
+    ++cells;
+  }
+  return {chi2, cells - 1};
+}
+
+}  // namespace
+
+TEST(BinomialSample, EdgeCasesAndValidation) {
+  auto engine = fu::make_engine(5);
+  EXPECT_EQ(fu::binomial_sample(0, 0.5, engine), 0u);
+  EXPECT_EQ(fu::binomial_sample(100, 0.0, engine), 0u);
+  EXPECT_EQ(fu::binomial_sample(100, 1.0, engine), 100u);
+  EXPECT_THROW((void)fu::binomial_sample(10, -0.1, engine), std::invalid_argument);
+  EXPECT_THROW((void)fu::binomial_sample(10, 1.5, engine), std::invalid_argument);
+  EXPECT_THROW((void)fu::binomial_sample(10, std::nan(""), engine),
+               std::invalid_argument);
+}
+
+TEST(BinomialSample, DeterministicInEngineState) {
+  auto a = fu::make_engine(123, 9);
+  auto b = fu::make_engine(123, 9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(fu::binomial_sample(5000, 0.37, a), fu::binomial_sample(5000, 0.37, b));
+  }
+}
+
+// Chi-squared goodness of fit across the BINV/BTPE branch boundary
+// (n·min(p,1-p) = kBinomialInversionMaxMean = 30): both algorithms, both
+// the direct and the flipped (p > 1/2) parameterizations, including cases
+// that sit just on either side of the threshold. The 0.999-quantile of
+// chi-squared(d) is below d + 3.3·sqrt(2d) + 4 in this dof range, so the
+// bound fails with probability << 1e-3 per case were the sampler exact —
+// and the seeds are fixed, so the test is deterministic.
+TEST(BinomialSample, ChiSquaredAcrossBranchBoundary) {
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  const Case cases[] = {
+      {50, 0.2},     // BINV, small mean
+      {100, 0.29},   // BINV, just under the boundary (29)
+      {100, 0.31},   // BTPE, just over the boundary (31)
+      {100, 0.71},   // flipped: pp = 0.29, BINV
+      {100, 0.69},   // flipped: pp = 0.31, BTPE
+      {2000, 0.01},  // BINV at large n, tiny p (the thinning regime)
+      {2000, 0.2},   // BTPE bulk
+      {400, 0.5},    // BTPE at the symmetric point
+  };
+  std::uint64_t seed = 1000;
+  for (const auto& c : cases) {
+    const auto [chi2, dof] = binomial_chi_squared(c.n, c.p, 40000, seed++);
+    ASSERT_GT(dof, 3);
+    EXPECT_LT(chi2, dof + 3.3 * std::sqrt(2.0 * dof) + 4.0)
+        << "n=" << c.n << " p=" << c.p << " dof=" << dof;
+  }
+}
+
+// BinomialThinner memoizes setup only — its stream must match
+// binomial_sample draw for draw, across both branches and flips, so that
+// sweeps using a thinner are bit-identical to one-shot callers.
+TEST(BinomialSample, ThinnerMatchesOneShotStream) {
+  for (double p : {0.001, 0.02, 0.31, 0.5, 0.69, 0.97}) {
+    fu::BinomialThinner thinner(p);
+    auto one_shot_engine = fu::make_engine(77, 3);
+    auto thinner_engine = fu::make_engine(77, 3);
+    std::uint64_t sizes[] = {1, 2, 3, 7, 9, 2, 40, 7, 1000, 7, 3, 200000, 9, 1};
+    for (int rep = 0; rep < 50; ++rep) {
+      for (std::uint64_t n : sizes) {
+        ASSERT_EQ(fu::binomial_sample(n, p, one_shot_engine),
+                  thinner(n, thinner_engine))
+            << "p=" << p << " n=" << n << " rep=" << rep;
+      }
+    }
+    // Engines consumed the same number of variates.
+    EXPECT_EQ(one_shot_engine(), thinner_engine());
+  }
+}
+
+TEST(BinomialSample, ThinnerValidatesAndShortCircuits) {
+  EXPECT_THROW(fu::BinomialThinner{-0.1}, std::invalid_argument);
+  EXPECT_THROW(fu::BinomialThinner{1.5}, std::invalid_argument);
+  fu::BinomialThinner zero(0.0), one(1.0);
+  auto engine = fu::make_engine(1);
+  EXPECT_EQ(zero(100, engine), 0u);
+  EXPECT_EQ(one(100, engine), 100u);
+  EXPECT_EQ(one(0, engine), 0u);
 }
