@@ -7,8 +7,7 @@ int main(int argc, char** argv) {
   bench::SimFigureSpec spec;
   spec.figure = "Figure 12";
   spec.what = "ranking vs time, 5-tuple, top 10 flows (synthetic Sprint trace)";
-  spec.trace_config = flowrank::trace::FlowTraceConfig::sprint_5tuple(
-      cli.get_double("beta", 1.5), static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  spec.preset = "sprint_5tuple";
   spec.definition = flowrank::packet::FlowDefinition::kFiveTuple;
   return bench::run_sim_figure(cli, spec);
 }

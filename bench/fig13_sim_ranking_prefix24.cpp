@@ -7,8 +7,7 @@ int main(int argc, char** argv) {
   bench::SimFigureSpec spec;
   spec.figure = "Figure 13";
   spec.what = "ranking vs time, /24 prefixes, top 10 flows (synthetic Sprint trace)";
-  spec.trace_config = flowrank::trace::FlowTraceConfig::sprint_prefix24(
-      cli.get_double("beta", 1.5), static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  spec.preset = "sprint_prefix24";
   spec.definition = flowrank::packet::FlowDefinition::kDstPrefix24;
   return bench::run_sim_figure(cli, spec);
 }

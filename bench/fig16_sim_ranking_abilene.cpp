@@ -12,8 +12,7 @@ int main(int argc, char** argv) {
   spec.what =
       "ranking vs time, 5-tuple, top 10 flows (synthetic Abilene-like trace, "
       "short-tailed sizes)";
-  spec.trace_config = flowrank::trace::FlowTraceConfig::abilene(
-      static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  spec.preset = "abilene";
   spec.definition = flowrank::packet::FlowDefinition::kFiveTuple;
   spec.rates = {0.001, 0.01, 0.1, 0.8};
   return bench::run_sim_figure(cli, spec);

@@ -23,6 +23,7 @@
 #include "flowrank/core/misranking.hpp"
 #include "flowrank/core/ranking_model.hpp"
 #include "flowrank/dist/pareto.hpp"
+#include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/flow_table.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/metrics/rank_metrics.hpp"
@@ -315,6 +316,69 @@ BENCHMARK(BM_ShardedIngest)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Repeated short pipelines: the cost model the TaskPool rewrite targets.
+// A monitor that opens a fresh ShardedPipeline per measurement job (one
+// small interval each) used to pay a thread spawn/join per shard per
+// pipeline; on the shared pool the workers are parked once and reused.
+// BM_ShortPipelinesPooled runs 64 back-to-back pipelines per iteration on
+// the shared pool; BM_ShortPipelinesSpawn forces the old cost model by
+// giving every pipeline its own throwaway TaskPool (fresh threads per
+// run). Identical classification work; only the startup amortization
+// differs, so the pipelines are deliberately short.
+constexpr std::size_t kShortPipelines = 64;
+constexpr std::size_t kShortPipelinePackets = 2048;
+
+void run_short_pipeline(std::span<const flowrank::packet::PacketRecord> packets,
+                        flowrank::exec::TaskPool* pool,
+                        std::uint64_t& flows_flushed) {
+  flowrank::ingest::ShardedPipelineConfig cfg;
+  cfg.num_shards = 2;
+  cfg.bin_ns = static_cast<std::int64_t>(kShortPipelinePackets) * 1000;
+  cfg.table_options = {flowrank::packet::FlowDefinition::kFiveTuple, 0};
+  cfg.pool = pool;
+  std::atomic<std::uint64_t> flushed{0};
+  cfg.on_shard_bin = [&flushed](std::size_t, std::size_t, std::size_t,
+                                const flowrank::flowtable::FlowTable& table) {
+    flushed.fetch_add(table.size(), std::memory_order_relaxed);
+  };
+  flowrank::ingest::ShardedPipeline pipeline(cfg);
+  for (std::size_t start = 0; start < packets.size(); start += 4096) {
+    pipeline.add_batch(0, packets.subspan(start, std::min<std::size_t>(
+                                                     4096, packets.size() - start)));
+  }
+  pipeline.finish();
+  flows_flushed += flushed.load();
+}
+
+void BM_ShortPipelinesPooled(benchmark::State& state) {
+  const auto packets = make_ingest_batch(kShortPipelinePackets);
+  std::uint64_t flows_flushed = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kShortPipelines; ++i) {
+      run_short_pipeline(packets, /*pool=*/nullptr, flows_flushed);  // shared pool
+    }
+  }
+  benchmark::DoNotOptimize(flows_flushed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kShortPipelines * packets.size()));
+}
+BENCHMARK(BM_ShortPipelinesPooled)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ShortPipelinesSpawn(benchmark::State& state) {
+  const auto packets = make_ingest_batch(kShortPipelinePackets);
+  std::uint64_t flows_flushed = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kShortPipelines; ++i) {
+      flowrank::exec::TaskPool fresh(2);  // per-run thread spawn, as pre-rewrite
+      run_short_pipeline(packets, &fresh, flows_flushed);
+    }
+  }
+  benchmark::DoNotOptimize(flows_flushed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kShortPipelines * packets.size()));
+}
+BENCHMARK(BM_ShortPipelinesSpawn)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SamplerSelectBatch(benchmark::State& state) {
   const auto packets = make_ingest_batch(1 << 16);

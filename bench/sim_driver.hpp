@@ -1,4 +1,9 @@
-// Shared driver for the trace-driven simulation figures (Figs. 12-16).
+// Shared driver for the trace-driven simulation figures (Figs. 12-16),
+// built on the declarative scenario layer: each figure is a
+// sim::ScenarioSpec (preset + overrides) run at two bin lengths, plus the
+// figure-specific monotonicity verdict. All workload knobs — scale,
+// duration, runs, threads, seed, beta — are spec keys, so the fig
+// binaries contain no pipeline code of their own.
 //
 // The paper uses 30-minute traces at the Sprint arrival rates. At the
 // 5-tuple rate (2360 flows/s) that is ~4.2M flows; to keep every bench
@@ -9,10 +14,11 @@
 #pragma once
 
 #include <cmath>
+#include <exception>
 #include <iostream>
 #include <string>
 
-#include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/sim/scenario.hpp"
 #include "flowrank/util/cli.hpp"
 #include "flowrank/util/table.hpp"
 
@@ -21,51 +27,76 @@ namespace bench {
 struct SimFigureSpec {
   std::string figure;
   std::string what;
-  flowrank::trace::FlowTraceConfig trace_config;
+  /// Scenario preset: sprint_5tuple | sprint_prefix24 | abilene.
+  std::string preset;
   flowrank::packet::FlowDefinition definition =
       flowrank::packet::FlowDefinition::kFiveTuple;
   std::vector<double> rates{0.001, 0.01, 0.1, 0.5};
   bool expect_detection = false;  ///< print the detection metric instead
 };
 
-inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
-  const bool full = cli.get_bool("full", false);
-  const double scale = full ? 1.0 : cli.get_double("scale", 0.125);
-  spec.trace_config.duration_s = cli.get_double("duration", full ? 1800.0 : 900.0);
-  spec.trace_config.flow_rate_per_s *= scale;
-  const int runs = static_cast<int>(cli.get_int("runs", full ? 30 : 15));
-  // --threads N parallelizes the Monte-Carlo grid on sim::SweepEngine
-  // (N = 0: all hardware threads). Output is bit-identical at any N.
-  const int threads_arg = static_cast<int>(cli.get_int("threads", 1));
-  if (threads_arg < 0) {
-    std::cerr << "--threads must be >= 0 (0 = all hardware threads)\n";
+inline int run_sim_figure_or_throw(const flowrank::util::Cli& cli,
+                                   const SimFigureSpec& spec);
+
+inline int run_sim_figure(const flowrank::util::Cli& cli, const SimFigureSpec& spec) {
+  try {
+    return run_sim_figure_or_throw(cli, spec);
+  } catch (const std::exception& e) {
+    // Bad option values (e.g. --threads -1, --rates abc) get a clean
+    // message and exit code, not std::terminate.
+    std::cerr << spec.figure << ": " << e.what() << "\n";
     return 1;
   }
-  const auto num_threads = static_cast<std::size_t>(threads_arg);
+}
+
+inline int run_sim_figure_or_throw(const flowrank::util::Cli& cli,
+                                   const SimFigureSpec& spec) {
+  namespace fsim = flowrank::sim;
+
+  const bool full = cli.get_bool("full", false);
+  const double scale = full ? 1.0 : cli.get_double("scale", 0.125);
+
+  // The figure's workload as a declarative scenario; every CLI option is
+  // a spec override on top of these figure defaults.
+  fsim::ScenarioSpec scenario;
+  scenario.name = spec.figure;
+  scenario.preset = spec.preset;
+  scenario.definition = spec.definition;
+  scenario.sampling_rates = spec.rates;
+  scenario.duration_s = full ? 1800.0 : 900.0;
+  scenario.flow_rate_scale = scale;
+  scenario.runs = full ? 30 : 15;
+  scenario.trace_seed = 7;
+  scenario.seed = 7;
+  // --threads N parallelizes the Monte-Carlo grid on the shared task pool
+  // (N = 0: all hardware threads). Output is bit-identical at any N.
+  scenario.num_threads = 1;
+  flowrank::sim::apply_scenario_overrides(scenario, cli);
+  // Historical figure behaviour: one --seed re-seeds trace and sampling
+  // together unless --trace-seed separates them.
+  if (cli.has("seed") && !cli.has("trace-seed")) scenario.trace_seed = scenario.seed;
 
   std::cout << "# " << spec.figure << " — " << spec.what << "\n";
-  std::cout << "# trace: " << spec.trace_config.duration_s << " s at "
-            << spec.trace_config.flow_rate_per_s << " flows/s (scale " << scale
-            << " of paper rate; --full for paper scale), " << runs << " runs\n";
 
-  const auto trace = flowrank::trace::generate_flow_trace(spec.trace_config);
+  // Materialize the trace once; both bin lengths, the validation pass and
+  // the verdict all run over the same flows.
+  const auto source = fsim::make_trace_source(scenario);
+  const auto trace = source->flows();
+  std::cout << "# trace: " << source->name() << ", " << trace.config.duration_s
+            << " s at " << trace.config.flow_rate_per_s << " flows/s (scale "
+            << scale << " of paper rate; --full for paper scale), "
+            << scenario.runs << " runs\n";
 
   for (const double bin_seconds : {60.0, 300.0}) {
-    flowrank::sim::SimConfig sim_cfg;
-    sim_cfg.bin_seconds = bin_seconds;
-    sim_cfg.top_t = static_cast<std::size_t>(cli.get_int("t", 10));
-    sim_cfg.sampling_rates = spec.rates;
-    sim_cfg.runs = runs;
-    sim_cfg.definition = spec.definition;
-    sim_cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-    sim_cfg.num_threads = num_threads;
-    const auto result = flowrank::sim::run_binned_simulation(trace, sim_cfg);
+    scenario.bin_seconds = bin_seconds;
+    const auto sim_cfg = fsim::make_sim_config(scenario);
+    const auto result = fsim::run_binned_simulation(trace, sim_cfg);
 
     std::cout << "\n## bin = " << bin_seconds << " s ("
               << (spec.expect_detection ? "detection" : "ranking")
               << " metric: mean/std of swapped pairs per bin over runs)\n";
     std::vector<std::string> headers{"time_s", "flows"};
-    for (double r : spec.rates) {
+    for (double r : scenario.sampling_rates) {
       headers.push_back("p=" + flowrank::util::format_double(r * 100) + "%");
       headers.push_back("std");
     }
@@ -86,17 +117,14 @@ inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
 
   // Optional cross-validation of the count path against one pass of the
   // production pipeline (batched packet stream -> skip-based Bernoulli
-  // sampler -> flat flow table); see docs/PERFORMANCE.md.
+  // sampler -> flat flow table); see docs/PERFORMANCE.md. --shards N runs
+  // the validation pass on the sharded ingest pipeline (0 = all hw).
   if (cli.get_bool("validate", false)) {
-    flowrank::sim::SimConfig v_cfg;
-    v_cfg.bin_seconds = 300.0;
-    v_cfg.top_t = static_cast<std::size_t>(cli.get_int("t", 10));
-    v_cfg.sampling_rates = spec.rates;
-    v_cfg.definition = spec.definition;
-    const double v_rate = spec.rates.back();
+    scenario.bin_seconds = 300.0;
+    const auto v_cfg = fsim::make_sim_config(scenario);
+    const double v_rate = scenario.sampling_rates.back();
     const auto packet_metrics = flowrank::sim::run_packet_level_once(
-        trace, v_rate, v_cfg, /*run_seed=*/static_cast<std::uint64_t>(
-            cli.get_int("seed", 7)));
+        trace, v_rate, v_cfg, /*run_seed=*/scenario.seed, scenario.num_shards);
     std::cout << "\n## packet-path validation (batched pipeline, p = "
               << v_rate * 100 << "%)\n";
     flowrank::util::Table v_table({"bin", "ranking_swapped", "detection_swapped"});
@@ -108,15 +136,10 @@ inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
   }
 
   // Verdict: metric decreases with rate; the highest rate is accurate.
-  flowrank::sim::SimConfig verdict_cfg;
-  verdict_cfg.bin_seconds = 300.0;
-  verdict_cfg.top_t = static_cast<std::size_t>(cli.get_int("t", 10));
-  verdict_cfg.sampling_rates = spec.rates;
-  verdict_cfg.runs = runs;
-  verdict_cfg.definition = spec.definition;
-  verdict_cfg.num_threads = num_threads;
+  scenario.bin_seconds = 300.0;
+  const auto verdict_cfg = fsim::make_sim_config(scenario);
   const auto result = flowrank::sim::run_binned_simulation(trace, verdict_cfg);
-  std::vector<double> avg(spec.rates.size(), 0.0);
+  std::vector<double> avg(scenario.sampling_rates.size(), 0.0);
   int bins_counted = 0;
   for (std::size_t r = 0; r < result.series.size(); ++r) {
     bins_counted = 0;
@@ -133,7 +156,7 @@ inline int run_sim_figure(const flowrank::util::Cli& cli, SimFigureSpec spec) {
   }
   std::cout << "\nmean metric by rate:";
   for (std::size_t r = 0; r < avg.size(); ++r) {
-    std::cout << "  p=" << spec.rates[r] * 100 << "%: "
+    std::cout << "  p=" << scenario.sampling_rates[r] * 100 << "%: "
               << flowrank::util::format_double(avg[r]);
   }
   std::cout << "\npaper claim : accuracy improves with rate; 0.1% never works; "

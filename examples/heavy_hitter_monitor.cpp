@@ -20,21 +20,28 @@
 // The report compares against ground truth computed from the unsampled
 // stream, illustrating how much of the error budget is sampling vs memory.
 //
+// The monitored trace is pluggable (trace::TraceSource): synthetic by
+// default, or a recorded FRT1 file via --trace path.frt1.
+//
 // Usage: example_heavy_hitter_monitor [--rate 0.05] [--memory 256]
-//        [--t 10] [--threads 4]
+//        [--t 10] [--threads 4] [--trace recording.frt1]
+//        (--threads 0 = all hardware threads)
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "flowrank/estimators/heavy_hitter_trackers.hpp"
 #include "flowrank/estimators/tcp_seq.hpp"
+#include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/binned_classifier.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
 #include "flowrank/trace/bin_counts.hpp"
 #include "flowrank/trace/flow_trace_generator.hpp"
 #include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/trace/trace_source.hpp"
 #include "flowrank/util/cli.hpp"
 #include "flowrank/util/table.hpp"
 
@@ -66,16 +73,26 @@ int main(int argc, char** argv) {
   const auto t = static_cast<std::size_t>(cli.get_int("t", 10));
   const double bin_s = cli.get_double("bin", 60.0);
   const int threads_arg = cli.get_int("threads", 1);
-  if (threads_arg < 1) {
-    std::cerr << "--threads must be >= 1\n";
+  if (threads_arg < 0) {
+    std::cerr << "--threads must be >= 0 (0 = all hardware threads)\n";
     return 1;
   }
-  const auto threads = static_cast<std::size_t>(threads_arg);
+  const auto threads = flowrank::exec::TaskPool::resolve_parallelism(
+      static_cast<std::size_t>(threads_arg));
 
-  auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, /*seed=*/11);
-  trace_cfg.duration_s = cli.get_double("duration", 180.0);
-  trace_cfg.flow_rate_per_s = 500.0;
-  const auto trace = flowrank::trace::generate_flow_trace(trace_cfg);
+  // Pluggable source: a recorded FRT1 trace, or the synthetic default.
+  std::shared_ptr<const flowrank::trace::TraceSource> source;
+  if (cli.has("trace")) {
+    source = std::make_shared<flowrank::trace::FileTraceSource>(
+        cli.get_string("trace", ""));
+  } else {
+    auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, /*seed=*/11);
+    trace_cfg.duration_s = cli.get_double("duration", 180.0);
+    trace_cfg.flow_rate_per_s = 500.0;
+    source = std::make_shared<flowrank::trace::SyntheticTraceSource>(trace_cfg,
+                                                                     "sprint_5tuple");
+  }
+  const auto trace = source->flows();
 
   std::vector<IntervalReport> reports;
   const auto report_at = [&reports](std::size_t bin) -> IntervalReport& {
@@ -206,7 +223,7 @@ int main(int argc, char** argv) {
         sampled_count = static_cast<double>(it->second.packets);
         scaled = sampled_count / rate;
         seq_based = flowrank::estimators::estimate_size_tcp_seq(
-                        it->second, rate, trace_cfg.packet_size_bytes)
+                        it->second, rate, trace.config.packet_size_bytes)
                         .packets;
       }
       table.add_row(r + 1, report.true_top[r].packets, sampled_count, scaled,

@@ -1,17 +1,21 @@
 // Quickstart: the paper's question end to end in ~80 lines.
 //
-// Generate a synthetic Sprint-like trace, run the real packet pipeline
-// (stream -> Bernoulli sampler -> binned flow table), compare the sampled
-// top-10 against the true top-10, and ask the analytic model what it
-// predicted for this configuration.
+// Generate a synthetic Sprint-like trace (or replay a recorded FRT1 one
+// via --trace path.frt1 — the pipeline is source-agnostic), run the real
+// packet pipeline (stream -> Bernoulli sampler -> binned flow table),
+// compare the sampled top-10 against the true top-10, and ask the
+// analytic model what it predicted for this configuration.
 //
 // Usage: example_quickstart [--rate 0.1] [--duration 120] [--t 10]
+//        [--trace recording.frt1]
 #include <iostream>
+#include <memory>
 
 #include "flowrank/core/ranking_model.hpp"
 #include "flowrank/dist/pareto.hpp"
 #include "flowrank/metrics/rank_metrics.hpp"
 #include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/trace/trace_source.hpp"
 #include "flowrank/util/cli.hpp"
 #include "flowrank/util/table.hpp"
 
@@ -21,18 +25,28 @@ int main(int argc, char** argv) {
   const double duration = cli.get_double("duration", 120.0);
   const auto t = static_cast<std::size_t>(cli.get_int("t", 10));
 
-  // 1. A Sprint-like flow trace, scaled to laptop size.
-  auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(/*beta=*/1.5,
-                                                                   /*seed=*/42);
-  trace_cfg.duration_s = duration;
-  trace_cfg.flow_rate_per_s = 400.0;
-  const auto trace = flowrank::trace::generate_flow_trace(trace_cfg);
-  std::cout << "trace: " << trace.flows.size() << " flows, "
-            << trace.total_packets() << " packets over " << duration << " s\n";
+  // 1. A flow trace from a pluggable source: Sprint-like synthetic at
+  //    laptop scale, or a recorded file.
+  std::shared_ptr<const flowrank::trace::TraceSource> source;
+  if (cli.has("trace")) {
+    source = std::make_shared<flowrank::trace::FileTraceSource>(
+        cli.get_string("trace", ""));
+  } else {
+    auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(/*beta=*/1.5,
+                                                                     /*seed=*/42);
+    trace_cfg.duration_s = duration;
+    trace_cfg.flow_rate_per_s = 400.0;
+    source = std::make_shared<flowrank::trace::SyntheticTraceSource>(trace_cfg,
+                                                                     "sprint_5tuple");
+  }
+  const auto trace = source->flows();
+  std::cout << "trace: " << source->name() << " — " << trace.flows.size()
+            << " flows, " << trace.total_packets() << " packets over "
+            << trace.config.duration_s << " s\n";
 
   // 2. The real packet pipeline at the chosen sampling rate.
   flowrank::sim::SimConfig sim_cfg;
-  sim_cfg.bin_seconds = duration;  // one measurement interval
+  sim_cfg.bin_seconds = trace.config.duration_s;  // one measurement interval
   sim_cfg.top_t = t;
   sim_cfg.sampling_rates = {rate};
   const auto metrics =
@@ -47,12 +61,18 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  // 3. What the analytic model predicts for this population size.
+  // 3. What the analytic model predicts for this population size. A
+  //    recorded trace carries no size distribution, so the model is
+  //    parameterized by the paper's Sprint fit in that case.
   flowrank::core::RankingModelConfig model_cfg;
   model_cfg.n = static_cast<std::int64_t>(trace.flows.size());
   model_cfg.t = static_cast<std::int64_t>(t);
   model_cfg.p = rate;
-  model_cfg.size_dist = trace_cfg.size_dist->clone();
+  model_cfg.size_dist =
+      trace.config.size_dist
+          ? trace.config.size_dist->clone()
+          : std::make_shared<flowrank::dist::Pareto>(
+                flowrank::dist::Pareto::from_mean(9.6, 1.5));
   model_cfg.pairwise = flowrank::core::PairwiseModel::kHybrid;
   model_cfg.counting = flowrank::core::PairCounting::kUnordered;
   const auto prediction = flowrank::core::evaluate_ranking_model(model_cfg);

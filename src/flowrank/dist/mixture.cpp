@@ -1,0 +1,98 @@
+#include "flowrank/dist/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace flowrank::dist {
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("Mixture: at least one component");
+  }
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (!c.dist) throw std::invalid_argument("Mixture: null component");
+    if (!(c.weight > 0.0)) throw std::invalid_argument("Mixture: weight > 0");
+    total += c.weight;
+  }
+  min_size_ = components_.front().dist->min_size();
+  for (auto& c : components_) {
+    c.weight /= total;
+    min_size_ = std::min(min_size_, c.dist->min_size());
+  }
+}
+
+std::string Mixture::name() const {
+  std::ostringstream os;
+  os << "mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) os << " + ";
+    os << components_[i].weight << "*" << components_[i].dist->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+double Mixture::mean() const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.dist->mean();
+  return acc;
+}
+
+double Mixture::ccdf(double x) const {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight * c.dist->ccdf(x);
+  return acc;
+}
+
+double Mixture::tail_quantile(double y) const {
+  check_tail_quantile_arg(y);
+  // Envelope bracket: at hi = max_i q_i(y) every component ccdf is <= y,
+  // so the mixture is too; at lo = min_i q_i(y) the attaining component
+  // is exactly y and the others at least y, so the mixture is >= y. The
+  // mixture ccdf is monotone non-increasing between them: bisect.
+  double lo = components_.front().dist->tail_quantile(y);
+  double hi = lo;
+  for (const auto& c : components_) {
+    const double q = c.dist->tail_quantile(y);
+    lo = std::min(lo, q);
+    hi = std::max(hi, q);
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ccdf(mid) > y) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Mixture::sample(util::Engine& engine) const {
+  // Component pick then component draw (two uniforms): keeps each draw on
+  // the component's own exact sampler instead of the bisected inverse.
+  double u = util::uniform_unit_open(engine);
+  for (const auto& c : components_) {
+    if (u <= c.weight || &c == &components_.back()) {
+      return c.dist->sample(engine);
+    }
+    u -= c.weight;
+  }
+  return components_.back().dist->sample(engine);  // unreachable
+}
+
+std::shared_ptr<FlowSizeDistribution> Mixture::clone() const {
+  std::vector<Component> copies;
+  copies.reserve(components_.size());
+  for (const auto& c : components_) {
+    copies.push_back(Component{c.weight, c.dist->clone()});
+  }
+  return std::make_shared<Mixture>(std::move(copies));
+}
+
+}  // namespace flowrank::dist

@@ -8,10 +8,10 @@
 namespace flowrank::ingest {
 
 ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
-    : config_(config) {
-  if (config_.num_shards < 1) {
-    throw std::invalid_argument("ShardedPipeline: num_shards >= 1");
-  }
+    : config_(std::move(config)) {
+  // 0 = one shard per hardware thread; > kMaxParallelism throws here
+  // rather than flooding the pool with thousands of tasks.
+  config_.num_shards = exec::TaskPool::resolve_parallelism(config_.num_shards);
   if (config_.num_streams < 1) {
     throw std::invalid_argument("ShardedPipeline: num_streams >= 1");
   }
@@ -24,6 +24,10 @@ ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
   if (config_.chunk_packets < 1) {
     throw std::invalid_argument("ShardedPipeline: chunk_packets >= 1");
   }
+  if (config_.pool == nullptr) config_.pool = &exec::TaskPool::shared();
+  // Grow the pool once so every shard can drain concurrently; workers are
+  // parked between pipelines, so repeated short runs spawn nothing.
+  config_.pool->ensure_workers(config_.num_shards);
 
   merged_.resize(config_.num_streams);
   pending_.resize(config_.num_streams);
@@ -41,37 +45,39 @@ ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
     }
     shards_.push_back(std::move(shard));
   }
-  // Spawn only after every shard exists: workers never touch other shards,
-  // but keeping construction fully sequenced costs nothing.
-  for (std::size_t s = 0; s < config_.num_shards; ++s) {
-    shards_[s]->thread = std::thread([this, s] { worker_loop(s); });
-  }
 }
 
 ShardedPipeline::~ShardedPipeline() { finish(); }
 
-void ShardedPipeline::worker_loop(std::size_t shard_index) {
+void ShardedPipeline::drain_shard(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   while (true) {
     Chunk chunk;
     {
-      std::unique_lock lock(shard.mutex);
-      shard.can_pop.wait(lock,
-                         [&] { return !shard.queue.empty() || shard.closing; });
-      if (shard.queue.empty()) break;  // closing and drained
+      std::lock_guard lock(shard.mutex);
+      if (shard.queue.empty()) {
+        // Retire: the next enqueue (or none) schedules a fresh task. The
+        // driver may be waiting in finish() for exactly this transition.
+        shard.task_scheduled = false;
+        shard.can_push.notify_all();
+        return;
+      }
       chunk = std::move(shard.queue.front());
       shard.queue.pop_front();
       shard.can_push.notify_one();
     }
-    shard.classifiers[chunk.stream].add_batch(chunk.packets);
+    try {
+      shard.classifiers[chunk.stream].add_batch(chunk.packets);
+    } catch (...) {
+      std::lock_guard lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     chunk.packets.clear();
     {
       std::lock_guard lock(shard.mutex);
       shard.spare_buffers.push_back(std::move(chunk.packets));
     }
   }
-  // Queue drained and closed: flush the final (possibly partial) bins.
-  for (auto& classifier : shard.classifiers) classifier.finish();
 }
 
 std::vector<packet::PacketRecord> ShardedPipeline::take_buffer(Shard& shard) {
@@ -85,12 +91,21 @@ std::vector<packet::PacketRecord> ShardedPipeline::take_buffer(Shard& shard) {
 void ShardedPipeline::enqueue(std::size_t shard_index, std::size_t stream,
                               std::vector<packet::PacketRecord>&& packets) {
   Shard& shard = *shards_[shard_index];
-  std::unique_lock lock(shard.mutex);
-  shard.can_push.wait(
-      lock, [&] { return shard.queue.size() < config_.max_queue_chunks; });
-  shard.queue.push_back(
-      Chunk{static_cast<std::uint32_t>(stream), std::move(packets)});
-  shard.can_pop.notify_one();
+  bool schedule = false;
+  {
+    std::unique_lock lock(shard.mutex);
+    shard.can_push.wait(
+        lock, [&] { return shard.queue.size() < config_.max_queue_chunks; });
+    shard.queue.push_back(
+        Chunk{static_cast<std::uint32_t>(stream), std::move(packets)});
+    if (!shard.task_scheduled) {
+      shard.task_scheduled = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    config_.pool->submit([this, shard_index] { drain_shard(shard_index); });
+  }
 }
 
 void ShardedPipeline::flush_pending(std::size_t stream,
@@ -134,15 +149,26 @@ void ShardedPipeline::finish() {
     }
   }
   finished_ = true;
+  // Wait (on the driver thread, never on a pool worker) for every shard's
+  // drain task to retire with an empty queue; after that no task touches
+  // the shard again.
   for (auto& shard : shards_) {
-    {
-      std::lock_guard lock(shard->mutex);
-      shard->closing = true;
-    }
-    shard->can_pop.notify_one();
+    std::unique_lock lock(shard->mutex);
+    shard->can_push.wait(
+        lock, [&] { return !shard->task_scheduled && shard->queue.empty(); });
   }
-  for (auto& shard : shards_) {
-    if (shard->thread.joinable()) shard->thread.join();
+  // Final (possibly partial) bin flushes, concurrent across shards like
+  // any other flush; each shard's own flushes stay sequential.
+  config_.pool->parallel_for(
+      shards_.size(),
+      [this](std::size_t s) {
+        for (auto& classifier : shards_[s]->classifiers) classifier.finish();
+      },
+      config_.num_shards);
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
   }
 }
 

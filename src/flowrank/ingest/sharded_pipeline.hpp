@@ -18,6 +18,15 @@
 // than a second round of hash probing. FlowTable::merge_from remains the
 // primitive for callers that want a probe-able merged table.
 //
+// Since the exec layer extraction the pipeline spawns no threads of its
+// own: shard work runs as cooperative drain tasks on the shared
+// exec::TaskPool (or a caller-provided pool). A shard schedules at most
+// one drain task at a time, and the task pops its bounded queue in FIFO
+// order, so each shard's packets are still classified sequentially in
+// arrival order — the bit-identity argument is untouched. What changes is
+// the cost model: repeated short pipelines reuse parked pool workers
+// instead of paying a thread spawn/join per shard per run.
+//
 // This is the hash-shard-and-merge shape of multi-core packet pipelines
 // (cf. pktgen's per-core generators and heyp's sharded host agents),
 // specialized to the paper's binning method.
@@ -26,13 +35,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
-#include <thread>
 #include <vector>
 
+#include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/binned_classifier.hpp"
 #include "flowrank/flowtable/flow_table.hpp"
 #include "flowrank/packet/records.hpp"
@@ -40,7 +50,9 @@
 namespace flowrank::ingest {
 
 struct ShardedPipelineConfig {
-  /// Worker threads; each owns one FlowTable per stream. >= 1.
+  /// Shard workers; each owns one FlowTable per stream. 0 = one shard per
+  /// hardware thread. Capped at exec::TaskPool::kMaxParallelism — beyond
+  /// that the constructor throws instead of queueing thousands of tasks.
   std::size_t num_shards = 1;
   /// Independent packet streams classified side by side (e.g. stream 0 =
   /// unsampled truth, stream 1 = sampled). >= 1.
@@ -57,6 +69,10 @@ struct ShardedPipelineConfig {
   /// worker still sees its packets in arrival order), only the latency of
   /// bin flushes relative to add_batch calls changes.
   std::size_t chunk_packets = 8192;
+  /// Pool the shard tasks run on; nullptr = exec::TaskPool::shared().
+  /// Must outlive the pipeline. (The benchmark suite passes a private
+  /// throwaway pool to measure exactly what per-run thread spawn costs.)
+  exec::TaskPool* pool = nullptr;
   /// Streaming consumer for long-running monitors: when set, each shard's
   /// per-bin table is handed to this callback at flush time — on the
   /// flushing worker's thread, concurrently across shards, so it must be
@@ -74,10 +90,11 @@ struct ShardedPipelineConfig {
 /// finish() returns.
 class ShardedPipeline {
  public:
-  /// Spawns the shard workers. Throws std::invalid_argument on a bad config.
+  /// Sets up the shards and grows the pool to num_shards workers. Throws
+  /// std::invalid_argument on a bad config.
   explicit ShardedPipeline(ShardedPipelineConfig config);
 
-  /// Joins the workers (finish() is called if it has not been).
+  /// Drains the shards (finish() is called if it has not been).
   ~ShardedPipeline();
 
   ShardedPipeline(const ShardedPipeline&) = delete;
@@ -89,8 +106,9 @@ class ShardedPipeline {
   void add_batch(std::size_t stream,
                  std::span<const packet::PacketRecord> batch);
 
-  /// Drains the queues, flushes every shard's final bin and joins the
-  /// workers. Must be called before reading results. Idempotent.
+  /// Drains the queues and flushes every shard's final bin. Must be
+  /// called before reading results. Idempotent. Rethrows the first
+  /// exception a shard task raised, if any.
   void finish();
 
   /// Bins seen by `stream` (valid after finish()): one past the highest
@@ -106,6 +124,7 @@ class ShardedPipeline {
   [[nodiscard]] std::span<const flowtable::FlowCounter> bin_flows(
       std::size_t stream, std::size_t bin) const;
 
+  /// The configuration in effect (num_shards resolved, pool filled in).
   [[nodiscard]] const ShardedPipelineConfig& config() const noexcept {
     return config_;
   }
@@ -118,18 +137,22 @@ class ShardedPipeline {
 
   struct Shard {
     std::mutex mutex;
-    std::condition_variable can_push;  ///< driver waits here when full
-    std::condition_variable can_pop;   ///< worker waits here when empty
+    std::condition_variable can_push;  ///< driver waits: queue full / not idle
     std::deque<Chunk> queue;
     /// Recycled packet buffers, handed back to the driver.
     std::vector<std::vector<packet::PacketRecord>> spare_buffers;
-    bool closing = false;
-    /// One classifier per stream, owned (and only touched) by the worker.
+    /// True while a drain task is queued or running for this shard. At
+    /// most one at a time, so the shard's chunks are classified strictly
+    /// in FIFO order — the invariant bit-identity rests on.
+    bool task_scheduled = false;
+    /// One classifier per stream, owned (and only touched) by the drain
+    /// task — which runs exclusively, so this is single-threaded state
+    /// handed from pool worker to pool worker under the shard mutex.
     std::vector<flowtable::BinnedClassifier> classifiers;
-    std::thread thread;
   };
 
-  void worker_loop(std::size_t shard_index);
+  /// Pops and classifies chunks until the queue is empty, then retires.
+  void drain_shard(std::size_t shard_index);
   /// Hands pending_[stream][shard] to the worker and replaces it with a
   /// recycled buffer.
   void flush_pending(std::size_t stream, std::size_t shard_index);
@@ -150,6 +173,9 @@ class ShardedPipeline {
   /// up as shards flush; grown under the lock. Unused (left empty) when
   /// config_.on_shard_bin streams flushes out instead.
   std::vector<std::vector<std::vector<flowtable::FlowCounter>>> merged_;
+  /// First exception thrown inside a shard task; rethrown by finish().
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
   bool finished_ = false;
 };
 

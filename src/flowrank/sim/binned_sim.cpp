@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/binned_classifier.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
@@ -118,9 +119,8 @@ std::vector<metrics::RankMetricsResult> run_packet_level_once(
   if (!(sampling_rate > 0.0 && sampling_rate <= 1.0)) {
     throw std::invalid_argument("sim: sampling rate in (0,1]");
   }
-  if (num_shards < 1) {
-    throw std::invalid_argument("sim: num_shards >= 1");
-  }
+  // Same convention as SimConfig::num_threads: 0 = all hardware threads.
+  num_shards = exec::TaskPool::resolve_parallelism(num_shards);
 
   // Shared bin geometry with the count path: bin_length_ns rounds (0.3 s
   // is 300 000 000 ns, not the 299 999 999 a double truncation produced),

@@ -75,9 +75,10 @@ struct SimResult {
 /// path, and by examples as the reference pipeline).
 ///
 /// `num_shards` > 1 routes classification through the multi-threaded
-/// ingest::ShardedPipeline (one worker per shard); sampling stays on the
-/// driver thread, so the result is bit-identical to the single-threaded
-/// path for the same `run_seed` at any shard count.
+/// ingest::ShardedPipeline (one worker per shard, 0 = all hardware
+/// threads); sampling stays on the driver thread, so the result is
+/// bit-identical to the single-threaded path for the same `run_seed` at
+/// any shard count.
 [[nodiscard]] std::vector<metrics::RankMetricsResult> run_packet_level_once(
     const trace::FlowTrace& trace, double sampling_rate, const SimConfig& config,
     std::uint64_t run_seed, std::size_t num_shards = 1);

@@ -1,0 +1,474 @@
+#include "flowrank/sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "flowrank/dist/exponential.hpp"
+#include "flowrank/dist/mixture.hpp"
+#include "flowrank/dist/pareto.hpp"
+#include "flowrank/exec/task_pool.hpp"
+#include "flowrank/util/table.hpp"
+
+namespace flowrank::sim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto pos = s.find(sep, start);
+    out.push_back(trim(s.substr(start, pos - start)));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: key '" + key + "' expects a number, got '" +
+                                value + "'");
+  }
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(value, &used);
+    if (used != value.size() || parsed < 0) throw std::invalid_argument(value);
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: key '" + key +
+                                "' expects a non-negative integer, got '" + value + "'");
+  }
+}
+
+/// key=value pairs of one grammar clause ("on=2,off-factor=0.1").
+std::map<std::string, double> parse_clause(const std::string& what,
+                                           const std::string& clause) {
+  std::map<std::string, double> out;
+  if (trim(clause).empty()) return out;
+  for (const auto& item : split(clause, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(what + ": expected key=value, got '" + item + "'");
+    }
+    out[trim(item.substr(0, eq))] = parse_double(what, trim(item.substr(eq + 1)));
+  }
+  return out;
+}
+
+double take(std::map<std::string, double>& args, const std::string& key,
+            double fallback) {
+  const auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  const double value = it->second;
+  args.erase(it);
+  return value;
+}
+
+void expect_empty(const std::map<std::string, double>& args, const std::string& what) {
+  if (args.empty()) return;
+  throw std::invalid_argument(what + ": unknown parameter '" + args.begin()->first +
+                              "'");
+}
+
+std::shared_ptr<const dist::FlowSizeDistribution> parse_dist_component(
+    const std::string& component, double& weight_out) {
+  const auto colon = component.find(':');
+  const std::string family = trim(component.substr(0, colon));
+  auto args = parse_clause("dist " + family,
+                           colon == std::string::npos ? "" : component.substr(colon + 1));
+  weight_out = take(args, "weight", 1.0);
+
+  std::shared_ptr<const dist::FlowSizeDistribution> out;
+  if (family == "pareto") {
+    const double beta = take(args, "beta", 1.5);
+    if (args.count("min")) {
+      out = std::make_shared<dist::Pareto>(take(args, "min", 0.0), beta);
+    } else {
+      out = std::make_shared<dist::Pareto>(
+          dist::Pareto::from_mean(take(args, "mean", 9.6), beta));
+    }
+  } else if (family == "bounded_pareto") {
+    out = std::make_shared<dist::BoundedPareto>(take(args, "min", 4.0),
+                                                take(args, "beta", 3.0),
+                                                take(args, "max", 2000.0));
+  } else if (family == "exponential") {
+    out = std::make_shared<dist::Exponential>(dist::Exponential::from_mean(
+        take(args, "mean", 9.6), take(args, "min", 1.0)));
+  } else if (family == "weibull") {
+    out = std::make_shared<dist::Weibull>(
+        dist::Weibull::from_mean(take(args, "mean", 9.6), take(args, "shape", 1.0),
+                                 take(args, "min", 1.0)));
+  } else {
+    throw std::invalid_argument(
+        "dist: unknown family '" + family +
+        "' (pareto | bounded_pareto | exponential | weibull)");
+  }
+  expect_empty(args, "dist " + family);
+  return out;
+}
+
+trace::OnOffArrivals parse_onoff(const std::string& clause) {
+  auto args = parse_clause("onoff", clause);
+  trace::OnOffArrivals on_off;
+  on_off.enabled = true;
+  on_off.mean_on_s = take(args, "on", on_off.mean_on_s);
+  on_off.mean_off_s = take(args, "off", on_off.mean_off_s);
+  on_off.on_factor = take(args, "on-factor", on_off.on_factor);
+  on_off.off_factor = take(args, "off-factor", on_off.off_factor);
+  expect_empty(args, "onoff");
+  return on_off;
+}
+
+/// Applies one key=value entry onto the spec. The single source of truth
+/// for the key set — files and CLI overrides both route through here.
+void apply_entry(ScenarioSpec& spec, const std::string& key, const std::string& value) {
+  if (key == "name") {
+    spec.name = value;
+  } else if (key == "trace") {
+    spec.trace = value;
+  } else if (key == "preset") {
+    if (value != "sprint_5tuple" && value != "sprint_prefix24" &&
+        value != "abilene" && value != "custom") {
+      throw std::invalid_argument("scenario: unknown preset '" + value + "'");
+    }
+    spec.preset = value;
+  } else if (key == "beta") {
+    spec.beta = parse_double(key, value);
+  } else if (key == "dist") {
+    spec.dist = value;
+  } else if (key == "duration") {
+    spec.duration_s = parse_double(key, value);
+  } else if (key == "flow-rate") {
+    spec.flow_rate_per_s = parse_double(key, value);
+  } else if (key == "flow-rate-scale") {
+    spec.flow_rate_scale = parse_double(key, value);
+  } else if (key == "trace-seed") {
+    spec.trace_seed = parse_uint(key, value);
+  } else if (key == "packet-size") {
+    spec.packet_size_bytes = static_cast<std::uint32_t>(parse_uint(key, value));
+  } else if (key == "epochs") {
+    spec.epochs = parse_uint(key, value);
+    if (spec.epochs < 1) throw std::invalid_argument("scenario: epochs >= 1");
+  } else if (key == "epoch-gap") {
+    spec.epoch_gap_s = parse_double(key, value);
+  } else if (key == "onoff") {
+    spec.on_off = parse_onoff(value);
+  } else if (key == "bin") {
+    spec.bin_seconds = parse_double(key, value);
+  } else if (key == "t") {
+    spec.top_t = parse_uint(key, value);
+  } else if (key == "rates") {
+    spec.sampling_rates.clear();
+    for (const auto& rate : split(value, ',')) {
+      spec.sampling_rates.push_back(parse_double(key, rate));
+    }
+  } else if (key == "runs") {
+    spec.runs = static_cast<int>(parse_uint(key, value));
+  } else if (key == "seed") {
+    spec.seed = parse_uint(key, value);
+  } else if (key == "ties") {
+    if (value == "paper") {
+      spec.tie_policy = metrics::TiePolicy::kPaper;
+    } else if (value == "lenient") {
+      spec.tie_policy = metrics::TiePolicy::kLenient;
+    } else {
+      throw std::invalid_argument("scenario: ties must be paper|lenient, got '" +
+                                  value + "'");
+    }
+  } else if (key == "definition") {
+    if (value == "5tuple") {
+      spec.definition = packet::FlowDefinition::kFiveTuple;
+    } else if (value == "prefix24") {
+      spec.definition = packet::FlowDefinition::kDstPrefix24;
+    } else {
+      throw std::invalid_argument(
+          "scenario: definition must be 5tuple|prefix24, got '" + value + "'");
+    }
+  } else if (key == "path") {
+    if (value == "count") {
+      spec.path = ExecutionPath::kCount;
+    } else if (value == "packet") {
+      spec.path = ExecutionPath::kPacket;
+    } else {
+      throw std::invalid_argument("scenario: path must be count|packet, got '" +
+                                  value + "'");
+    }
+  } else if (key == "threads") {
+    // Validates the sanity cap up front (0 = all hardware threads).
+    spec.num_threads = exec::TaskPool::resolve_parallelism(parse_uint(key, value));
+    if (value == "0") spec.num_threads = 0;  // keep the symbolic 0
+  } else if (key == "shards") {
+    spec.num_shards = exec::TaskPool::resolve_parallelism(parse_uint(key, value));
+    if (value == "0") spec.num_shards = 0;
+  } else {
+    throw std::invalid_argument("scenario: unknown key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_keys() {
+  static const std::vector<std::string> keys = {
+      "beta",      "bin",        "definition",      "dist",       "duration",
+      "epoch-gap", "epochs",     "flow-rate",       "flow-rate-scale",
+      "name",      "onoff",      "packet-size",     "path",       "preset",
+      "rates",     "runs",       "seed",            "shards",     "t",
+      "threads",   "ties",       "trace",           "trace-seed"};
+  return keys;
+}
+
+std::shared_ptr<const dist::FlowSizeDistribution> parse_dist(
+    const std::string& grammar) {
+  const auto components = split(grammar, '|');
+  if (components.size() == 1) {
+    double weight = 1.0;
+    return parse_dist_component(components.front(), weight);
+  }
+  std::vector<dist::Mixture::Component> mix;
+  mix.reserve(components.size());
+  for (const auto& component : components) {
+    double weight = 1.0;
+    auto d = parse_dist_component(component, weight);
+    mix.push_back(dist::Mixture::Component{weight, std::move(d)});
+  }
+  return std::make_shared<dist::Mixture>(std::move(mix));
+}
+
+ScenarioSpec parse_scenario_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("scenario: cannot open " + path);
+  ScenarioSpec spec;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // '#' opens a comment at line start or after whitespace; a '#'
+    // embedded in a token (e.g. a file path) is part of the value.
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' && (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t')) {
+        line.erase(i);
+        break;
+      }
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": expected key = value");
+    }
+    try {
+      apply_entry(spec, trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " +
+                               e.what());
+    }
+  }
+  return spec;
+}
+
+void apply_scenario_overrides(ScenarioSpec& spec, const util::Cli& cli) {
+  for (const std::string& key : scenario_keys()) {
+    if (cli.has(key)) apply_entry(spec, key, cli.get_string(key, ""));
+  }
+}
+
+ScenarioSpec scenario_from_cli(const util::Cli& cli) {
+  ScenarioSpec spec;
+  const std::string file = cli.get_string("scenario", "");
+  if (!file.empty()) spec = parse_scenario_file(file);
+  apply_scenario_overrides(spec, cli);
+  return spec;
+}
+
+std::shared_ptr<const dist::FlowSizeDistribution> make_size_distribution(
+    const ScenarioSpec& spec) {
+  if (!spec.dist.empty()) return parse_dist(spec.dist);
+  if (spec.preset == "sprint_5tuple") {
+    return std::make_shared<dist::Pareto>(dist::Pareto::from_mean(9.6, spec.beta));
+  }
+  if (spec.preset == "sprint_prefix24") {
+    return std::make_shared<dist::Pareto>(dist::Pareto::from_mean(33.2, spec.beta));
+  }
+  if (spec.preset == "abilene") {
+    return std::make_shared<dist::BoundedPareto>(4.0, 3.0, 2000.0);
+  }
+  throw std::invalid_argument("scenario: preset=custom requires a dist= grammar");
+}
+
+std::shared_ptr<const trace::TraceSource> make_trace_source(const ScenarioSpec& spec) {
+  if (spec.trace != "synthetic") {
+    // FRT1 file replay. epochs > 1 loops the recording back to back — the
+    // streaming soak-test shape.
+    trace::FileTraceSource::Options options;
+    options.packet_size_bytes = spec.packet_size_bytes;
+    options.seed = spec.trace_seed;
+    auto file =
+        std::make_shared<trace::FileTraceSource>(spec.trace, options);
+    if (spec.epochs == 1) return file;
+    // Load the file once; every epoch replays the in-memory records
+    // instead of re-reading and re-sorting the file per epoch.
+    auto loaded = std::make_shared<trace::FixedTraceSource>(file->flows(),
+                                                            file->name());
+    std::vector<std::shared_ptr<const trace::TraceSource>> epochs(spec.epochs,
+                                                                  loaded);
+    return std::make_shared<trace::ConcatTraceSource>(std::move(epochs),
+                                                      spec.epoch_gap_s);
+  }
+
+  const auto epoch_config = [&spec](std::uint64_t seed) {
+    trace::FlowTraceConfig config;
+    if (spec.preset == "sprint_5tuple") {
+      config = trace::FlowTraceConfig::sprint_5tuple(spec.beta, seed);
+    } else if (spec.preset == "sprint_prefix24") {
+      config = trace::FlowTraceConfig::sprint_prefix24(spec.beta, seed);
+    } else if (spec.preset == "abilene") {
+      config = trace::FlowTraceConfig::abilene(seed);
+    } else {
+      config.seed = seed;
+      if (!(spec.flow_rate_per_s > 0.0)) {
+        throw std::invalid_argument("scenario: preset=custom requires flow-rate > 0");
+      }
+    }
+    if (!spec.dist.empty() || spec.preset == "custom") {
+      config.size_dist = make_size_distribution(spec);
+    }
+    config.duration_s = spec.duration_s;
+    if (spec.flow_rate_per_s > 0.0) config.flow_rate_per_s = spec.flow_rate_per_s;
+    config.flow_rate_per_s *= spec.flow_rate_scale;
+    config.packet_size_bytes = spec.packet_size_bytes;
+    config.on_off = spec.on_off;
+    return config;
+  };
+
+  if (spec.epochs == 1) {
+    return std::make_shared<trace::SyntheticTraceSource>(epoch_config(spec.trace_seed),
+                                                         spec.preset);
+  }
+  // Multi-epoch streaming: per-epoch seeds so consecutive epochs carry
+  // different flow populations, concatenated end to end.
+  std::vector<std::shared_ptr<const trace::TraceSource>> epochs;
+  epochs.reserve(spec.epochs);
+  for (std::size_t k = 0; k < spec.epochs; ++k) {
+    epochs.push_back(std::make_shared<trace::SyntheticTraceSource>(
+        epoch_config(spec.trace_seed + k),
+        spec.preset + " epoch " + std::to_string(k)));
+  }
+  return std::make_shared<trace::ConcatTraceSource>(std::move(epochs),
+                                                    spec.epoch_gap_s);
+}
+
+SimConfig make_sim_config(const ScenarioSpec& spec) {
+  if (spec.sampling_rates.empty()) {
+    throw std::invalid_argument("scenario: at least one sampling rate");
+  }
+  SimConfig config;
+  config.bin_seconds = spec.bin_seconds;
+  config.top_t = spec.top_t;
+  config.sampling_rates = spec.sampling_rates;
+  config.runs = spec.runs;
+  config.definition = spec.definition;
+  config.tie_policy = spec.tie_policy;
+  config.seed = spec.seed;
+  config.num_threads = spec.num_threads;
+  return config;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const auto source = make_trace_source(spec);
+  const auto trace = source->flows();
+  const SimConfig config = make_sim_config(spec);
+
+  ScenarioResult result;
+  result.spec = spec;
+  result.source_name = source->name();
+  result.flow_count = trace.flows.size();
+  result.packet_count = trace.total_packets();
+  result.duration_s = trace.config.duration_s;
+  if (spec.path == ExecutionPath::kCount) {
+    result.count = run_binned_simulation(trace, config);
+  } else {
+    result.packet.reserve(spec.sampling_rates.size());
+    for (const double rate : spec.sampling_rates) {
+      result.packet.push_back(run_packet_level_once(trace, rate, config, spec.seed,
+                                                    spec.num_shards));
+    }
+  }
+  return result;
+}
+
+void print_scenario_report(std::ostream& os, const ScenarioResult& result) {
+  const ScenarioSpec& spec = result.spec;
+  os << "# scenario: " << spec.name << "\n";
+  os << "# source:   " << result.source_name << " — " << result.flow_count
+     << " flows, " << result.packet_count << " packets over " << result.duration_s
+     << " s\n";
+  os << "# config:   bin " << spec.bin_seconds << " s, top-" << spec.top_t << ", "
+     << (spec.path == ExecutionPath::kCount
+             ? std::to_string(spec.runs) + " runs (count path)"
+             : std::string("packet path"))
+     << ", ties "
+     << (spec.tie_policy == metrics::TiePolicy::kPaper ? "paper" : "lenient")
+     << "\n";
+
+  if (spec.path == ExecutionPath::kCount) {
+    for (const char* metric : {"ranking", "detection"}) {
+      os << "\n## " << metric
+         << " metric (mean/std of swapped pairs per bin over runs)\n";
+      std::vector<std::string> headers{"time_s", "flows"};
+      for (double rate : spec.sampling_rates) {
+        headers.push_back("p=" + util::format_double(rate * 100) + "%");
+        headers.push_back("std");
+      }
+      util::Table table(headers);
+      const auto& series0 = result.count.series.front();
+      for (std::size_t b = 0; b < series0.bins.size(); ++b) {
+        table.begin_row();
+        table.add_cell((static_cast<double>(b) + 1.0) * spec.bin_seconds);
+        table.add_cell(series0.bins[b].flows_in_bin);
+        for (const auto& series : result.count.series) {
+          const auto& stats = metric == std::string("ranking")
+                                  ? series.bins[b].ranking
+                                  : series.bins[b].detection;
+          table.add_cell(stats.count() > 0 ? stats.mean() : std::nan(""));
+          table.add_cell(stats.count() > 0 ? stats.stddev() : std::nan(""));
+        }
+      }
+      table.print(os);
+    }
+    return;
+  }
+
+  for (std::size_t r = 0; r < result.packet.size(); ++r) {
+    os << "\n## packet path, p = " << spec.sampling_rates[r] * 100 << "%\n";
+    util::Table table({"bin", "ranking_swapped", "detection_swapped", "recall"});
+    for (std::size_t b = 0; b < result.packet[r].size(); ++b) {
+      const auto& m = result.packet[r][b];
+      table.add_row(b, m.ranking_swapped, m.detection_swapped, m.top_set_recall);
+    }
+    table.print(os);
+  }
+}
+
+}  // namespace flowrank::sim

@@ -1,0 +1,147 @@
+// Declarative scenario specs: the workload layer.
+//
+// The paper's evaluation is one pipeline — trace → sample → bin → rank —
+// run over many workloads. A ScenarioSpec describes one workload as data
+// (trace source, distribution family, arrival model, rate grid, bin
+// length, tie policy, execution path, threads/shards) parsed from a
+// key=value file or CLI options, so a new scenario is a new text file,
+// not a new C++ driver. The fig12–16 drivers, the examples and the
+// scenario suite under scenarios/ all build on this layer.
+//
+// Spec format (same keys as `--<key>` CLI overrides). '#' starts a
+// comment at line start or after whitespace; a '#' embedded in a token
+// (e.g. a file path) is part of the value:
+//
+//   name        = bursty ON/OFF arrivals
+//   trace       = synthetic            # or a .frt1 path for file replay
+//   preset      = sprint_5tuple        # sprint_5tuple|sprint_prefix24|abilene|custom
+//   beta        = 1.5                  # preset Pareto tail index
+//   dist        = pareto:mean=9.6,beta=1.5   # custom preset; '|' mixes components
+//   duration    = 240                  # trace seconds
+//   flow-rate   = 80                   # flows/s (0 = preset default)
+//   flow-rate-scale = 1.0              # multiplier on the above
+//   trace-seed  = 7
+//   packet-size = 500
+//   epochs      = 1                    # >1 concatenates epochs back to back
+//   epoch-gap   = 0                    # idle seconds between epochs
+//   onoff       = on=2,off=8,on-factor=4,off-factor=0.1   # bursty arrivals
+//   bin         = 30                   # measurement interval seconds
+//   t           = 10                   # flows to rank/detect
+//   rates       = 0.01,0.1,0.5
+//   runs        = 15                   # count-path Monte-Carlo runs
+//   seed        = 7                    # sampling seed
+//   ties        = paper                # paper|lenient
+//   definition  = 5tuple               # 5tuple|prefix24
+//   path        = count                # count|packet
+//   threads     = 0                    # count-path grid workers (0 = all hw)
+//   shards      = 0                    # packet-path ingest shards (0 = all hw)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowrank/dist/flow_size_distribution.hpp"
+#include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/trace/trace_source.hpp"
+#include "flowrank/util/cli.hpp"
+
+namespace flowrank::sim {
+
+/// Which pipeline executes the scenario: the count path (per-bin counts +
+/// binomial thinning, Monte-Carlo over runs) or the packet path (full
+/// packet stream through sampler + sharded classifier, one pass).
+enum class ExecutionPath { kCount, kPacket };
+
+/// One workload, as data. Defaults reproduce a laptop-scale Sprint
+/// 5-tuple run.
+struct ScenarioSpec {
+  std::string name = "scenario";
+
+  // --- trace source -------------------------------------------------------
+  /// "synthetic", or a path to an FRT1 flow-trace file to replay.
+  std::string trace = "synthetic";
+  /// Synthetic preset: sprint_5tuple | sprint_prefix24 | abilene | custom.
+  std::string preset = "sprint_5tuple";
+  double beta = 1.5;       ///< preset Pareto tail index
+  std::string dist;        ///< dist grammar; required for preset=custom
+  double duration_s = 240.0;
+  double flow_rate_per_s = 0.0;  ///< 0 = preset default
+  double flow_rate_scale = 1.0;
+  std::uint64_t trace_seed = 7;
+  std::uint32_t packet_size_bytes = 500;
+  std::size_t epochs = 1;  ///< >1: concatenated epochs (seeds trace_seed + k)
+  double epoch_gap_s = 0.0;
+  trace::OnOffArrivals on_off;  ///< "onoff" key enables + fills this
+
+  // --- measurement + metrics ---------------------------------------------
+  double bin_seconds = 60.0;
+  std::size_t top_t = 10;
+  std::vector<double> sampling_rates{0.001, 0.01, 0.1, 0.5};
+  int runs = 15;
+  std::uint64_t seed = 7;
+  metrics::TiePolicy tie_policy = metrics::TiePolicy::kPaper;
+  packet::FlowDefinition definition = packet::FlowDefinition::kFiveTuple;
+
+  // --- execution ----------------------------------------------------------
+  ExecutionPath path = ExecutionPath::kCount;
+  std::size_t num_threads = 0;  ///< count-path grid workers, 0 = all hw
+  std::size_t num_shards = 0;   ///< packet-path shards, 0 = all hw
+};
+
+/// Parses a dist grammar string into a distribution:
+///   pareto:mean=9.6,beta=1.5          (or min= instead of mean=)
+///   bounded_pareto:min=4,beta=3,max=2000
+///   exponential:mean=9.6[,min=1]
+///   weibull:mean=9.6,shape=0.6[,min=1]
+/// Components joined with '|' (each may carry weight=W, default 1) form a
+/// dist::Mixture. Throws std::invalid_argument on grammar errors.
+[[nodiscard]] std::shared_ptr<const dist::FlowSizeDistribution> parse_dist(
+    const std::string& grammar);
+
+/// Parses a key=value scenario file. Unknown keys throw (typos in
+/// experiment configs fail loudly, matching util::Cli).
+[[nodiscard]] ScenarioSpec parse_scenario_file(const std::string& path);
+
+/// Every valid spec key (the `--key` override names), sorted.
+[[nodiscard]] const std::vector<std::string>& scenario_keys();
+
+/// Applies `--key value` CLI overrides for every spec key onto `spec`.
+void apply_scenario_overrides(ScenarioSpec& spec, const util::Cli& cli);
+
+/// Spec from CLI alone: `--scenario file` (if given) then overrides.
+[[nodiscard]] ScenarioSpec scenario_from_cli(const util::Cli& cli);
+
+/// The flow-size distribution the spec describes (preset or custom).
+[[nodiscard]] std::shared_ptr<const dist::FlowSizeDistribution>
+make_size_distribution(const ScenarioSpec& spec);
+
+/// The trace source the spec describes (synthetic / file replay /
+/// concatenated epochs).
+[[nodiscard]] std::shared_ptr<const trace::TraceSource> make_trace_source(
+    const ScenarioSpec& spec);
+
+/// The SimConfig the spec describes (threads resolved, 0 = all hw).
+[[nodiscard]] SimConfig make_sim_config(const ScenarioSpec& spec);
+
+/// A scenario's outputs: the count path fills `count`, the packet path
+/// fills `packet` (one metrics series per sampling rate).
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::string source_name;
+  std::size_t flow_count = 0;
+  std::uint64_t packet_count = 0;
+  double duration_s = 0.0;  ///< materialized trace length (all epochs)
+  SimResult count;
+  std::vector<std::vector<metrics::RankMetricsResult>> packet;
+};
+
+/// Materializes the trace and runs the scenario end to end.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Human-readable report: trace provenance + per-rate per-bin tables.
+void print_scenario_report(std::ostream& os, const ScenarioResult& result);
+
+}  // namespace flowrank::sim

@@ -4,103 +4,21 @@
 
 namespace flowrank::sim {
 
-SweepEngine::SweepEngine(std::size_t num_threads) {
+SweepEngine::SweepEngine(std::size_t num_threads) : num_threads_(num_threads) {
   if (num_threads < 1) {
     throw std::invalid_argument("SweepEngine: num_threads >= 1");
   }
-  workers_.reserve(num_threads - 1);
-  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-}
-
-SweepEngine::~SweepEngine() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
-  }
-  wake_workers_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  // Grow the shared pool once, up front, so parallel_for never spawns.
+  exec::TaskPool::shared().ensure_workers(num_threads - 1);
 }
 
 std::size_t SweepEngine::resolve_thread_count(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return exec::TaskPool::resolve_parallelism(requested);
 }
 
 void SweepEngine::parallel_for(std::size_t count,
                                const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-
-  if (workers_.empty()) {
-    // Inline fast path: no locks, same skip-after-throw semantics.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_fn_ = &fn;
-    job_count_ = count;
-    next_index_ = 0;
-  }
-  wake_workers_.notify_all();
-
-  // The calling thread is pool member number num_threads.
-  drain_current_job();
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_done_.wait(lock, [this] {
-    return next_index_ >= job_count_ && in_flight_ == 0;
-  });
-  job_fn_ = nullptr;
-  job_count_ = 0;
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
-}
-
-void SweepEngine::worker_loop() {
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_workers_.wait(lock, [this] {
-        return shutting_down_ || (job_fn_ != nullptr && next_index_ < job_count_);
-      });
-      if (shutting_down_) return;
-    }
-    drain_current_job();
-  }
-}
-
-void SweepEngine::drain_current_job() {
-  for (;;) {
-    const std::function<void(std::size_t)>* fn;
-    std::size_t index;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (job_fn_ == nullptr || next_index_ >= job_count_) return;
-      fn = job_fn_;
-      index = next_index_++;
-      ++in_flight_;
-    }
-    try {
-      (*fn)(index);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
-      next_index_ = job_count_;  // skip everything still unclaimed
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (next_index_ >= job_count_ && in_flight_ == 0) job_done_.notify_all();
-    }
-  }
+  exec::TaskPool::shared().parallel_for(count, fn, num_threads_);
 }
 
 }  // namespace flowrank::sim

@@ -1,4 +1,4 @@
-// Persistent worker pool for the Monte-Carlo sweeps.
+// Grid adapter for the Monte-Carlo sweeps, on the shared exec::TaskPool.
 //
 // The evaluation grids this repo sweeps — run_binned_simulation's
 // (sampling_rate, bin) cells, run_mc_model's runs — are embarrassingly
@@ -12,39 +12,30 @@
 // bit-identical at any thread count — the property
 // tests/test_sweep_engine.cpp pins down.
 //
-// Unlike ingest::ShardedPipeline (a streaming pipeline with per-shard
-// queues and backpressure), this is a plain fork-join pool: tasks are
-// index ranges known up front, and the pool persists across any number of
-// parallel_for() calls so a sweep pays thread start-up once, not per
-// grid row.
+// Since the exec layer extraction this class owns no threads of its own:
+// it is a view over exec::TaskPool::shared() that caps how many pool
+// workers one sweep may occupy. Back-to-back sweeps (every figure driver
+// runs several) reuse the same parked workers instead of paying thread
+// start-up per engine.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "flowrank/exec/task_pool.hpp"
 
 namespace flowrank::sim {
 
-/// Fork-join worker pool. One instance may serve many parallel_for()
-/// calls (sequentially — the class is not itself thread-safe; one driver
-/// thread submits work).
+/// Fork-join facade over the shared TaskPool. One instance may serve many
+/// parallel_for() calls (sequentially — one driver thread submits work).
 class SweepEngine {
  public:
-  /// `num_threads` >= 1 is the total parallelism: num_threads - 1 workers
-  /// are spawned and the calling thread participates in every
-  /// parallel_for. num_threads == 1 spawns nothing and runs inline.
-  /// Throws std::invalid_argument on 0.
+  /// `num_threads` >= 1 is the total parallelism of this engine's jobs:
+  /// the calling thread plus up to num_threads - 1 shared-pool workers
+  /// (grown on demand, parked between jobs). num_threads == 1 runs
+  /// inline. Throws std::invalid_argument on 0 or beyond
+  /// exec::TaskPool::kMaxParallelism.
   explicit SweepEngine(std::size_t num_threads);
-
-  /// Joins the workers.
-  ~SweepEngine();
-
-  SweepEngine(const SweepEngine&) = delete;
-  SweepEngine& operator=(const SweepEngine&) = delete;
 
   /// Executes fn(i) once for every i in [0, count), spread dynamically
   /// over the pool; returns when all calls have finished. fn must be safe
@@ -54,30 +45,13 @@ class SweepEngine {
   /// here.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
-  [[nodiscard]] std::size_t num_threads() const noexcept {
-    return workers_.size() + 1;
-  }
+  [[nodiscard]] std::size_t num_threads() const noexcept { return num_threads_; }
 
   /// Clamp helper for config plumbing: 0 means "all hardware threads".
   [[nodiscard]] static std::size_t resolve_thread_count(std::size_t requested);
 
  private:
-  void worker_loop();
-  /// Claims and runs tasks of the current job until its indices run out.
-  void drain_current_job();
-
-  // All fields below are guarded by mutex_ (job_fn_ points at the
-  // caller-owned closure, which outlives the job by construction).
-  std::mutex mutex_;
-  std::condition_variable wake_workers_;  ///< new job published
-  std::condition_variable job_done_;      ///< last task of the job retired
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_count_ = 0;       ///< total tasks of the current job
-  std::size_t next_index_ = 0;      ///< first unclaimed task index
-  std::size_t in_flight_ = 0;       ///< claimed tasks not yet retired
-  std::exception_ptr first_error_;  ///< first exception thrown by a task
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  std::size_t num_threads_;
 };
 
 }  // namespace flowrank::sim

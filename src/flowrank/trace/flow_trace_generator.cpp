@@ -55,6 +55,17 @@ FlowTrace generate_flow_trace(const FlowTraceConfig& config) {
   if (!(config.duration_s > 0.0) || !(config.flow_rate_per_s > 0.0)) {
     throw std::invalid_argument("generate_flow_trace: positive duration and rate");
   }
+  const OnOffArrivals& on_off = config.on_off;
+  if (on_off.enabled) {
+    if (!(on_off.mean_on_s > 0.0) || !(on_off.mean_off_s > 0.0)) {
+      throw std::invalid_argument("generate_flow_trace: positive ON/OFF means");
+    }
+    if (on_off.on_factor < 0.0 || on_off.off_factor < 0.0 ||
+        on_off.on_factor + on_off.off_factor <= 0.0) {
+      throw std::invalid_argument(
+          "generate_flow_trace: ON/OFF factors >= 0, not both zero");
+    }
+  }
 
   auto engine = util::make_engine(config.seed, /*stream=*/0xF10Fu);
   std::exponential_distribution<double> interarrival(config.flow_rate_per_s);
@@ -72,7 +83,37 @@ FlowTrace generate_flow_trace(const FlowTraceConfig& config) {
   trace.flows.reserve(
       static_cast<std::size_t>(config.duration_s * config.flow_rate_per_s * 1.05));
 
-  double t = interarrival(engine);
+  // ON/OFF phase state (untouched — no extra draws — when disabled, so
+  // historical seeds keep producing bit-identical traces).
+  bool phase_on = true;
+  double phase_end_s = 0.0;
+  if (on_off.enabled) {
+    std::exponential_distribution<double> on_duration(1.0 / on_off.mean_on_s);
+    phase_end_s = on_duration(engine);
+  }
+  // Next arrival after `t`: plain Poisson, or — for ON/OFF — Poisson at
+  // the current phase's modulated rate, redrawing at each phase switch
+  // (exact for piecewise-constant-rate Poisson by memorylessness).
+  const auto next_arrival = [&](double t) {
+    if (!on_off.enabled) return t + interarrival(engine);
+    for (;;) {
+      const double rate = config.flow_rate_per_s *
+                          (phase_on ? on_off.on_factor : on_off.off_factor);
+      if (rate > 0.0) {
+        std::exponential_distribution<double> gap(rate);
+        const double candidate = t + gap(engine);
+        if (candidate <= phase_end_s) return candidate;
+      }
+      t = phase_end_s;
+      if (t >= config.duration_s) return t;  // trace over mid-phase
+      phase_on = !phase_on;
+      std::exponential_distribution<double> duration(
+          1.0 / (phase_on ? on_off.mean_on_s : on_off.mean_off_s));
+      phase_end_s = t + duration(engine);
+    }
+  };
+
+  double t = next_arrival(0.0);
   while (t < config.duration_s) {
     packet::FlowRecord flow;
     flow.start_s = t;
@@ -103,7 +144,7 @@ FlowTrace generate_flow_trace(const FlowTraceConfig& config) {
     }
 
     trace.flows.push_back(flow);
-    t += interarrival(engine);
+    t = next_arrival(t);
   }
 
   std::sort(trace.flows.begin(), trace.flows.end(),

@@ -31,12 +31,27 @@ struct DurationModel {
   double max_s = 1800.0;       ///< hard cap (trace length)
 };
 
+/// Markov-modulated (ON/OFF) flow arrivals. The paper's traces use plain
+/// Poisson arrivals; bursty links alternate exponential ON periods, where
+/// flows arrive at on_factor x the base rate, with OFF lulls at
+/// off_factor x. Disabled by default — when disabled the generator's draw
+/// sequence is exactly the historical Poisson one, so existing seeds
+/// reproduce bit-identical traces.
+struct OnOffArrivals {
+  bool enabled = false;
+  double mean_on_s = 5.0;    ///< mean ON burst length, > 0
+  double mean_off_s = 15.0;  ///< mean OFF lull length, > 0
+  double on_factor = 3.0;    ///< arrival-rate multiplier during ON, >= 0
+  double off_factor = 0.25;  ///< arrival-rate multiplier during OFF, >= 0
+};
+
 /// Generator configuration.
 struct FlowTraceConfig {
   double duration_s = 1800.0;         ///< trace length (paper: 30 minutes)
   double flow_rate_per_s = 2360.0;    ///< Poisson flow arrival rate
   std::shared_ptr<const dist::FlowSizeDistribution> size_dist;  ///< packets/flow
   DurationModel duration;
+  OnOffArrivals on_off;                   ///< bursty-arrival modulation
   std::uint32_t packet_size_bytes = 500;  ///< paper's average packet size
   double tcp_fraction = 0.9;              ///< fraction of flows marked TCP
   std::uint64_t seed = 1;

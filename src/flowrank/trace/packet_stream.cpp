@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <stdexcept>
+#include <utility>
 
 namespace flowrank::trace {
 
@@ -11,6 +13,11 @@ constexpr double kNsPerSec = 1e9;
 
 std::int64_t to_ns(double seconds) {
   return static_cast<std::int64_t>(std::llround(seconds * kNsPerSec));
+}
+
+const FlowTrace& deref_checked(const std::shared_ptr<const FlowTrace>& trace) {
+  if (!trace) throw std::invalid_argument("PacketStream: null trace");
+  return *trace;
 }
 }  // namespace
 
@@ -22,6 +29,15 @@ PacketStream::PacketStream(const FlowTrace& trace, std::uint64_t seed)
     activate_flows_until(to_ns(trace_.flows.front().start_s));
   }
 }
+
+PacketStream::PacketStream(std::shared_ptr<const FlowTrace> trace,
+                           std::uint64_t seed)
+    : PacketStream(deref_checked(trace), seed) {
+  owned_ = std::move(trace);
+}
+
+PacketStream::PacketStream(const TraceSource& source, std::uint64_t seed)
+    : PacketStream(std::make_shared<const FlowTrace>(source.flows()), seed) {}
 
 std::vector<std::int64_t> PacketStream::place_packets(std::uint32_t flow_index) const {
   const auto& flow = trace_.flows[flow_index];

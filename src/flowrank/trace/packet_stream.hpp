@@ -8,17 +8,24 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "flowrank/packet/records.hpp"
 #include "flowrank/trace/flow_trace_generator.hpp"
+#include "flowrank/trace/trace_source.hpp"
 #include "flowrank/util/rng.hpp"
 
 namespace flowrank::trace {
 
 /// Streams the packets of a flow trace in non-decreasing timestamp order.
+///
+/// The front-end of the trace layer: it accepts a caller-owned FlowTrace,
+/// a shared one, or any TraceSource (synthetic, FRT1 file replay,
+/// concatenated epochs) and expands flows to packets identically for all
+/// of them — everything downstream is source-agnostic.
 ///
 /// TCP flows carry synthetic sequence numbers (cumulative byte offsets), so
 /// the TCP-seq size estimator (paper future-work #2) can be exercised.
@@ -27,6 +34,14 @@ class PacketStream {
   /// `trace` must outlive the stream. Packet placement is deterministic in
   /// (trace seed, `seed`) so multiple sampling runs see the same packets.
   PacketStream(const FlowTrace& trace, std::uint64_t seed = 0);
+
+  /// Owning variant: keeps the trace alive for the stream's lifetime.
+  explicit PacketStream(std::shared_ptr<const FlowTrace> trace,
+                        std::uint64_t seed = 0);
+
+  /// Materializes `source` and owns the result. Packets are identical to
+  /// streaming the same FlowTrace directly.
+  explicit PacketStream(const TraceSource& source, std::uint64_t seed = 0);
 
   /// Returns the next packet, or nullopt at end of trace.
   [[nodiscard]] std::optional<packet::PacketRecord> next();
@@ -56,6 +71,7 @@ class PacketStream {
   void activate_flows_until(std::int64_t now_ns);
   [[nodiscard]] std::vector<std::int64_t> place_packets(std::uint32_t flow_index) const;
 
+  std::shared_ptr<const FlowTrace> owned_;  ///< null for the reference ctor
   const FlowTrace& trace_;
   std::uint64_t seed_;
   std::size_t next_flow_ = 0;  // next trace flow not yet activated

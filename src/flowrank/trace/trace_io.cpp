@@ -1,5 +1,6 @@
 #include "flowrank/trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <ostream>
@@ -75,7 +76,9 @@ std::vector<packet::FlowRecord> read_flow_records(std::istream& is) {
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!is) throw std::runtime_error("read_flow_records: truncated header");
   std::vector<packet::FlowRecord> flows;
-  flows.reserve(count);
+  // Cap the up-front reservation: a corrupt header claiming 2^60 records
+  // must fail with the truncation error below, not an allocation failure.
+  flows.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
   for (std::uint64_t i = 0; i < count; ++i) {
     PackedFlow p;
     is.read(reinterpret_cast<char*>(&p), sizeof(p));

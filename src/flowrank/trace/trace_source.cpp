@@ -1,0 +1,124 @@
+#include "flowrank/trace/trace_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "flowrank/trace/trace_io.hpp"
+
+namespace flowrank::trace {
+
+namespace {
+
+/// Last flow end time, rounded up to a whole second (0 for no flows).
+double derived_duration_s(const std::vector<packet::FlowRecord>& flows) {
+  double end = 0.0;
+  for (const auto& f : flows) end = std::max(end, f.start_s + f.duration_s);
+  return std::ceil(end);
+}
+
+}  // namespace
+
+SyntheticTraceSource::SyntheticTraceSource(FlowTraceConfig config,
+                                           std::string label)
+    : config_(std::move(config)), label_(std::move(label)) {}
+
+std::string SyntheticTraceSource::name() const {
+  return "synthetic(" + (label_.empty() ? "custom" : label_) + ")";
+}
+
+FlowTrace SyntheticTraceSource::flows() const {
+  return generate_flow_trace(config_);
+}
+
+FileTraceSource::FileTraceSource(std::string path)
+    : FileTraceSource(std::move(path), Options{}) {}
+
+FileTraceSource::FileTraceSource(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+std::string FileTraceSource::name() const { return "file(" + path_ + ")"; }
+
+FlowTrace FileTraceSource::flows() const {
+  FlowTrace trace;
+  trace.flows = load_flow_records(path_);
+  std::sort(trace.flows.begin(), trace.flows.end(),
+            [](const packet::FlowRecord& a, const packet::FlowRecord& b) {
+              return a.start_s < b.start_s;
+            });
+  // The file carries flow records only; packet-level parameters live in
+  // the config consumers read (PacketStream placement, bin_count).
+  trace.config.packet_size_bytes = options_.packet_size_bytes;
+  trace.config.seed = options_.seed;
+  trace.config.duration_s = options_.duration_s > 0.0
+                                ? options_.duration_s
+                                : derived_duration_s(trace.flows);
+  if (!(trace.config.duration_s > 0.0)) {
+    throw std::runtime_error("FileTraceSource: " + path_ +
+                             " has no flows and no explicit duration");
+  }
+  trace.config.flow_rate_per_s =
+      static_cast<double>(trace.flows.size()) / trace.config.duration_s;
+  return trace;
+}
+
+FixedTraceSource::FixedTraceSource(FlowTrace trace, std::string label)
+    : trace_(std::move(trace)), label_(std::move(label)) {}
+
+ConcatTraceSource::ConcatTraceSource(
+    std::vector<std::shared_ptr<const TraceSource>> epochs, double gap_s)
+    : epochs_(std::move(epochs)), gap_s_(gap_s) {
+  if (epochs_.empty()) {
+    throw std::invalid_argument("ConcatTraceSource: at least one epoch");
+  }
+  for (const auto& epoch : epochs_) {
+    if (!epoch) throw std::invalid_argument("ConcatTraceSource: null epoch");
+  }
+  if (gap_s_ < 0.0) {
+    throw std::invalid_argument("ConcatTraceSource: gap_s >= 0");
+  }
+}
+
+std::string ConcatTraceSource::name() const {
+  std::string out = "concat(";
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += epochs_[i]->name();
+  }
+  return out + ")";
+}
+
+FlowTrace ConcatTraceSource::flows() const {
+  FlowTrace out;
+  double offset_s = 0.0;
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    FlowTrace epoch = epochs_[i]->flows();
+    if (i == 0) out.config = epoch.config;  // packet size / seed of epoch 0
+    const double epoch_duration = epoch.config.duration_s > 0.0
+                                      ? epoch.config.duration_s
+                                      : derived_duration_s(epoch.flows);
+    out.flows.reserve(out.flows.size() + epoch.flows.size());
+    for (auto& flow : epoch.flows) {
+      flow.start_s += offset_s;
+      // A flow may not spill past its epoch (mirrors the generator's own
+      // end-of-trace truncation), so epochs never interleave.
+      flow.duration_s =
+          std::min(flow.duration_s, offset_s + epoch_duration - flow.start_s);
+      out.flows.push_back(flow);
+    }
+    offset_s += epoch_duration + gap_s_;
+  }
+  out.config.duration_s = offset_s - (epochs_.empty() ? 0.0 : gap_s_);
+  if (epochs_.size() > 1) {
+    out.config.flow_rate_per_s =
+        out.config.duration_s > 0.0
+            ? static_cast<double>(out.flows.size()) / out.config.duration_s
+            : 0.0;
+  }
+  // Epochs are internally sorted and disjoint in time, so the
+  // concatenation is already sorted by start time.
+  return out;
+}
+
+}  // namespace flowrank::trace

@@ -1,0 +1,118 @@
+// Pluggable flow-trace sources.
+//
+// Everything downstream of the trace — packet expansion, sampling,
+// binning, ranking — consumes a FlowTrace and does not care where the
+// flow records came from. This layer makes the provenance pluggable:
+//
+//   * SyntheticTraceSource — the paper's regenerated Sprint/Abilene
+//     statistics (trace::generate_flow_trace), including ON/OFF bursty
+//     arrival modulation;
+//   * FileTraceSource — replay of a recorded FRT1 flow-trace file
+//     (trace::trace_io), the path real deployments feed;
+//   * ConcatTraceSource — back-to-back epochs from other sources, for
+//     streaming scenarios that span workload shifts (e.g. a synthetic
+//     warm-up epoch followed by a recorded one).
+//
+// trace::PacketStream accepts any source directly and owns the
+// materialized trace, so scenario code never touches FlowTrace lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowrank/trace/flow_trace_generator.hpp"
+
+namespace flowrank::trace {
+
+/// Produces a flow-level trace (flows sorted by start time). Sources are
+/// deterministic: flows() yields the same trace every call.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Human-readable provenance, e.g. "synthetic(sprint_5tuple)" or
+  /// "file(scenarios/tiny_sprint.frt1)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Materializes the trace. Throws std::runtime_error when the backing
+  /// data cannot be produced (e.g. an unreadable or malformed file).
+  [[nodiscard]] virtual FlowTrace flows() const = 0;
+};
+
+/// The synthetic generator behind a source interface.
+class SyntheticTraceSource final : public TraceSource {
+ public:
+  explicit SyntheticTraceSource(FlowTraceConfig config, std::string label = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FlowTrace flows() const override;
+
+  [[nodiscard]] const FlowTraceConfig& config() const noexcept { return config_; }
+
+ private:
+  FlowTraceConfig config_;
+  std::string label_;
+};
+
+/// Replays a recorded FRT1 flow-trace file. The file stores flow records
+/// only, so packet-level parameters (packet size, placement seed) come
+/// from the options.
+class FileTraceSource final : public TraceSource {
+ public:
+  struct Options {
+    std::uint32_t packet_size_bytes = 500;  ///< size of every replayed packet
+    std::uint64_t seed = 1;                 ///< packet-placement seed
+    /// Trace length in seconds; 0 = derive from the last flow's end time
+    /// (rounded up to a whole second so the final bin stays regular).
+    double duration_s = 0.0;
+  };
+
+  explicit FileTraceSource(std::string path);
+  FileTraceSource(std::string path, Options options);
+
+  [[nodiscard]] std::string name() const override;
+  /// Loads and validates the file. Throws std::runtime_error on a
+  /// missing or malformed file (trace_io's errors pass through).
+  [[nodiscard]] FlowTrace flows() const override;
+
+ private:
+  std::string path_;
+  Options options_;
+};
+
+/// A trace already in memory, behind the source interface. Used to
+/// materialize an expensive source (e.g. a file load) once and fan it
+/// out to several consumers — ConcatTraceSource epochs in particular.
+class FixedTraceSource final : public TraceSource {
+ public:
+  FixedTraceSource(FlowTrace trace, std::string label);
+
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] FlowTrace flows() const override { return trace_; }
+
+ private:
+  FlowTrace trace_;
+  std::string label_;
+};
+
+/// Concatenates epochs from other sources end to end: epoch k's flows are
+/// shifted by the total duration of epochs 0..k-1 (plus `gap_s` of idle
+/// link between epochs), so the result plays back-to-back as one stream.
+class ConcatTraceSource final : public TraceSource {
+ public:
+  /// Throws std::invalid_argument on an empty epoch list, a null epoch,
+  /// or a negative gap.
+  explicit ConcatTraceSource(std::vector<std::shared_ptr<const TraceSource>> epochs,
+                             double gap_s = 0.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FlowTrace flows() const override;
+
+ private:
+  std::vector<std::shared_ptr<const TraceSource>> epochs_;
+  double gap_s_;
+};
+
+}  // namespace flowrank::trace

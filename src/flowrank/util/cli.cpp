@@ -31,6 +31,13 @@ Cli::Cli(int argc, const char* const* argv) {
 
 bool Cli::has(const std::string& name) const { return options_.count(name) > 0; }
 
+std::vector<std::string> Cli::option_names() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [name, value] : options_) names.push_back(name);
+  return names;  // std::map iteration: already sorted
+}
+
 std::string Cli::get_string(const std::string& name, std::string fallback) const {
   auto it = options_.find(name);
   return it == options_.end() ? fallback : it->second;

@@ -29,6 +29,10 @@ class Cli {
                                      std::int64_t fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Names of every --option present, in sorted order. Lets strict
+  /// drivers reject unknown options (typos) instead of ignoring them.
+  [[nodiscard]] std::vector<std::string> option_names() const;
+
   /// Positional (non --option) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/binned_classifier.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/sim/binned_sim.hpp"
@@ -188,14 +189,28 @@ TEST(FlowTableMerge, MergeFromKeepsCompletedSubflowsSeparate) {
 TEST(ShardedPipeline, RejectsBadConfigs) {
   fing::ShardedPipelineConfig cfg;
   cfg.bin_ns = 1000;
-  cfg.num_shards = 0;
-  EXPECT_THROW(fing::ShardedPipeline{cfg}, std::invalid_argument);
-  cfg.num_shards = 1;
   cfg.num_streams = 0;
   EXPECT_THROW(fing::ShardedPipeline{cfg}, std::invalid_argument);
   cfg.num_streams = 1;
   cfg.bin_ns = 0;
   EXPECT_THROW(fing::ShardedPipeline{cfg}, std::invalid_argument);
+  // Absurd shard counts fail fast instead of flooding the pool.
+  cfg.bin_ns = 1000;
+  cfg.num_shards = flowrank::exec::TaskPool::kMaxParallelism + 1;
+  EXPECT_THROW(fing::ShardedPipeline{cfg}, std::invalid_argument);
+}
+
+TEST(ShardedPipeline, ZeroShardsMeansAllHardwareThreads) {
+  fing::ShardedPipelineConfig cfg;
+  cfg.bin_ns = 1000;
+  cfg.num_shards = 0;  // same convention as SimConfig::num_threads
+  fing::ShardedPipeline pipeline(cfg);
+  EXPECT_GE(pipeline.config().num_shards, 1u);
+  const std::vector<fp::PacketRecord> batch{make_packet(1, 10), make_packet(2, 20)};
+  pipeline.add_batch(0, batch);
+  pipeline.finish();
+  EXPECT_EQ(pipeline.bin_count(0), 1u);
+  EXPECT_EQ(pipeline.bin_flows(0, 0).size(), 2u);
 }
 
 TEST(ShardedPipeline, LifecycleGuards) {
@@ -318,10 +333,29 @@ TEST(ShardedSim, PacketLevelMetricsBitIdenticalAcrossShardCounts) {
   }
 }
 
-TEST(ShardedSim, RejectsZeroShards) {
+TEST(ShardedSim, ZeroShardsResolvesToHardwareThreads) {
+  // 0 shards = all hardware threads, the same convention every other
+  // thread knob uses — and still bit-identical to the sequential path.
+  const auto trace = make_boundary_heavy_trace();
+  fsim::SimConfig cfg;
+  cfg.bin_seconds = 2.5;
+  cfg.top_t = 5;
+  cfg.sampling_rates = {0.2};
+  cfg.seed = 17;
+  const auto reference = fsim::run_packet_level_once(trace, 0.2, cfg, 77);
+  const auto resolved = fsim::run_packet_level_once(trace, 0.2, cfg, 77, 0);
+  ASSERT_EQ(resolved.size(), reference.size());
+  for (std::size_t b = 0; b < reference.size(); ++b) {
+    EXPECT_EQ(resolved[b].ranking_swapped, reference[b].ranking_swapped);
+    EXPECT_EQ(resolved[b].top_set_recall, reference[b].top_set_recall);
+  }
+}
+
+TEST(ShardedSim, RejectsAbsurdShardCounts) {
   const auto trace = make_boundary_heavy_trace();
   fsim::SimConfig cfg;
   cfg.bin_seconds = 10.0;
-  EXPECT_THROW((void)fsim::run_packet_level_once(trace, 0.5, cfg, 1, 0),
+  EXPECT_THROW((void)fsim::run_packet_level_once(
+                   trace, 0.5, cfg, 1, flowrank::exec::TaskPool::kMaxParallelism + 1),
                std::invalid_argument);
 }
