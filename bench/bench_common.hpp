@@ -1,18 +1,16 @@
-// Shared helpers for the figure-regeneration benchmarks.
+// Shared helpers for the remaining claim-check benchmarks
+// (summary_claims and the ablations).
 //
-// Every fig* binary prints: a header describing the paper figure, the data
-// series the figure plots (as an aligned table, one row per x-value), and
-// a paper-vs-measured verdict on the figure's qualitative claim.
+// The paper figures themselves no longer live here: each is a declarative
+// ExperimentSpec under scenarios/figures/ run by flowrank_experiments
+// (see src/flowrank/sim/experiment.hpp); the rate-grid builders moved
+// into the sweep grammar and the CSV emission into report::ResultSink.
 #pragma once
 
-#include <cmath>
-#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "flowrank/core/detection_model.hpp"
 #include "flowrank/core/ranking_model.hpp"
 #include "flowrank/dist/pareto.hpp"
 #include "flowrank/util/cli.hpp"
@@ -25,20 +23,6 @@ constexpr double kMean5Tuple = 9.6;        // packets (4.8 KB / 500 B)
 constexpr double kMeanPrefix24 = 33.2;     // packets (16.6 KB / 500 B)
 constexpr std::int64_t kN5Tuple = 700000;  // flows per 5-min interval
 constexpr std::int64_t kNPrefix24 = 100000;
-
-/// Log-spaced grid from lo to hi inclusive.
-inline std::vector<double> log_spaced(double lo, double hi, int count) {
-  std::vector<double> out(static_cast<std::size_t>(count));
-  const double step = (std::log(hi) - std::log(lo)) / (count - 1);
-  for (int i = 0; i < count; ++i) out[static_cast<std::size_t>(i)] = std::exp(std::log(lo) + step * i);
-  out.back() = hi;
-  return out;
-}
-
-/// The sampling-rate grid the paper plots (0.1% .. 50%).
-inline std::vector<double> paper_rate_grid(int points = 10) {
-  return log_spaced(0.001, 0.5, points);
-}
 
 inline flowrank::core::RankingModelConfig sprint_config(std::int64_t n,
                                                         std::int64_t t, double beta,
@@ -53,16 +37,6 @@ inline flowrank::core::RankingModelConfig sprint_config(std::int64_t n,
 
 inline void print_header(const std::string& figure, const std::string& what) {
   std::cout << "# " << figure << " — " << what << "\n";
-}
-
-/// Smallest rate in `rates` whose metric is below 1 (the paper's
-/// acceptability line), or NaN if none.
-inline double crossing_rate(const std::vector<double>& rates,
-                            const std::vector<double>& metrics) {
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    if (metrics[i] < 1.0) return rates[i];
-  }
-  return std::nan("");
 }
 
 inline void print_verdict(const std::string& claim, bool holds,

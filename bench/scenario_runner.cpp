@@ -1,5 +1,11 @@
-// Generic scenario driver: runs any declarative sim::ScenarioSpec end to
-// end — no per-scenario C++ required.
+// DEPRECATED shim over the unified experiment engine: runs any
+// declarative sim::ScenarioSpec end to end with the historical
+// human-readable report. New work should use `flowrank_experiments`
+// (src/flowrank/sim/experiment.hpp), which runs the same scenario keys
+// plus the model axis / sweep grammar / estimator stages and writes
+// structured CSV or JSON-lines through report::ResultSink. This shim
+// stays because the checked-in scenarios/*.scn suite and its CI smoke
+// predate the experiment layer.
 //
 // Usage:
 //   scenario_runner --scenario scenarios/bursty_onoff.scn [--threads 4]
@@ -19,7 +25,6 @@
 #include <stdexcept>
 
 #include "flowrank/sim/scenario.hpp"
-#include "flowrank/trace/trace_io.hpp"
 #include "flowrank/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -35,16 +40,16 @@ int main(int argc, char** argv) {
                                     " (see src/flowrank/sim/scenario.hpp)");
       }
     }
+    std::cerr << "note: scenario_runner is a deprecated shim; prefer "
+                 "flowrank_experiments --spec (structured sinks, model axis, "
+                 "sweeps, estimators)\n";
     const auto spec = flowrank::sim::scenario_from_cli(cli);
 
     const std::string export_path = cli.get_string("export-trace", "");
     if (!export_path.empty()) {
-      const auto source = flowrank::sim::make_trace_source(spec);
-      const auto trace = source->flows();
-      flowrank::trace::save_flow_records(export_path, trace.flows);
-      std::cout << "wrote " << trace.flows.size() << " flows ("
-                << trace.total_packets() << " packets, " << trace.config.duration_s
-                << " s) from " << source->name() << " to " << export_path << "\n";
+      const auto flows =
+          flowrank::sim::export_scenario_trace(spec, export_path);
+      std::cout << "wrote " << flows << " flows to " << export_path << "\n";
       return 0;
     }
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Schema check for flowrank_experiments JSON-lines output (CI gate).
+
+Validates the report::JsonlResultSink contract:
+  * line 1 is a meta object: type=meta, experiment/version strings,
+    integer seed, spec object (string values), non-empty columns list;
+  * every following line is a row object: type=row, exactly the meta's
+    columns as keys, values numeric or null (strings allowed only for
+    string-typed columns, which the current engines never emit);
+  * at least one row.
+
+Usage: scripts/check_jsonl.py result.jsonl [more.jsonl ...]
+"""
+import json
+import sys
+
+
+def fail(path, line_no, message):
+    print(f"{path}:{line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().splitlines() if line]
+    if not lines:
+        fail(path, 0, "empty file")
+
+    try:
+        meta = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        fail(path, 1, f"meta line is not valid JSON: {error}")
+    if meta.get("type") != "meta":
+        fail(path, 1, "first line must have type=meta")
+    for key, kind in (("experiment", str), ("version", str), ("seed", int)):
+        if not isinstance(meta.get(key), kind):
+            fail(path, 1, f"meta.{key} must be {kind.__name__}")
+    spec = meta.get("spec")
+    if not isinstance(spec, dict) or not all(
+        isinstance(v, str) for v in spec.values()
+    ):
+        fail(path, 1, "meta.spec must be an object of string values")
+    columns = meta.get("columns")
+    if (
+        not isinstance(columns, list)
+        or not columns
+        or not all(isinstance(c, str) for c in columns)
+    ):
+        fail(path, 1, "meta.columns must be a non-empty list of strings")
+
+    expected_keys = ["type"] + columns
+    if len(lines) < 2:
+        fail(path, 1, "no data rows")
+    for line_no, line in enumerate(lines[1:], start=2):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, line_no, f"row is not valid JSON: {error}")
+        if row.get("type") != "row":
+            fail(path, line_no, "data lines must have type=row")
+        if list(row.keys()) != expected_keys:
+            fail(
+                path,
+                line_no,
+                f"row keys {list(row.keys())} != meta columns {expected_keys}",
+            )
+        for column in columns:
+            value = row[column]
+            if value is not None and not isinstance(value, (int, float)):
+                fail(path, line_no, f"column {column} must be numeric or null")
+
+    print(f"{path}: OK ({len(lines) - 1} rows, {len(columns)} columns)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main()

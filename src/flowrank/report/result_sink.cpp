@@ -1,0 +1,230 @@
+#include "flowrank/report/result_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace flowrank::report {
+
+namespace {
+
+std::string format_numeric(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+/// JSON string escaping (control characters, quotes, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// RFC-4180-ish CSV quoting, same convention as util::Table::print_csv.
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+const char* build_version() noexcept {
+#ifdef FLOWRANK_GIT_DESCRIBE
+  return FLOWRANK_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+Value::Value(double v)
+    : text_(format_numeric(v)), numeric_(true), finite_(std::isfinite(v)) {}
+
+Value::Value(std::int64_t v) : text_(std::to_string(v)), numeric_(true) {}
+
+Value::Value(std::uint64_t v) : text_(std::to_string(v)), numeric_(true) {}
+
+Value::Value(std::string v) : text_(std::move(v)) {}
+
+ResultSink::~ResultSink() = default;
+
+void ResultSink::open(const std::vector<std::string>& columns,
+                      const RunMetadata& meta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (opened_) throw std::invalid_argument("ResultSink: open() called twice");
+  if (columns.empty()) throw std::invalid_argument("ResultSink: no columns");
+  opened_ = true;
+  columns_ = columns.size();
+  if (meta.version.empty()) {
+    RunMetadata stamped = meta;
+    stamped.version = build_version();
+    write_header(columns, stamped);
+  } else {
+    write_header(columns, meta);
+  }
+}
+
+void ResultSink::emit(std::size_t seq, Row row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!opened_ || closed_) {
+    throw std::invalid_argument("ResultSink: emit() outside open()/close()");
+  }
+  if (row.size() != columns_) {
+    throw std::invalid_argument("ResultSink: row has " + std::to_string(row.size()) +
+                                " cells, header has " + std::to_string(columns_));
+  }
+  if (seq < next_seq_ || pending_.count(seq)) {
+    throw std::invalid_argument("ResultSink: duplicate row seq " +
+                                std::to_string(seq));
+  }
+  pending_.emplace(seq, std::move(row));
+  // Drain the contiguous prefix: rows reach the stream in seq order no
+  // matter which worker finished first.
+  for (auto it = pending_.begin(); it != pending_.end() && it->first == next_seq_;
+       it = pending_.erase(it), ++next_seq_) {
+    write_row(it->second);
+  }
+}
+
+void ResultSink::close(std::size_t expected_rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  if (!opened_) throw std::runtime_error("ResultSink: close() before open()");
+  // closed_ flips only after validation: a close() that throws must keep
+  // throwing on retry, not dissolve into an idempotent no-op.
+  if (!pending_.empty()) {
+    throw std::runtime_error(
+        "ResultSink: row " + std::to_string(next_seq_) + " was never emitted (" +
+        std::to_string(pending_.size()) + " later rows stranded)");
+  }
+  if (expected_rows != kNoExpectedRows && next_seq_ != expected_rows) {
+    throw std::runtime_error("ResultSink: " + std::to_string(next_seq_) + " of " +
+                             std::to_string(expected_rows) +
+                             " expected rows were emitted");
+  }
+  closed_ = true;
+  flush();
+}
+
+std::size_t ResultSink::rows_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+// --- CSV -------------------------------------------------------------------
+
+void CsvResultSink::write_header(const std::vector<std::string>& columns,
+                                 const RunMetadata& meta) {
+  os_ << "# experiment: " << meta.experiment << "\n";
+  os_ << "# version: " << meta.version << "\n";
+  os_ << "# seed: " << meta.seed << "\n";
+  for (const auto& [key, value] : meta.spec_echo) {
+    os_ << "# spec " << key << " = " << value << "\n";
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    os_ << (i ? "," : "") << csv_escape(columns[i]);
+  }
+  os_ << "\n";
+}
+
+void CsvResultSink::write_row(const Row& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    os_ << (i ? "," : "") << csv_escape(row[i].text());
+  }
+  os_ << "\n";
+}
+
+void CsvResultSink::flush() { os_.flush(); }
+
+// --- JSON lines ------------------------------------------------------------
+
+void JsonlResultSink::write_header(const std::vector<std::string>& columns,
+                                   const RunMetadata& meta) {
+  columns_ = columns;
+  os_ << "{\"type\":\"meta\",\"experiment\":\"" << json_escape(meta.experiment)
+      << "\",\"version\":\"" << json_escape(meta.version) << "\",\"seed\":" << meta.seed
+      << ",\"spec\":{";
+  for (std::size_t i = 0; i < meta.spec_echo.size(); ++i) {
+    os_ << (i ? "," : "") << "\"" << json_escape(meta.spec_echo[i].first) << "\":\""
+        << json_escape(meta.spec_echo[i].second) << "\"";
+  }
+  os_ << "},\"columns\":[";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    os_ << (i ? "," : "") << "\"" << json_escape(columns[i]) << "\"";
+  }
+  os_ << "]}\n";
+}
+
+void JsonlResultSink::write_row(const Row& row) {
+  os_ << "{\"type\":\"row\"";
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    os_ << ",\"" << json_escape(columns_[i]) << "\":";
+    if (!row[i].numeric()) {
+      os_ << "\"" << json_escape(row[i].text()) << "\"";
+    } else if (!row[i].finite()) {
+      os_ << "null";
+    } else {
+      os_ << row[i].text();
+    }
+  }
+  os_ << "}\n";
+}
+
+void JsonlResultSink::flush() { os_.flush(); }
+
+// --- factory ---------------------------------------------------------------
+
+OwnedSink make_sink(const std::string& path, const std::string& format) {
+  std::string fmt = format;
+  if (fmt.empty()) {
+    const auto dot = path.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+    fmt = (ext == "jsonl" || ext == "ndjson") ? "jsonl" : "csv";
+  }
+  if (fmt != "csv" && fmt != "jsonl") {
+    throw std::invalid_argument("report: unknown format '" + format +
+                                "' (csv | jsonl)");
+  }
+
+  OwnedSink out;
+  std::ostream* os = &std::cout;
+  if (path != "-") {
+    auto file = std::make_unique<std::ofstream>(path, std::ios::binary);
+    if (!*file) throw std::runtime_error("report: cannot open " + path);
+    os = file.get();
+    out.stream = std::move(file);
+  }
+  if (fmt == "jsonl") {
+    out.sink = std::make_unique<JsonlResultSink>(*os);
+  } else {
+    out.sink = std::make_unique<CsvResultSink>(*os);
+  }
+  return out;
+}
+
+}  // namespace flowrank::report

@@ -1,0 +1,169 @@
+// Structured result sinks: every experiment writes rows here instead of
+// hand-rolled printf/Table code in each driver.
+//
+// Contract:
+//  * open() writes a run-metadata header (experiment name, tool version,
+//    seed, full spec echo) followed by the column names;
+//  * emit(seq, row) is thread-safe and may be called from any worker in
+//    any order — rows carry their position in the deterministic grid
+//    order and the sink reorders internally, so the bytes on disk are
+//    identical at any thread count (the golden-file tests assert this
+//    byte for byte at threads {1, 4});
+//  * close() flushes and fails loudly on a gap (an emitted sequence
+//    range with holes means an experiment dropped a row).
+//
+// Two formats share the pipeline: CSV (spreadsheet/gnuplot friendly,
+// metadata as '#' comment lines) and JSON-lines (one object per row,
+// metadata in a leading "meta" object; schema-checked in CI).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flowrank::report {
+
+/// The tool version stamped into run metadata: `git describe` captured at
+/// configure time, or "unknown" outside a git checkout.
+[[nodiscard]] const char* build_version() noexcept;
+
+/// One cell of a result row. Doubles format as printf %.10g in both
+/// output formats (enough digits to round-trip the metrics while keeping
+/// goldens readable); integers and strings verbatim.
+class Value {
+ public:
+  Value(double v);              // NOLINT(google-explicit-constructor)
+  Value(std::int64_t v);        // NOLINT(google-explicit-constructor)
+  Value(std::uint64_t v);       // NOLINT(google-explicit-constructor)
+  Value(int v) : Value(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(std::string v);         // NOLINT(google-explicit-constructor)
+  Value(const char* v) : Value(std::string(v)) {}  // NOLINT
+
+  /// Cell text as it appears in CSV output.
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  /// True when the cell is numeric (JSON emits it unquoted). NaN and
+  /// infinities are not representable in JSON and emit as null.
+  [[nodiscard]] bool numeric() const noexcept { return numeric_; }
+  [[nodiscard]] bool finite() const noexcept { return finite_; }
+
+ private:
+  std::string text_;
+  bool numeric_ = false;
+  bool finite_ = true;
+};
+
+using Row = std::vector<Value>;
+
+/// Run provenance written ahead of the data rows.
+struct RunMetadata {
+  std::string experiment;  ///< spec name
+  std::string version;     ///< defaults to build_version() when empty
+  std::uint64_t seed = 0;
+  /// Full spec echo, key = value, in spec-file key order: the output is
+  /// self-describing — a result file names every knob that produced it.
+  std::vector<std::pair<std::string, std::string>> spec_echo;
+};
+
+/// Abstract streaming sink. Construction is cheap; open() writes the
+/// header; emit() may then be called concurrently; close() finishes the
+/// file. The destructor does NOT close: close() throws on dropped rows,
+/// and a silent destructor-close would swallow exactly that failure —
+/// call close() explicitly on every success path.
+class ResultSink {
+ public:
+  virtual ~ResultSink();
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  /// Writes metadata + column header. Must be called exactly once,
+  /// before any emit().
+  void open(const std::vector<std::string>& columns, const RunMetadata& meta);
+
+  /// Emits the row at grid position `seq` (0-based, dense). Thread-safe;
+  /// rows are written to the stream in ascending seq order regardless of
+  /// emission order. Throws std::invalid_argument on a duplicate seq or
+  /// a column-count mismatch.
+  void emit(std::size_t seq, Row row);
+
+  /// Sentinel for close(): skip the expected-count check.
+  static constexpr std::size_t kNoExpectedRows = static_cast<std::size_t>(-1);
+
+  /// Flushes buffered rows; throws std::runtime_error if the emitted
+  /// sequence numbers have a hole, or — when `expected_rows` is given —
+  /// if fewer rows than that were written (a trailing dropped row is
+  /// invisible to the hole check alone; callers that know the grid size,
+  /// like run_experiment, pass it). Idempotent on success.
+  void close(std::size_t expected_rows = kNoExpectedRows);
+
+  /// Rows written to the stream so far.
+  [[nodiscard]] std::size_t rows_written() const;
+
+ protected:
+  ResultSink() = default;
+
+  virtual void write_header(const std::vector<std::string>& columns,
+                            const RunMetadata& meta) = 0;
+  virtual void write_row(const Row& row) = 0;
+  virtual void flush() = 0;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t columns_ = 0;
+  bool opened_ = false;
+  bool closed_ = false;
+  std::size_t next_seq_ = 0;              ///< first seq not yet written
+  std::map<std::size_t, Row> pending_;    ///< out-of-order rows by seq
+};
+
+/// CSV: '#' metadata comment lines, a header row, then data rows.
+class CsvResultSink final : public ResultSink {
+ public:
+  /// Writes to `os`; the stream must outlive the sink.
+  explicit CsvResultSink(std::ostream& os) : os_(os) {}
+
+ protected:
+  void write_header(const std::vector<std::string>& columns,
+                    const RunMetadata& meta) override;
+  void write_row(const Row& row) override;
+  void flush() override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// JSON-lines: a leading {"type":"meta",...} object, then one
+/// {"type":"row",...} object per row keyed by column name.
+class JsonlResultSink final : public ResultSink {
+ public:
+  explicit JsonlResultSink(std::ostream& os) : os_(os) {}
+
+ protected:
+  void write_header(const std::vector<std::string>& columns,
+                    const RunMetadata& meta) override;
+  void write_row(const Row& row) override;
+  void flush() override;
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> columns_;
+};
+
+/// Sink + the stream it owns, from a --out style destination.
+struct OwnedSink {
+  std::unique_ptr<std::ostream> stream;  ///< null when writing to stdout
+  std::unique_ptr<ResultSink> sink;
+};
+
+/// Builds a sink for `path`: "-" writes CSV to stdout; otherwise the
+/// format follows `format` ("csv" | "jsonl" | "" = by file extension,
+/// defaulting to CSV). Throws std::runtime_error when the file cannot be
+/// opened, std::invalid_argument on an unknown format.
+[[nodiscard]] OwnedSink make_sink(const std::string& path, const std::string& format);
+
+}  // namespace flowrank::report

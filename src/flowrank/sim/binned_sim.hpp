@@ -83,4 +83,51 @@ struct SimResult {
     const trace::FlowTrace& trace, double sampling_rate, const SimConfig& config,
     std::uint64_t run_seed, std::size_t num_shards = 1);
 
+/// A flow-size estimation stage between the sampled stream and the
+/// ranking (the paper's sampled → estimated → ranked loop). Declared in
+/// experiment specs as
+///   estimator = inversion | tcp_seq | sample_and_hold:slots=K[,hold=H]
+///             | space_saving:slots=K
+/// (sim/experiment.hpp parses the grammar).
+struct EstimatorStage {
+  enum class Kind {
+    kNone,           ///< rank raw sampled counts (run_packet_level_once)
+    kInversion,      ///< estimators::scaled_size_estimate: Ŝ = s/p
+    kTcpSeq,         ///< estimators::estimate_size_tcp_seq (seq-span based)
+    kSampleAndHold,  ///< estimators::SampleAndHold over the sampled stream
+    kSpaceSaving,    ///< estimators::SpaceSavingTracker over the sampled stream
+  };
+  Kind kind = Kind::kNone;
+  /// Tracker capacity (sample_and_hold: 0 = unbounded; space_saving >= 1).
+  std::size_t slots = 1024;
+  /// sample_and_hold per-packet entry probability.
+  double hold_probability = 0.1;
+};
+
+/// One bin of an estimator-staged packet run.
+struct PacketBinResult {
+  metrics::RankMetricsResult metrics;
+  std::size_t flows_in_bin = 0;  ///< original flows present in the bin
+  /// Key-sorted (key, estimated original size) for every original flow in
+  /// the bin; filled only when collect_estimates was set (tests compare
+  /// these bit for bit against direct estimator calls).
+  std::vector<std::pair<packet::FlowKey, double>> estimates;
+};
+
+/// Packet-path single run with an estimator stage: the sampled stream's
+/// per-flow sizes are replaced by the stage's estimates (converted to
+/// fixed point, x1024, for the integer rank metrics) before ranking, so
+/// the metrics measure the combined sampling + estimation error.
+///
+/// Memory-bounded trackers consume the sampled packets on the driver
+/// thread (one tracker per bin, SampleAndHold seeded with
+/// mix_stream(run_seed, bin)); inversion/tcp_seq read the merged per-bin
+/// sampled counters. Either way the result is bit-identical at any
+/// `num_shards`, like run_packet_level_once. kNone reproduces
+/// run_packet_level_once's metrics exactly (raw counts, no fixed point).
+[[nodiscard]] std::vector<PacketBinResult> run_packet_level_estimated(
+    const trace::FlowTrace& trace, double sampling_rate, const SimConfig& config,
+    std::uint64_t run_seed, std::size_t num_shards, const EstimatorStage& stage,
+    bool collect_estimates = false);
+
 }  // namespace flowrank::sim

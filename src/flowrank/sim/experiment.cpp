@@ -1,0 +1,739 @@
+#include "flowrank/sim/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "flowrank/core/detection_model.hpp"
+#include "flowrank/core/misranking.hpp"
+#include "flowrank/core/optimal_rate.hpp"
+#include "flowrank/sim/spec_detail.hpp"
+#include "flowrank/sim/sweep_engine.hpp"
+
+namespace flowrank::sim {
+
+namespace {
+
+using detail::parse_double;
+using detail::split;
+using detail::trim;
+
+/// Doubles in spec echoes use the sinks' own cell formatting, so echoed
+/// values round-trip exactly like result cells.
+std::string format_value(double value) { return report::Value(value).text(); }
+
+/// The sweepable parameter names, and which are integer-valued (formatted
+/// as integers in result rows).
+constexpr const char* kSweepParams[] = {"rate", "t",        "n",  "beta",
+                                        "bin",  "duration", "s1", "s2"};
+
+bool is_sweep_param(const std::string& param) {
+  for (const char* known : kSweepParams) {
+    if (param == known) return true;
+  }
+  return false;
+}
+
+bool integer_axis(const std::string& param) {
+  return param == "t" || param == "n" || param == "s1" || param == "s2";
+}
+
+/// Replaces or appends the axis for `param` (last declaration wins, so a
+/// CLI --sweep-rate override replaces the file's rate grid in place).
+void set_axis(ExperimentSpec& spec, const std::string& param,
+              const std::string& grammar) {
+  if (!is_sweep_param(param)) {
+    throw std::invalid_argument("experiment: unknown sweep parameter '" + param +
+                                "' (rate|t|n|beta|bin|duration|s1|s2)");
+  }
+  SweepAxis axis{param, parse_sweep_values(grammar), grammar};
+  for (auto& existing : spec.sweeps) {
+    if (existing.param == param) {
+      existing = std::move(axis);
+      return;
+    }
+  }
+  spec.sweeps.push_back(std::move(axis));
+}
+
+/// True for "sweep <param>" (file form) and "sweep-<param>" (CLI form);
+/// extracts the parameter name.
+bool sweep_key(const std::string& key, std::string& param_out) {
+  if (key.size() < 7 || key.compare(0, 5, "sweep") != 0) return false;
+  const char sep = key[5];
+  if (sep != ' ' && sep != '\t' && sep != '-') return false;
+  param_out = trim(key.substr(6));
+  return !param_out.empty();
+}
+
+const char* model_name(ExperimentModel model) {
+  switch (model) {
+    case ExperimentModel::kExact: return "exact";
+    case ExperimentModel::kMc: return "mc";
+    case ExperimentModel::kPacket: return "packet";
+  }
+  return "?";
+}
+
+const char* metric_name(ExactMetric metric) {
+  switch (metric) {
+    case ExactMetric::kRanking: return "ranking";
+    case ExactMetric::kDetection: return "detection";
+    case ExactMetric::kOptimalRate: return "optimal_rate";
+    case ExactMetric::kGaussianError: return "gaussian_error";
+  }
+  return "?";
+}
+
+/// Per-model sweepable-axis whitelist; a violation is a spec bug and
+/// fails before any output is written.
+void check_axes(const ExperimentSpec& spec) {
+  const auto allowed = [&spec](const std::string& param) {
+    switch (spec.model) {
+      case ExperimentModel::kExact:
+        switch (spec.metric) {
+          case ExactMetric::kRanking:
+          case ExactMetric::kDetection:
+            return param == "rate" || param == "t" || param == "n" ||
+                   param == "beta";
+          case ExactMetric::kOptimalRate:
+            return param == "s1" || param == "s2";
+          case ExactMetric::kGaussianError:
+            return param == "s1" || param == "s2" || param == "rate";
+        }
+        return false;
+      case ExperimentModel::kMc:
+      case ExperimentModel::kPacket:
+        return param == "rate" || param == "t" || param == "beta" ||
+               param == "bin" || param == "duration";
+    }
+    return false;
+  };
+  for (const auto& axis : spec.sweeps) {
+    if (!allowed(axis.param)) {
+      throw std::invalid_argument(
+          std::string("experiment: sweep '") + axis.param +
+          "' is not valid for model=" + model_name(spec.model) +
+          (spec.model == ExperimentModel::kExact
+               ? std::string(" metric=") + metric_name(spec.metric)
+               : std::string()));
+    }
+    if (axis.values.empty()) {
+      throw std::invalid_argument("experiment: sweep '" + axis.param +
+                                  "' has no values");
+    }
+  }
+  if (spec.model == ExperimentModel::kExact) {
+    const auto has = [&spec](const char* param) {
+      for (const auto& axis : spec.sweeps) {
+        if (axis.param == param) return true;
+      }
+      return false;
+    };
+    if ((spec.metric == ExactMetric::kOptimalRate ||
+         spec.metric == ExactMetric::kGaussianError) &&
+        (!has("s1") || !has("s2"))) {
+      throw std::invalid_argument(std::string("experiment: metric=") +
+                                  metric_name(spec.metric) +
+                                  " needs sweep s1 and sweep s2");
+    }
+  }
+  if (spec.estimator.kind != EstimatorStage::Kind::kNone &&
+      spec.model != ExperimentModel::kPacket) {
+    throw std::invalid_argument(
+        "experiment: estimator stages need model=packet");
+  }
+}
+
+/// The grid axes that index rows (mc/packet fold a rate sweep into the
+/// rates list instead — rate is an inner dimension of those engines).
+std::vector<SweepAxis> grid_axes(const ExperimentSpec& spec) {
+  std::vector<SweepAxis> axes;
+  for (const auto& axis : spec.sweeps) {
+    if (spec.model != ExperimentModel::kExact && axis.param == "rate") continue;
+    axes.push_back(axis);
+  }
+  return axes;
+}
+
+std::size_t grid_size(const std::vector<SweepAxis>& axes) {
+  std::size_t total = 1;
+  for (const auto& axis : axes) total *= axis.values.size();
+  return total;
+}
+
+/// Row-major unravel of grid cell `index` into per-axis values.
+std::vector<double> cell_values(const std::vector<SweepAxis>& axes,
+                                std::size_t index) {
+  std::vector<double> values(axes.size());
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    const std::size_t n = axes[a].values.size();
+    values[a] = axes[a].values[index % n];
+    index /= n;
+  }
+  return values;
+}
+
+void push_axis_cells(report::Row& row, const std::vector<SweepAxis>& axes,
+                     const std::vector<double>& values) {
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (integer_axis(axes[a].param)) {
+      row.emplace_back(static_cast<std::int64_t>(std::llround(values[a])));
+    } else {
+      row.emplace_back(values[a]);
+    }
+  }
+}
+
+/// Applies one grid axis value onto a cell-local spec copy.
+void apply_axis(ExperimentSpec& cell, const std::string& param, double value,
+                double& s1, double& s2) {
+  if (param == "rate") {
+    cell.exact_rate = value;
+  } else if (param == "t") {
+    cell.top_t = static_cast<std::size_t>(std::llround(value));
+  } else if (param == "n") {
+    cell.exact_n = std::llround(value);
+  } else if (param == "beta") {
+    cell.beta = value;
+  } else if (param == "bin") {
+    cell.bin_seconds = value;
+  } else if (param == "duration") {
+    cell.duration_s = value;
+  } else if (param == "s1") {
+    s1 = value;
+  } else if (param == "s2") {
+    s2 = value;
+  }
+}
+
+/// The trace-shaping subset of the spec: cells that agree on it share one
+/// materialized trace (e.g. the two bin lengths of a paper figure).
+std::string trace_cache_key(const ExperimentSpec& spec) {
+  std::ostringstream key;
+  key << spec.trace << '|' << spec.preset << '|' << format_value(spec.beta) << '|'
+      << spec.dist << '|' << format_value(spec.duration_s) << '|'
+      << format_value(spec.flow_rate_per_s) << '|'
+      << format_value(spec.flow_rate_scale) << '|' << spec.trace_seed << '|'
+      << spec.packet_size_bytes << '|' << spec.epochs << '|'
+      << format_value(spec.epoch_gap_s) << '|' << spec.on_off.enabled << '|'
+      << format_value(spec.on_off.mean_on_s) << '|'
+      << format_value(spec.on_off.mean_off_s) << '|'
+      << format_value(spec.on_off.on_factor) << '|'
+      << format_value(spec.on_off.off_factor);
+  return key.str();
+}
+
+report::Row exact_cell_row(const ExperimentSpec& spec,
+                           const std::vector<SweepAxis>& axes,
+                           std::size_t index) {
+  const auto values = cell_values(axes, index);
+  ExperimentSpec cell = spec;
+  double s1 = 0.0, s2 = 0.0;
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    apply_axis(cell, axes[a].param, values[a], s1, s2);
+  }
+
+  report::Row row;
+  push_axis_cells(row, axes, values);
+  switch (spec.metric) {
+    case ExactMetric::kRanking:
+    case ExactMetric::kDetection: {
+      core::RankingModelConfig cfg;
+      cfg.n = cell.exact_n;
+      cfg.t = static_cast<std::int64_t>(cell.top_t);
+      cfg.p = cell.exact_rate;
+      cfg.size_dist = make_size_distribution(cell);
+      cfg.pairwise = cell.pairwise;
+      cfg.counting = cell.counting;
+      if (spec.metric == ExactMetric::kRanking) {
+        const auto result = core::evaluate_ranking_model(cfg);
+        row.emplace_back(result.mean_pair_misranking);
+        row.emplace_back(result.metric);
+        row.emplace_back(result.pair_count);
+      } else {
+        const auto result = core::evaluate_detection_model(cfg);
+        row.emplace_back(result.mean_pair_misranking);
+        row.emplace_back(result.metric);
+        row.emplace_back(result.pair_count);
+      }
+      break;
+    }
+    case ExactMetric::kOptimalRate: {
+      const double rate = core::optimal_sampling_rate(
+          std::llround(s1), std::llround(s2), cell.optimal_target);
+      row.emplace_back(rate * 100.0);
+      break;
+    }
+    case ExactMetric::kGaussianError: {
+      row.emplace_back(core::misranking_abs_error(std::llround(s1),
+                                                  std::llround(s2),
+                                                  cell.exact_rate));
+      break;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<double> parse_sweep_values(const std::string& grammar) {
+  const std::string text = trim(grammar);
+  const auto range = text.find("..");
+  if (range == std::string::npos) {
+    // Explicit list: v1,v2,v3 (any order, e.g. the descending beta grids).
+    std::vector<double> values;
+    for (const auto& item : split(text, ',')) {
+      values.push_back(parse_double("sweep", item));
+    }
+    if (values.empty()) throw std::invalid_argument("sweep: empty value list");
+    return values;
+  }
+
+  // Range form: <lo>..<hi> log|lin <count>.
+  std::istringstream rest(text.substr(range + 2));
+  const double lo = parse_double("sweep", text.substr(0, range));
+  std::string hi_text, kind, count_text;
+  rest >> hi_text >> kind >> count_text;
+  std::string extra;
+  if (rest >> extra) {
+    throw std::invalid_argument("sweep: trailing '" + extra + "' in '" + text + "'");
+  }
+  if (hi_text.empty() || kind.empty() || count_text.empty()) {
+    throw std::invalid_argument(
+        "sweep: expected '<lo>..<hi> log|lin <count>', got '" + text + "'");
+  }
+  const double hi = parse_double("sweep", hi_text);
+  const double count_d = parse_double("sweep", count_text);
+  const int count = static_cast<int>(count_d);
+  if (count_d != count || count < 2) {
+    throw std::invalid_argument("sweep: count must be an integer >= 2");
+  }
+  if (!(lo < hi)) throw std::invalid_argument("sweep: range needs lo < hi");
+
+  std::vector<double> values(static_cast<std::size_t>(count));
+  if (kind == "log") {
+    if (!(lo > 0.0)) throw std::invalid_argument("sweep: log range needs lo > 0");
+    // Same construction as the historical figure rate grids (bench
+    // log_spaced): equal log steps with the endpoint pinned exactly.
+    const double step = (std::log(hi) - std::log(lo)) / (count - 1);
+    for (int i = 0; i < count; ++i) {
+      values[static_cast<std::size_t>(i)] = std::exp(std::log(lo) + step * i);
+    }
+  } else if (kind == "lin") {
+    const double step = (hi - lo) / (count - 1);
+    for (int i = 0; i < count; ++i) {
+      values[static_cast<std::size_t>(i)] = lo + step * i;
+    }
+  } else {
+    throw std::invalid_argument("sweep: spacing must be log|lin, got '" + kind + "'");
+  }
+  values.back() = hi;
+  return values;
+}
+
+EstimatorStage parse_estimator(const std::string& grammar) {
+  const std::string text = trim(grammar);
+  const auto colon = text.find(':');
+  const std::string kind = trim(text.substr(0, colon));
+  std::map<std::string, double> args;
+  if (colon != std::string::npos) {
+    for (const auto& item : split(text.substr(colon + 1), ',')) {
+      const auto eq = item.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("estimator: expected key=value, got '" + item +
+                                    "'");
+      }
+      args[trim(item.substr(0, eq))] =
+          parse_double("estimator", trim(item.substr(eq + 1)));
+    }
+  }
+  const auto take = [&args](const std::string& key, double fallback) {
+    const auto it = args.find(key);
+    if (it == args.end()) return fallback;
+    const double value = it->second;
+    args.erase(it);
+    return value;
+  };
+  const auto take_slots = [&take](double fallback) {
+    const double value = take("slots", fallback);
+    if (!(value >= 0.0) || value != std::floor(value) || value > 1e9) {
+      throw std::invalid_argument(
+          "estimator: slots must be a non-negative integer");
+    }
+    return static_cast<std::size_t>(value);
+  };
+
+  EstimatorStage stage;
+  if (kind == "none") {
+    stage.kind = EstimatorStage::Kind::kNone;
+  } else if (kind == "inversion") {
+    stage.kind = EstimatorStage::Kind::kInversion;
+  } else if (kind == "tcp_seq") {
+    stage.kind = EstimatorStage::Kind::kTcpSeq;
+  } else if (kind == "sample_and_hold") {
+    stage.kind = EstimatorStage::Kind::kSampleAndHold;
+    stage.slots = take_slots(1024.0);  // 0 = unbounded table
+    stage.hold_probability = take("hold", 0.1);
+    if (!(stage.hold_probability > 0.0 && stage.hold_probability <= 1.0)) {
+      throw std::invalid_argument("estimator: sample_and_hold hold in (0,1]");
+    }
+  } else if (kind == "space_saving") {
+    stage.kind = EstimatorStage::Kind::kSpaceSaving;
+    stage.slots = take_slots(1024.0);
+    if (stage.slots < 1) {
+      throw std::invalid_argument("estimator: space_saving slots >= 1");
+    }
+  } else {
+    throw std::invalid_argument(
+        "estimator: unknown kind '" + kind +
+        "' (none | inversion | tcp_seq | sample_and_hold | space_saving)");
+  }
+  if (!args.empty()) {
+    throw std::invalid_argument("estimator: unknown parameter '" +
+                                args.begin()->first + "'");
+  }
+  return stage;
+}
+
+const std::vector<std::string>& experiment_keys() {
+  static const std::vector<std::string> keys = {
+      "counting", "description", "estimator", "metric",  "model",
+      "n",        "pairwise",    "rate",      "target"};
+  return keys;
+}
+
+void apply_experiment_entry(ExperimentSpec& spec, const std::string& key,
+                            const std::string& value) {
+  std::string sweep_param;
+  if (sweep_key(key, sweep_param)) {
+    set_axis(spec, sweep_param, value);
+  } else if (key == "model") {
+    if (value == "exact") {
+      spec.model = ExperimentModel::kExact;
+    } else if (value == "mc") {
+      spec.model = ExperimentModel::kMc;
+    } else if (value == "packet") {
+      spec.model = ExperimentModel::kPacket;
+    } else {
+      throw std::invalid_argument("experiment: model must be exact|mc|packet, got '" +
+                                  value + "'");
+    }
+    // The scenario layer's path knob follows the model (the packet model
+    // IS the scenario packet path; the shim keeps old specs working).
+    spec.path = spec.model == ExperimentModel::kPacket ? ExecutionPath::kPacket
+                                                       : ExecutionPath::kCount;
+  } else if (key == "metric") {
+    if (value == "ranking") {
+      spec.metric = ExactMetric::kRanking;
+    } else if (value == "detection") {
+      spec.metric = ExactMetric::kDetection;
+    } else if (value == "optimal_rate") {
+      spec.metric = ExactMetric::kOptimalRate;
+    } else if (value == "gaussian_error") {
+      spec.metric = ExactMetric::kGaussianError;
+    } else {
+      throw std::invalid_argument(
+          "experiment: metric must be ranking|detection|optimal_rate|"
+          "gaussian_error, got '" + value + "'");
+    }
+  } else if (key == "description") {
+    spec.description = value;
+  } else if (key == "n") {
+    spec.exact_n = std::llround(parse_double(key, value));
+    if (spec.exact_n < 1) throw std::invalid_argument("experiment: n >= 1");
+  } else if (key == "rate") {
+    spec.exact_rate = parse_double(key, value);
+    if (!(spec.exact_rate > 0.0 && spec.exact_rate <= 1.0)) {
+      throw std::invalid_argument("experiment: rate in (0,1]");
+    }
+  } else if (key == "target") {
+    spec.optimal_target = parse_double(key, value);
+    if (!(spec.optimal_target > 0.0 && spec.optimal_target < 1.0)) {
+      throw std::invalid_argument("experiment: target in (0,1)");
+    }
+  } else if (key == "pairwise") {
+    if (value == "gaussian") {
+      spec.pairwise = core::PairwiseModel::kGaussian;
+    } else if (value == "hybrid") {
+      spec.pairwise = core::PairwiseModel::kHybrid;
+    } else {
+      throw std::invalid_argument("experiment: pairwise must be gaussian|hybrid");
+    }
+  } else if (key == "counting") {
+    if (value == "paper") {
+      spec.counting = core::PairCounting::kPaper;
+    } else if (value == "unordered") {
+      spec.counting = core::PairCounting::kUnordered;
+    } else {
+      throw std::invalid_argument("experiment: counting must be paper|unordered");
+    }
+  } else if (key == "estimator") {
+    spec.estimator = parse_estimator(value);
+    spec.estimator_grammar = value;
+  } else {
+    apply_scenario_entry(spec, key, value);
+  }
+}
+
+ExperimentSpec parse_experiment_file(const std::string& path) {
+  ExperimentSpec spec;
+  parse_spec_file(path, [&spec](const std::string& key, const std::string& value) {
+    apply_experiment_entry(spec, key, value);
+  });
+  return spec;
+}
+
+void apply_experiment_overrides(ExperimentSpec& spec, const util::Cli& cli) {
+  for (const std::string& key : experiment_keys()) {
+    if (cli.has(key)) apply_experiment_entry(spec, key, cli.get_string(key, ""));
+  }
+  apply_scenario_overrides(spec, cli);
+  for (const std::string& name : cli.option_names()) {
+    std::string param;
+    if (sweep_key(name, param)) {
+      set_axis(spec, param, cli.get_string(name, ""));
+    }
+  }
+}
+
+ExperimentSpec experiment_from_cli(const util::Cli& cli) {
+  ExperimentSpec spec;
+  const std::string file = cli.get_string("spec", "");
+  if (!file.empty()) spec = parse_experiment_file(file);
+  apply_experiment_overrides(spec, cli);
+  return spec;
+}
+
+std::vector<std::pair<std::string, std::string>> experiment_echo(
+    const ExperimentSpec& spec) {
+  std::vector<std::pair<std::string, std::string>> echo;
+  const auto add = [&echo](const std::string& key, const std::string& value) {
+    echo.emplace_back(key, value);
+  };
+  add("model", model_name(spec.model));
+  if (!spec.description.empty()) add("description", spec.description);
+
+  if (spec.model == ExperimentModel::kExact) {
+    add("metric", metric_name(spec.metric));
+    if (spec.metric == ExactMetric::kRanking ||
+        spec.metric == ExactMetric::kDetection) {
+      add("n", std::to_string(spec.exact_n));
+      add("preset", spec.preset);
+      if (!spec.dist.empty()) add("dist", spec.dist);
+      add("beta", format_value(spec.beta));
+      add("t", std::to_string(spec.top_t));
+      add("pairwise",
+          spec.pairwise == core::PairwiseModel::kGaussian ? "gaussian" : "hybrid");
+      add("counting",
+          spec.counting == core::PairCounting::kPaper ? "paper" : "unordered");
+    }
+    if (spec.metric == ExactMetric::kOptimalRate) {
+      add("target", format_value(spec.optimal_target));
+    }
+    if (spec.metric == ExactMetric::kGaussianError ||
+        spec.metric == ExactMetric::kRanking ||
+        spec.metric == ExactMetric::kDetection) {
+      add("rate", format_value(spec.exact_rate));
+    }
+  } else {
+    add("trace", spec.trace);
+    add("preset", spec.preset);
+    if (!spec.dist.empty()) add("dist", spec.dist);
+    add("beta", format_value(spec.beta));
+    add("duration", format_value(spec.duration_s));
+    if (spec.flow_rate_per_s > 0.0) {
+      add("flow-rate", format_value(spec.flow_rate_per_s));
+    }
+    add("flow-rate-scale", format_value(spec.flow_rate_scale));
+    add("trace-seed", std::to_string(spec.trace_seed));
+    add("packet-size", std::to_string(spec.packet_size_bytes));
+    if (spec.epochs > 1) {
+      add("epochs", std::to_string(spec.epochs));
+      add("epoch-gap", format_value(spec.epoch_gap_s));
+    }
+    if (spec.on_off.enabled) {
+      add("onoff", "on=" + format_value(spec.on_off.mean_on_s) +
+                       ",off=" + format_value(spec.on_off.mean_off_s) +
+                       ",on-factor=" + format_value(spec.on_off.on_factor) +
+                       ",off-factor=" + format_value(spec.on_off.off_factor));
+    }
+    add("bin", format_value(spec.bin_seconds));
+    add("t", std::to_string(spec.top_t));
+    // A `sweep rate` axis replaces the rates list on these models, so
+    // the echo records the rates actually run, not the superseded list.
+    const std::vector<double>* effective_rates = &spec.sampling_rates;
+    for (const auto& axis : spec.sweeps) {
+      if (axis.param == "rate") effective_rates = &axis.values;
+    }
+    std::string rates;
+    for (std::size_t i = 0; i < effective_rates->size(); ++i) {
+      rates += (i ? "," : "") + format_value((*effective_rates)[i]);
+    }
+    add("rates", rates);
+    // threads/shards are deliberately absent: they never change result
+    // values (the engines' bit-identity contract), so result files stay
+    // byte-identical at any parallelism.
+    if (spec.model == ExperimentModel::kMc) {
+      add("runs", std::to_string(spec.runs));
+    } else {
+      add("estimator", spec.estimator_grammar);
+    }
+    add("ties",
+        spec.tie_policy == metrics::TiePolicy::kPaper ? "paper" : "lenient");
+    add("definition",
+        spec.definition == packet::FlowDefinition::kFiveTuple ? "5tuple"
+                                                              : "prefix24");
+  }
+  add("seed", std::to_string(spec.seed));
+  for (const auto& axis : spec.sweeps) {
+    add("sweep " + axis.param, axis.grammar);
+  }
+  return echo;
+}
+
+std::vector<std::string> experiment_columns(const ExperimentSpec& spec) {
+  std::vector<std::string> columns;
+  for (const auto& axis : grid_axes(spec)) columns.push_back(axis.param);
+  switch (spec.model) {
+    case ExperimentModel::kExact:
+      switch (spec.metric) {
+        case ExactMetric::kRanking:
+        case ExactMetric::kDetection:
+          columns.insert(columns.end(),
+                         {"mean_pair_misranking", "metric", "pair_count"});
+          break;
+        case ExactMetric::kOptimalRate:
+          columns.push_back("optimal_rate_pct");
+          break;
+        case ExactMetric::kGaussianError:
+          columns.push_back("abs_error");
+          break;
+      }
+      break;
+    case ExperimentModel::kMc:
+      columns.insert(columns.end(),
+                     {"rate", "time_s", "flows", "ranking_mean", "ranking_std",
+                      "detection_mean", "detection_std", "recall_mean"});
+      break;
+    case ExperimentModel::kPacket:
+      columns.insert(columns.end(), {"rate", "time_s", "flows", "ranking_swapped",
+                                     "detection_swapped", "recall"});
+      break;
+  }
+  return columns;
+}
+
+std::size_t run_experiment(const ExperimentSpec& spec, report::ResultSink& sink) {
+  check_axes(spec);
+  const auto axes = grid_axes(spec);
+  const std::size_t cells = grid_size(axes);
+
+  // A rate sweep on mc/packet replaces the rates list (rate is those
+  // engines' inner dimension, not a grid axis).
+  ExperimentSpec base = spec;
+  for (const auto& axis : spec.sweeps) {
+    if (spec.model != ExperimentModel::kExact && axis.param == "rate") {
+      base.sampling_rates = axis.values;
+    }
+  }
+
+  report::RunMetadata meta;
+  meta.experiment = spec.name;
+  meta.seed = spec.seed;
+  meta.spec_echo = experiment_echo(spec);
+  sink.open(experiment_columns(spec), meta);
+
+  std::size_t rows = 0;
+  if (spec.model == ExperimentModel::kExact) {
+    // One row per grid cell; cells are independent (the quadrature and
+    // root-solve caches are mutex- or thread-local-guarded), so the grid
+    // runs on the shared pool and the sink's reorder buffer restores grid
+    // order — output bytes are identical at any thread count.
+    SweepEngine pool(SweepEngine::resolve_thread_count(base.num_threads));
+    pool.parallel_for(cells, [&](std::size_t index) {
+      sink.emit(index, exact_cell_row(base, axes, index));
+    });
+    rows = cells;
+  } else if (spec.model == ExperimentModel::kMc) {
+    // Cells sharing a trace configuration reuse one materialized trace
+    // (e.g. a figure's two bin lengths), exactly like the historical
+    // fig12-16 drivers.
+    std::map<std::string, std::shared_ptr<const trace::FlowTrace>> trace_cache;
+    for (std::size_t index = 0; index < cells; ++index) {
+      const auto values = cell_values(axes, index);
+      ExperimentSpec cell = base;
+      double s1 = 0.0, s2 = 0.0;
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        apply_axis(cell, axes[a].param, values[a], s1, s2);
+      }
+      auto& cached = trace_cache[trace_cache_key(cell)];
+      if (!cached) {
+        cached = std::make_shared<const trace::FlowTrace>(
+            make_trace_source(cell)->flows());
+      }
+      const SimResult result = run_binned_simulation(*cached, make_sim_config(cell));
+      for (const auto& series : result.series) {
+        for (std::size_t b = 0; b < series.bins.size(); ++b) {
+          const BinStats& stats = series.bins[b];
+          report::Row row;
+          push_axis_cells(row, axes, values);
+          row.emplace_back(series.sampling_rate);
+          row.emplace_back((static_cast<double>(b) + 1.0) * cell.bin_seconds);
+          row.emplace_back(stats.flows_in_bin);
+          const bool ranked = stats.ranking.count() > 0;
+          row.emplace_back(ranked ? stats.ranking.mean() : std::nan(""));
+          row.emplace_back(ranked ? stats.ranking.stddev() : std::nan(""));
+          row.emplace_back(ranked ? stats.detection.mean() : std::nan(""));
+          row.emplace_back(ranked ? stats.detection.stddev() : std::nan(""));
+          row.emplace_back(ranked ? stats.recall.mean() : std::nan(""));
+          sink.emit(rows++, std::move(row));
+        }
+      }
+    }
+  } else {
+    std::map<std::string, std::shared_ptr<const trace::FlowTrace>> trace_cache;
+    for (std::size_t index = 0; index < cells; ++index) {
+      const auto values = cell_values(axes, index);
+      ExperimentSpec cell = base;
+      double s1 = 0.0, s2 = 0.0;
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        apply_axis(cell, axes[a].param, values[a], s1, s2);
+      }
+      auto& cached = trace_cache[trace_cache_key(cell)];
+      if (!cached) {
+        cached = std::make_shared<const trace::FlowTrace>(
+            make_trace_source(cell)->flows());
+      }
+      const SimConfig config = make_sim_config(cell);
+      for (const double rate : cell.sampling_rates) {
+        const auto bins = run_packet_level_estimated(
+            *cached, rate, config, cell.seed, cell.num_shards, cell.estimator);
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+          const bool ranked = bins[b].flows_in_bin >= cell.top_t;
+          report::Row row;
+          push_axis_cells(row, axes, values);
+          row.emplace_back(rate);
+          row.emplace_back((static_cast<double>(b) + 1.0) * cell.bin_seconds);
+          row.emplace_back(bins[b].flows_in_bin);
+          row.emplace_back(ranked ? bins[b].metrics.ranking_swapped : std::nan(""));
+          row.emplace_back(ranked ? bins[b].metrics.detection_swapped
+                                  : std::nan(""));
+          row.emplace_back(ranked ? bins[b].metrics.top_set_recall : std::nan(""));
+          sink.emit(rows++, std::move(row));
+        }
+      }
+    }
+  }
+  const std::size_t total_rows =
+      spec.model == ExperimentModel::kExact ? cells : rows;
+  sink.close(total_rows);
+  return total_rows;
+}
+
+}  // namespace flowrank::sim

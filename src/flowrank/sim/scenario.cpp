@@ -13,52 +13,23 @@
 #include "flowrank/dist/mixture.hpp"
 #include "flowrank/dist/pareto.hpp"
 #include "flowrank/exec/task_pool.hpp"
+#include "flowrank/sim/spec_detail.hpp"
+#include "flowrank/trace/trace_io.hpp"
 #include "flowrank/util/table.hpp"
 
 namespace flowrank::sim {
 
 namespace {
 
-std::string trim(const std::string& s) {
-  const auto begin = s.find_first_not_of(" \t\r\n");
-  if (begin == std::string::npos) return {};
-  const auto end = s.find_last_not_of(" \t\r\n");
-  return s.substr(begin, end - begin + 1);
-}
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  for (;;) {
-    const auto pos = s.find(sep, start);
-    out.push_back(trim(s.substr(start, pos - start)));
-    if (pos == std::string::npos) return out;
-    start = pos + 1;
-  }
-}
+using detail::split;
+using detail::trim;
 
 double parse_double(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double parsed = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return parsed;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("scenario: key '" + key + "' expects a number, got '" +
-                                value + "'");
-  }
+  return detail::parse_double("scenario: key '" + key + "'", value);
 }
 
 std::uint64_t parse_uint(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const long long parsed = std::stoll(value, &used);
-    if (used != value.size() || parsed < 0) throw std::invalid_argument(value);
-    return static_cast<std::uint64_t>(parsed);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("scenario: key '" + key +
-                                "' expects a non-negative integer, got '" + value + "'");
-  }
+  return detail::parse_uint("scenario: key '" + key + "'", value);
 }
 
 /// key=value pairs of one grammar clause ("on=2,off-factor=0.1").
@@ -238,6 +209,11 @@ const std::vector<std::string>& scenario_keys() {
   return keys;
 }
 
+void apply_scenario_entry(ScenarioSpec& spec, const std::string& key,
+                          const std::string& value) {
+  apply_entry(spec, key, value);
+}
+
 std::shared_ptr<const dist::FlowSizeDistribution> parse_dist(
     const std::string& grammar) {
   const auto components = split(grammar, '|');
@@ -255,10 +231,11 @@ std::shared_ptr<const dist::FlowSizeDistribution> parse_dist(
   return std::make_shared<dist::Mixture>(std::move(mix));
 }
 
-ScenarioSpec parse_scenario_file(const std::string& path) {
+void parse_spec_file(
+    const std::string& path,
+    const std::function<void(const std::string&, const std::string&)>& entry) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("scenario: cannot open " + path);
-  ScenarioSpec spec;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
@@ -279,12 +256,19 @@ ScenarioSpec parse_scenario_file(const std::string& path) {
                                ": expected key = value");
     }
     try {
-      apply_entry(spec, trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+      entry(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
     } catch (const std::invalid_argument& e) {
       throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " +
                                e.what());
     }
   }
+}
+
+ScenarioSpec parse_scenario_file(const std::string& path) {
+  ScenarioSpec spec;
+  parse_spec_file(path, [&spec](const std::string& key, const std::string& value) {
+    apply_entry(spec, key, value);
+  });
   return spec;
 }
 
@@ -416,6 +400,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     }
   }
   return result;
+}
+
+std::size_t export_scenario_trace(const ScenarioSpec& spec, const std::string& path) {
+  const auto source = make_trace_source(spec);
+  const auto trace = source->flows();
+  trace::save_flow_records(path, trace.flows);
+  return trace.flows.size();
 }
 
 void print_scenario_report(std::ostream& os, const ScenarioResult& result) {

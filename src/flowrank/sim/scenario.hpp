@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -101,12 +102,28 @@ struct ScenarioSpec {
 [[nodiscard]] std::shared_ptr<const dist::FlowSizeDistribution> parse_dist(
     const std::string& grammar);
 
+/// Parses a key=value spec file line by line, invoking `entry(key, value)`
+/// per entry. Handles '#' comments (at line start or after whitespace; a
+/// '#' embedded in a token is part of the value) and rethrows entry
+/// errors as std::runtime_error tagged path:line. Shared by the scenario
+/// and experiment (sim/experiment.hpp) parsers.
+void parse_spec_file(
+    const std::string& path,
+    const std::function<void(const std::string&, const std::string&)>& entry);
+
 /// Parses a key=value scenario file. Unknown keys throw (typos in
 /// experiment configs fail loudly, matching util::Cli).
 [[nodiscard]] ScenarioSpec parse_scenario_file(const std::string& path);
 
 /// Every valid spec key (the `--key` override names), sorted.
 [[nodiscard]] const std::vector<std::string>& scenario_keys();
+
+/// Applies one key=value entry onto the spec — the single source of truth
+/// for the scenario key set. Files, CLI overrides and the experiment
+/// layer's spec grammar (sim/experiment.hpp) all route through here.
+/// Throws std::invalid_argument on an unknown key or a bad value.
+void apply_scenario_entry(ScenarioSpec& spec, const std::string& key,
+                          const std::string& value);
 
 /// Applies `--key value` CLI overrides for every spec key onto `spec`.
 void apply_scenario_overrides(ScenarioSpec& spec, const util::Cli& cli);
@@ -140,6 +157,11 @@ struct ScenarioResult {
 
 /// Materializes the trace and runs the scenario end to end.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Materializes the spec's trace source and writes the flow records as an
+/// FRT1 file (the scenario_runner --export-trace path). Returns the
+/// number of flows written. Throws on I/O failure.
+std::size_t export_scenario_trace(const ScenarioSpec& spec, const std::string& path);
 
 /// Human-readable report: trace provenance + per-rate per-bin tables.
 void print_scenario_report(std::ostream& os, const ScenarioResult& result);

@@ -1,0 +1,57 @@
+// Shared parsing primitives for the key=value spec grammars (scenario
+// and experiment layers). Internal: include only from sim/*.cpp — the
+// public surfaces are scenario.hpp / experiment.hpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace flowrank::sim::detail {
+
+inline std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+inline std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto pos = s.find(sep, start);
+    out.push_back(trim(s.substr(start, pos - start)));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+/// Strict full-token double parse; `what` names the key/clause for the
+/// error message.
+inline double parse_double(const std::string& what, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + ": expected a number, got '" + value + "'");
+  }
+}
+
+/// Strict full-token non-negative integer parse.
+inline std::uint64_t parse_uint(const std::string& what, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(value, &used);
+    if (used != value.size() || parsed < 0) throw std::invalid_argument(value);
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + ": expected a non-negative integer, got '" +
+                                value + "'");
+  }
+}
+
+}  // namespace flowrank::sim::detail

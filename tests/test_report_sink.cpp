@@ -1,0 +1,204 @@
+// Tests for report::ResultSink: format goldens, the thread-safe
+// reorder-buffer contract (byte-identical output at any emission order /
+// thread count), and loud failure on dropped rows.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/exec/task_pool.hpp"
+#include "flowrank/report/result_sink.hpp"
+#include "flowrank/sim/experiment.hpp"
+
+namespace fr = flowrank::report;
+namespace fsim = flowrank::sim;
+
+namespace {
+
+fr::RunMetadata test_metadata() {
+  fr::RunMetadata meta;
+  meta.experiment = "unit";
+  meta.version = "test";  // golden output must not depend on git describe
+  meta.seed = 7;
+  meta.spec_echo = {{"model", "exact"}, {"metric", "optimal_rate"}};
+  return meta;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// Strips the volatile git-describe version so experiment output can be
+/// compared against checked-in goldens: the CSV "# version:" line and the
+/// JSONL meta object's "version" value.
+std::string strip_version(const std::string& text) {
+  std::istringstream is(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("# version:", 0) == 0) continue;
+    const auto pos = line.find("\"version\":\"");
+    if (pos != std::string::npos) {
+      const auto start = pos + 11;
+      const auto end = line.find('"', start);
+      if (end != std::string::npos) line.erase(start, end - start);
+    }
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+/// A tiny exact-model sweep (3x3 optimal-rate grid) — small enough for a
+/// golden file, big enough to exercise grid order.
+fsim::ExperimentSpec tiny_exact_spec(std::size_t threads) {
+  fsim::ExperimentSpec spec;
+  spec.name = "tiny_exact";
+  fsim::apply_experiment_entry(spec, "model", "exact");
+  fsim::apply_experiment_entry(spec, "metric", "optimal_rate");
+  fsim::apply_experiment_entry(spec, "target", "1e-3");
+  fsim::apply_experiment_entry(spec, "sweep s1", "10,100,1000");
+  fsim::apply_experiment_entry(spec, "sweep s2", "10..1000 log 3");
+  spec.num_threads = threads;
+  return spec;
+}
+
+}  // namespace
+
+TEST(ResultSink, CsvGoldenBytes) {
+  std::ostringstream os;
+  fr::CsvResultSink sink(os);
+  sink.open({"a", "b", "note"}, test_metadata());
+  sink.emit(0, {1.5, std::int64_t{-2}, "plain"});
+  sink.emit(1, {std::nan(""), std::uint64_t{7}, "with,comma"});
+  sink.emit(2, {0.1, 3, "with \"quote\""});
+  sink.close();
+  EXPECT_EQ(os.str(),
+            "# experiment: unit\n"
+            "# version: test\n"
+            "# seed: 7\n"
+            "# spec model = exact\n"
+            "# spec metric = optimal_rate\n"
+            "a,b,note\n"
+            "1.5,-2,plain\n"
+            "nan,7,\"with,comma\"\n"
+            "0.1,3,\"with \"\"quote\"\"\"\n");
+}
+
+TEST(ResultSink, JsonlGoldenBytes) {
+  std::ostringstream os;
+  fr::JsonlResultSink sink(os);
+  sink.open({"a", "b", "note"}, test_metadata());
+  sink.emit(0, {1.5, std::int64_t{-2}, "plain"});
+  sink.emit(1, {std::nan(""), std::uint64_t{7}, "line\nbreak \"q\""});
+  sink.close();
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"meta\",\"experiment\":\"unit\",\"version\":\"test\","
+            "\"seed\":7,\"spec\":{\"model\":\"exact\",\"metric\":\"optimal_rate\"},"
+            "\"columns\":[\"a\",\"b\",\"note\"]}\n"
+            "{\"type\":\"row\",\"a\":1.5,\"b\":-2,\"note\":\"plain\"}\n"
+            "{\"type\":\"row\",\"a\":null,\"b\":7,\"note\":\"line\\nbreak "
+            "\\\"q\\\"\"}\n");
+}
+
+TEST(ResultSink, ReordersOutOfOrderEmission) {
+  std::ostringstream ordered_os, shuffled_os;
+  fr::CsvResultSink ordered(ordered_os), shuffled(shuffled_os);
+  const auto meta = test_metadata();
+  ordered.open({"i"}, meta);
+  shuffled.open({"i"}, meta);
+  for (std::size_t i = 0; i < 6; ++i) ordered.emit(i, {static_cast<int>(i)});
+  for (const std::size_t i : {3, 0, 5, 1, 4, 2}) {
+    shuffled.emit(i, {static_cast<int>(i)});
+  }
+  ordered.close();
+  shuffled.close();
+  EXPECT_EQ(ordered_os.str(), shuffled_os.str());
+  EXPECT_EQ(shuffled.rows_written(), 6u);
+}
+
+TEST(ResultSink, ConcurrentEmissionIsOrdered) {
+  std::ostringstream os;
+  fr::CsvResultSink sink(os);
+  sink.open({"i", "sq"}, test_metadata());
+  flowrank::exec::TaskPool pool(3);
+  pool.parallel_for(64, [&sink](std::size_t i) {
+    sink.emit(i, {static_cast<int>(i), static_cast<int>(i * i)});
+  });
+  sink.close();
+  std::string expected;
+  for (int i = 0; i < 64; ++i) {
+    expected += std::to_string(i) + "," + std::to_string(i * i) + "\n";
+  }
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\ni,sq\n"), std::string::npos);
+  EXPECT_EQ(text.substr(text.find("\ni,sq\n") + 6), expected);
+}
+
+TEST(ResultSink, FailsLoudly) {
+  std::ostringstream os;
+  fr::CsvResultSink sink(os);
+  sink.open({"a"}, test_metadata());
+  EXPECT_THROW(sink.emit(0, {1, 2}), std::invalid_argument);  // column mismatch
+  sink.emit(0, {1});
+  EXPECT_THROW(sink.emit(0, {2}), std::invalid_argument);  // duplicate seq
+  sink.emit(2, {3});                                       // leaves a hole at 1
+  EXPECT_THROW(sink.close(), std::runtime_error);
+}
+
+TEST(ResultSink, TrailingDroppedRowsFailExpectedCount) {
+  std::ostringstream os;
+  fr::CsvResultSink sink(os);
+  sink.open({"a"}, test_metadata());
+  sink.emit(0, {1});
+  sink.emit(1, {2});  // rows 2..3 of a 4-row grid never arrive
+  EXPECT_THROW(sink.close(4), std::runtime_error);
+}
+
+TEST(ResultSink, OpenTwiceThrows) {
+  std::ostringstream os;
+  fr::CsvResultSink sink(os);
+  sink.open({"a"}, test_metadata());
+  EXPECT_THROW(sink.open({"a"}, test_metadata()), std::invalid_argument);
+}
+
+TEST(ResultSink, MakeSinkSelectsFormatByExtension) {
+  const std::string csv_path = ::testing::TempDir() + "sink_fmt.csv";
+  const std::string jsonl_path = ::testing::TempDir() + "sink_fmt.jsonl";
+  for (const auto& path : {csv_path, jsonl_path}) {
+    auto owned = fr::make_sink(path, "");
+    owned.sink->open({"x"}, test_metadata());
+    owned.sink->emit(0, {1});
+    owned.sink->close();
+  }
+  EXPECT_EQ(read_file(csv_path).substr(0, 1), "#");
+  EXPECT_EQ(read_file(jsonl_path).substr(0, 1), "{");
+  EXPECT_THROW(fr::make_sink("-", "xml"), std::invalid_argument);
+  std::remove(csv_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+// The golden-file contract: a tiny exact-model sweep produces the exact
+// checked-in bytes (modulo the git-describe version line) in both
+// formats, at threads 1 and 4 — deterministic grid ordering through the
+// reorder buffer is part of the sink contract.
+TEST(ResultSinkGolden, ExactSweepByteStableAcrossThreads) {
+  for (const char* format : {"csv", "jsonl"}) {
+    const std::string golden = read_file(std::string(FLOWRANK_SOURCE_DIR) +
+                                         "/tests/golden/tiny_exact." + format);
+    for (const std::size_t threads : {1u, 4u}) {
+      const std::string path = ::testing::TempDir() + "tiny_exact_out";
+      auto owned = fr::make_sink(path, format);
+      fsim::run_experiment(tiny_exact_spec(threads), *owned.sink);
+      owned.stream.reset();  // flush + close the file
+      EXPECT_EQ(strip_version(read_file(path)), strip_version(golden))
+          << format << " at threads " << threads;
+      std::remove(path.c_str());
+    }
+  }
+}
