@@ -27,13 +27,16 @@
 #include "flowrank/flowtable/flow_table.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/metrics/rank_metrics.hpp"
+#include "flowrank/monitor/monitor_loop.hpp"
 #include "flowrank/numeric/binomial.hpp"
 #include "flowrank/numeric/incbeta.hpp"
 #include "flowrank/numeric/quadrature.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
 #include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/trace/fault_injection.hpp"
 #include "flowrank/trace/flow_trace_generator.hpp"
 #include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/trace/trace_source.hpp"
 #include "flowrank/util/binomial_sample.hpp"
 
 namespace {
@@ -305,6 +308,14 @@ void BM_ShardedIngest(benchmark::State& state) {
   pipeline.finish();
   benchmark::DoNotOptimize(flows_flushed.load());
   state.counters["shards"] = static_cast<double>(shards);
+  // Overload accounting in the JSON: a queue-bound configuration must be
+  // visible as shed/blocked work, not read as silently faster. Zero under
+  // the default kBlock policy — nothing is ever dropped here.
+  const flowrank::ingest::OverloadStats overload = pipeline.overload_stats();
+  state.counters["queue_full_events"] =
+      static_cast<double>(overload.queue_full_events);
+  state.counters["shed_chunks"] = static_cast<double>(overload.shed_chunks);
+  state.counters["shed_packets"] = static_cast<double>(overload.shed_packets);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(packets.size()));
 }
@@ -539,6 +550,59 @@ void BM_BinnedSimSweepSeedPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BinnedSimSweepSeedPath)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The continuous monitor loop end to end: rolling 2 s windows over a 20 s
+// fault-injected trace (1% corrupt/truncated records, flash-crowd bursts
+// tripping the shed budget). Counters land in the JSON so a perf entry
+// records whether the measured run degraded — a benchmark that silently
+// shed half its packets is not comparable to one that kept up.
+void BM_MonitorLoop(benchmark::State& state) {
+  const auto trace = [] {
+    auto cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, 31);
+    cfg.duration_s = 20.0;
+    cfg.flow_rate_per_s = 200.0;
+    return flowrank::trace::generate_flow_trace(cfg);
+  }();
+  flowrank::trace::FaultSpec faults;
+  faults.corrupt_fraction = 0.01;
+  faults.truncate_fraction = 0.01;
+  faults.burst_flows = 500;
+  faults.burst_every_s = 5.0;
+  const auto source = std::make_shared<flowrank::trace::FaultInjectingTraceSource>(
+      std::make_shared<flowrank::trace::FixedTraceSource>(trace, "bench"), faults);
+
+  flowrank::monitor::MonitorConfig cfg;
+  cfg.window_s = 2.0;
+  cfg.sampling_rate = 0.1;
+  cfg.top_t = 10;
+  cfg.overload = flowrank::ingest::OverloadPolicy::kShed;
+  cfg.window_packet_budget = 300;
+  cfg.max_queue_chunks = 1024;
+
+  flowrank::monitor::MonitorCounters counters;
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    flowrank::monitor::MonitorLoop loop(source, cfg);  // run() is once-only
+    const auto report = loop.run();
+    counters = report.counters;
+    packets = report.counters.packets_offered;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets));
+  state.counters["windows"] = static_cast<double>(counters.windows);
+  state.counters["shed_packets"] = static_cast<double>(counters.shed_packets);
+  state.counters["pipeline_shed_packets"] =
+      static_cast<double>(counters.pipeline_shed_packets);
+  state.counters["degradations"] = static_cast<double>(counters.degradations);
+  state.counters["corrupt_records"] =
+      static_cast<double>(counters.corrupt_records);
+  state.counters["truncated_records"] =
+      static_cast<double>(counters.truncated_records);
+  state.counters["stall_events"] = static_cast<double>(counters.stall_events);
+  state.counters["watchdog_rotations"] =
+      static_cast<double>(counters.watchdog_rotations);
+}
+BENCHMARK(BM_MonitorLoop)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -1,237 +1,133 @@
 // Heavy-hitter monitor: the paper's motivating application (traffic
-// engineering / anomaly detection needs the largest flows) built from the
-// library's production pieces:
+// engineering / anomaly detection wants the largest flows, continuously)
+// run as a live monitor instead of a batch job.
 //
-//   packet stream -> (batched) Bernoulli sampler -> Space-Saving tracker
-//   (bounded memory, related work [11,13]) -> per-interval top-t report
-//   with TCP-seq-refined size estimates (paper future-work #2).
+// monitor::MonitorLoop pulls batches from any trace::TraceSource through
+// the batched Bernoulli sampler into the sharded ingest path under
+// rolling measurement windows, inverts each window's sampled counts by
+// the effective sampling rate, folds them into EWMA-smoothed per-flow
+// estimates and emits periodic top-t snapshots with rank-churn deltas
+// and full fault/shed accounting. Every scenario key works here too —
+// the spec grammar's monitor/fault.* keys configure the loop, so e.g.
 //
-// The ingest loop is the batched hot path: packets are pulled in chunks,
-// the skip-based sampler picks the sampled subset per chunk, and per-bin
-// results are read straight off the flow table with for_each_all/top_k —
-// no per-packet virtual calls and no per-bin counter copies.
+//   example_heavy_hitter_monitor --rates 0.05 --bin 30 --t 10 \
+//       --fault.corrupt 0.01 --fault.stall-every 64 --fault.stall-ms 20 \
+//       --watchdog-ms 5 --out snapshots.jsonl
 //
-// With --threads N (N > 1) classification runs on the sharded ingest
-// pipeline: flows are hash-partitioned across N worker threads, each with
-// a private flow table, and per-bin tables are merged at flush time. The
-// report is identical to the single-threaded one — sharding never splits
-// a flow across workers.
+// runs a fault-injected monitor (corrupt records dropped and counted, a
+// stalling source caught by the watchdog and survived via early epoch
+// rotation) and records the snapshot time-series through a structured
+// report::ResultSink.
 //
-// The report compares against ground truth computed from the unsampled
-// stream, illustrating how much of the error budget is sampling vs memory.
+// SIGINT/SIGTERM request a clean shutdown: the loop finishes the batch in
+// flight, folds the current window, the final snapshot is emitted and the
+// sink is flushed + closed — no torn output, even mid-trace.
 //
-// The monitored trace is pluggable (trace::TraceSource): synthetic by
-// default, or a recorded FRT1 file via --trace path.frt1.
-//
-// Usage: example_heavy_hitter_monitor [--rate 0.05] [--memory 256]
-//        [--t 10] [--threads 4] [--trace recording.frt1]
-//        (--threads 0 = all hardware threads)
-#include <algorithm>
+// Usage: example_heavy_hitter_monitor [--scenario file.scn]
+//        [--rates 0.05] [--bin 60] [--t 10] [--shards 4]
+//        [--overload shed] [--budget N] [--fault.* ...]
+//        [--out snapshots.csv|.jsonl]
+#include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <iostream>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
 
-#include "flowrank/estimators/heavy_hitter_trackers.hpp"
-#include "flowrank/estimators/tcp_seq.hpp"
-#include "flowrank/exec/task_pool.hpp"
-#include "flowrank/flowtable/binned_classifier.hpp"
-#include "flowrank/ingest/sharded_pipeline.hpp"
-#include "flowrank/sampler/packet_sampler.hpp"
-#include "flowrank/trace/bin_counts.hpp"
-#include "flowrank/trace/flow_trace_generator.hpp"
-#include "flowrank/trace/packet_stream.hpp"
-#include "flowrank/trace/trace_source.hpp"
+#include "flowrank/monitor/monitor_loop.hpp"
+#include "flowrank/report/result_sink.hpp"
+#include "flowrank/sim/scenario.hpp"
 #include "flowrank/util/cli.hpp"
+#include "flowrank/util/error.hpp"
 #include "flowrank/util/table.hpp"
 
 namespace {
 
-using flowrank::flowtable::FlowCounter;
-using flowrank::flowtable::FlowTable;
-using flowrank::packet::FlowKey;
-using flowrank::packet::FlowKeyHash;
+// Async-signal-safe stop request; MonitorLoop polls it between batches.
+std::atomic<bool> g_stop{false};
 
-struct IntervalReport {
-  std::vector<FlowCounter> true_top;
-  std::vector<FlowCounter> sampled_top;
-  std::unordered_map<FlowKey, FlowCounter, FlowKeyHash> sampled_by_key;
-  // Sharded mode only: per-shard top-t candidates, reduced after finish().
-  // Shards partition flows, so a bin's true top-t is contained in the
-  // union of its shards' top-t — keeping t flows per shard instead of the
-  // full table keeps streaming memory bounded.
-  std::vector<FlowCounter> true_top_candidates;
-  std::vector<FlowCounter> sampled_top_candidates;
-};
+extern "C" void request_stop(int) { g_stop.store(true); }
+
+std::string format_key(const flowrank::packet::FlowKey& key) {
+  char buffer[36];
+  std::snprintf(buffer, sizeof(buffer), "%016llx:%016llx",
+                static_cast<unsigned long long>(key.hi),
+                static_cast<unsigned long long>(key.lo));
+  return buffer;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const flowrank::util::Cli cli(argc, argv);
-  const double rate = cli.get_double("rate", 0.05);
-  const auto memory = static_cast<std::size_t>(cli.get_int("memory", 256));
-  const auto t = static_cast<std::size_t>(cli.get_int("t", 10));
-  const double bin_s = cli.get_double("bin", 60.0);
-  const int threads_arg = cli.get_int("threads", 1);
-  if (threads_arg < 0) {
-    std::cerr << "--threads must be >= 0 (0 = all hardware threads)\n";
+  using namespace flowrank;
+  try {
+    const util::Cli cli(argc, argv);
+
+    // The full scenario grammar (file + --key overrides), forced into
+    // monitor mode. The batch defaults carry a 4-rate grid; a monitor
+    // watches one live stream, so default to one moderate rate unless the
+    // spec or CLI picked one.
+    sim::ScenarioSpec spec = sim::scenario_from_cli(cli);
+    spec.monitor.enabled = true;
+    if (spec.sampling_rates.size() != 1) spec.sampling_rates = {0.05};
+    if (spec.name == "scenario") spec.name = "heavy-hitter monitor";
+
+    monitor::MonitorConfig config = sim::make_monitor_config(spec);
+    config.stop_flag = &g_stop;
+
+    report::OwnedSink out;
+    std::size_t rows = 0;
+    if (cli.has("out")) {
+      out = report::make_sink(cli.get_string("out", ""), "");
+      report::RunMetadata meta;
+      meta.experiment = spec.name;
+      meta.seed = spec.seed;
+      out.sink->open(monitor::snapshot_columns(), meta);
+    }
+
+    std::signal(SIGINT, request_stop);
+    std::signal(SIGTERM, request_stop);
+
+    std::cout << "monitor: " << spec.name << " — rate "
+              << config.sampling_rate * 100 << "%, window " << config.window_s
+              << " s, top-" << config.top_t
+              << (config.overload == ingest::OverloadPolicy::kShed ? ", shed"
+                                                                   : ", block")
+              << " (SIGINT folds the current window and flushes)\n";
+
+    monitor::MonitorLoop loop(sim::make_trace_source(spec), config);
+    const monitor::MonitorReport report =
+        loop.run([&](const monitor::MonitorSnapshot& snap) {
+          if (out.sink) out.sink->emit(rows++, monitor::snapshot_row(snap));
+          std::cout << "\nsnapshot " << snap.index << " @ " << snap.time_s
+                    << " s: " << snap.window_flows << " flows, "
+                    << snap.window_packets << " sampled packets, churn +"
+                    << snap.churn_entered << "/-" << snap.churn_exited
+                    << ", effective rate " << snap.effective_rate * 100 << "%\n";
+          util::Table table({"rank", "flow", "est_pkts_per_window"});
+          for (std::size_t r = 0; r < snap.top.size(); ++r) {
+            table.add_row(r + 1, format_key(snap.top[r].key),
+                          snap.top[r].estimate);
+          }
+          table.print(std::cout);
+        });
+    if (out.sink) out.sink->close(rows);
+
+    const monitor::MonitorCounters& c = report.counters;
+    std::cout << "\ndone: " << c.windows << " windows, " << report.snapshots
+              << " snapshots, peak " << report.peak_tracked_flows
+              << " tracked flows\n"
+              << "offered " << c.packets_offered << ", sampled "
+              << c.packets_sampled << ", ingested " << c.packets_ingested
+              << ", shed " << c.shed_packets + c.pipeline_shed_packets
+              << ", corrupt " << c.corrupt_records << ", truncated "
+              << c.truncated_records << ", stalls " << c.stall_events
+              << " (rotations " << c.watchdog_rotations << ")\n";
+    if (g_stop.load()) std::cout << "stopped by signal; output is complete\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  const auto threads = flowrank::exec::TaskPool::resolve_parallelism(
-      static_cast<std::size_t>(threads_arg));
-
-  // Pluggable source: a recorded FRT1 trace, or the synthetic default.
-  std::shared_ptr<const flowrank::trace::TraceSource> source;
-  if (cli.has("trace")) {
-    source = std::make_shared<flowrank::trace::FileTraceSource>(
-        cli.get_string("trace", ""));
-  } else {
-    auto trace_cfg = flowrank::trace::FlowTraceConfig::sprint_5tuple(1.5, /*seed=*/11);
-    trace_cfg.duration_s = cli.get_double("duration", 180.0);
-    trace_cfg.flow_rate_per_s = 500.0;
-    source = std::make_shared<flowrank::trace::SyntheticTraceSource>(trace_cfg,
-                                                                     "sprint_5tuple");
-  }
-  const auto trace = source->flows();
-
-  std::vector<IntervalReport> reports;
-  const auto report_at = [&reports](std::size_t bin) -> IntervalReport& {
-    if (reports.size() <= bin) reports.resize(bin + 1);
-    return reports[bin];
-  };
-
-  // Per-bin consumers, shared by the inline and sharded paths. Ground
-  // truth keeps only the top-t, selected directly off the table (no
-  // full-counter copy); the sampled stream additionally builds a by-key
-  // index so the TCP-seq estimator can look up any true-top flow.
-  // Timeout-split subflows of the same key are merged so the TCP-seq
-  // estimate stays consistent with the packet count.
-  const auto index_sampled_flow = [](IntervalReport& report, const FlowCounter& f) {
-    auto [it, fresh] = report.sampled_by_key.try_emplace(f.key, f);
-    if (!fresh) flowrank::flowtable::merge_counter(it->second, f);
-  };
-  const auto record_truth = [&](std::size_t bin, const FlowTable& table) {
-    report_at(bin).true_top = flowrank::flowtable::top_k(table, t);
-  };
-  const auto record_sampled = [&](std::size_t bin, const FlowTable& table) {
-    IntervalReport& report = report_at(bin);
-    report.sampled_top = flowrank::flowtable::top_k(table, t);
-    table.for_each_all([&](const FlowCounter& f) { index_sampled_flow(report, f); });
-  };
-
-  const flowrank::flowtable::FlowTable::Options table_opts{
-      flowrank::packet::FlowDefinition::kFiveTuple, 0};
-  const std::int64_t bin_ns = flowrank::trace::bin_length_ns(bin_s);
-
-  flowrank::sampler::BernoulliSampler sampler(rate, /*seed=*/3);
-  flowrank::estimators::SpaceSavingTracker tracker(memory);
-  flowrank::trace::PacketStream stream(trace);
-
-  constexpr std::size_t kBatch = 4096;
-  std::vector<flowrank::packet::PacketRecord> batch, selected;
-  batch.reserve(kBatch);
-  selected.reserve(kBatch);
-  std::uint64_t sampled_packets = 0;
-
-  const auto feed_tracker = [&](const auto& packets) {
-    sampled_packets += packets.size();
-    for (const auto& pkt : packets) {
-      tracker.offer(flowrank::packet::make_flow_key(
-          pkt.tuple, flowrank::packet::FlowDefinition::kFiveTuple));
-    }
-  };
-
-  if (threads == 1) {
-    auto truth_classifier =
-        flowrank::flowtable::BinnedClassifier::with_table_view(table_opts, bin_ns,
-                                                               record_truth);
-    auto sampled_classifier =
-        flowrank::flowtable::BinnedClassifier::with_table_view(table_opts, bin_ns,
-                                                               record_sampled);
-    while (stream.next_batch(batch, kBatch) > 0) {
-      truth_classifier.add_batch(batch);
-      sampler.select_into(batch, selected);
-      feed_tracker(selected);
-      sampled_classifier.add_batch(selected);
-    }
-    truth_classifier.finish();
-    sampled_classifier.finish();
-  } else {
-    // Sharded ingest: sampling and the bounded-memory tracker stay on the
-    // driver (both are sequential state machines); classification fans
-    // out across `threads` hash-sharded workers. Per-shard bin flushes
-    // are consumed by the streaming callback — memory stays bounded by
-    // top-t candidates per shard plus the sampled by-key index, the same
-    // shape as the single-threaded path — and reduced to per-bin top-t
-    // after finish().
-    std::mutex reports_mutex;
-    flowrank::ingest::ShardedPipelineConfig pipe_cfg;
-    pipe_cfg.num_shards = threads;
-    pipe_cfg.num_streams = 2;  // stream 0 = truth, stream 1 = sampled
-    pipe_cfg.bin_ns = bin_ns;
-    pipe_cfg.table_options = table_opts;
-    pipe_cfg.on_shard_bin = [&](std::size_t /*shard*/, std::size_t stream_id,
-                                std::size_t bin, const FlowTable& table) {
-      auto top = flowrank::flowtable::top_k(table, t);
-      std::lock_guard lock(reports_mutex);
-      IntervalReport& report = report_at(bin);
-      auto& candidates = stream_id == 0 ? report.true_top_candidates
-                                        : report.sampled_top_candidates;
-      candidates.insert(candidates.end(), top.begin(), top.end());
-      if (stream_id == 1) {
-        table.for_each_all([&](const FlowCounter& f) { index_sampled_flow(report, f); });
-      }
-    };
-    flowrank::ingest::ShardedPipeline pipeline(pipe_cfg);
-    while (stream.next_batch(batch, kBatch) > 0) {
-      pipeline.add_batch(0, batch);
-      sampler.select_into(batch, selected);
-      feed_tracker(selected);
-      pipeline.add_batch(1, selected);
-    }
-    pipeline.finish();
-    for (auto& report : reports) {
-      report.true_top =
-          flowrank::flowtable::top_k(std::move(report.true_top_candidates), t);
-      report.sampled_top =
-          flowrank::flowtable::top_k(std::move(report.sampled_top_candidates), t);
-    }
-  }
-
-  std::cout << "monitor: rate " << rate * 100 << "%, memory " << memory
-            << " entries, " << threads << " ingest thread(s), "
-            << sampled_packets << " sampled packets\n";
-
-  for (std::size_t bin = 0; bin < reports.size(); ++bin) {
-    const auto& report = reports[bin];
-
-    std::size_t hits = 0;
-    {
-      std::unordered_map<FlowKey, bool, FlowKeyHash> in_sampled;
-      for (const auto& f : report.sampled_top) in_sampled[f.key] = true;
-      for (const auto& f : report.true_top) hits += in_sampled.count(f.key);
-    }
-
-    std::cout << "\ninterval " << bin << ": detected " << hits << "/" << t
-              << " of the true top-" << t << "\n";
-    flowrank::util::Table table(
-        {"rank", "true_pkts", "sampled_pkts", "est_scaled", "est_tcp_seq"});
-    for (std::size_t r = 0; r < report.true_top.size(); ++r) {
-      const auto it = report.sampled_by_key.find(report.true_top[r].key);
-      double sampled_count = 0.0, scaled = 0.0, seq_based = 0.0;
-      if (it != report.sampled_by_key.end()) {
-        sampled_count = static_cast<double>(it->second.packets);
-        scaled = sampled_count / rate;
-        seq_based = flowrank::estimators::estimate_size_tcp_seq(
-                        it->second, rate, trace.config.packet_size_bytes)
-                        .packets;
-      }
-      table.add_row(r + 1, report.true_top[r].packets, sampled_count, scaled,
-                    seq_based);
-    }
-    table.print(std::cout);
-  }
-  std::cout << "\nNote how the TCP-seq estimator tracks true sizes far more\n"
-               "tightly than s/p scaling for flows with >= 2 sampled packets.\n";
-  return 0;
 }

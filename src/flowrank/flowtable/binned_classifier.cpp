@@ -63,6 +63,12 @@ void BinnedClassifier::finish() {
   saw_packet_ = false;
 }
 
+void BinnedClassifier::flush_through(std::size_t bin) {
+  if (bin <= current_bin_) return;
+  advance_to_bin(bin);
+  saw_packet_ = false;
+}
+
 void BinnedClassifier::flush_bin() {
   on_bin_(current_bin_, table_);
   table_.clear();

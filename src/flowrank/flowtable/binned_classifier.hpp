@@ -48,6 +48,14 @@ class BinnedClassifier {
   /// Flushes the final (possibly partial) bin. Call once at end of trace.
   void finish();
 
+  /// Epoch rotation for continuous monitors: flushes every bin strictly
+  /// before `bin` (exactly as if a packet of `bin` had arrived) and
+  /// forgets the flush-at-finish obligation, so a quiet classifier does
+  /// not emit a spurious empty bin later. No-op when `bin` is not ahead
+  /// of the current bin. Packets added afterwards must land in bins
+  /// >= `bin`.
+  void flush_through(std::size_t bin);
+
   /// Index of the bin currently being filled.
   [[nodiscard]] std::size_t current_bin() const noexcept { return current_bin_; }
 

@@ -1,9 +1,12 @@
 #include "flowrank/ingest/sharded_pipeline.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "flowrank/packet/flow_key.hpp"
+#include "flowrank/util/error.hpp"
 
 namespace flowrank::ingest {
 
@@ -94,8 +97,34 @@ void ShardedPipeline::enqueue(std::size_t shard_index, std::size_t stream,
   bool schedule = false;
   {
     std::unique_lock lock(shard.mutex);
-    shard.can_push.wait(
-        lock, [&] { return shard.queue.size() < config_.max_queue_chunks; });
+    const auto has_room = [&] {
+      return shard.queue.size() < config_.max_queue_chunks;
+    };
+    if (!has_room()) {
+      queue_full_events_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.overload == OverloadPolicy::kShed) {
+        // A full queue means a drain task is live (tasks retire only on
+        // an empty queue), so dropping here loses no wakeup. Recycle the
+        // buffer; the packets are gone and the counters say so.
+        shed_chunks_.fetch_add(1, std::memory_order_relaxed);
+        shed_packets_.fetch_add(packets.size(), std::memory_order_relaxed);
+        packets.clear();
+        shard.spare_buffers.push_back(std::move(packets));
+        return;
+      }
+      if (config_.block_deadline_ms > 0) {
+        if (!shard.can_push.wait_for(
+                lock, std::chrono::milliseconds(config_.block_deadline_ms),
+                has_room)) {
+          throw Error(ErrorCategory::kStalled, "ingest",
+                      "shard " + std::to_string(shard_index) +
+                          " wedged: queue full for " +
+                          std::to_string(config_.block_deadline_ms) + " ms");
+        }
+      } else {
+        shard.can_push.wait(lock, has_room);
+      }
+    }
     shard.queue.push_back(
         Chunk{static_cast<std::uint32_t>(stream), std::move(packets)});
     if (!shard.task_scheduled) {
@@ -141,22 +170,36 @@ void ShardedPipeline::add_batch(std::size_t stream,
   }
 }
 
-void ShardedPipeline::finish() {
-  if (finished_) return;
+void ShardedPipeline::drain_all() {
   for (std::size_t stream = 0; stream < config_.num_streams; ++stream) {
     for (std::size_t s = 0; s < config_.num_shards; ++s) {
       if (!pending_[stream][s].empty()) flush_pending(stream, s);
     }
   }
-  finished_ = true;
   // Wait (on the driver thread, never on a pool worker) for every shard's
   // drain task to retire with an empty queue; after that no task touches
-  // the shard again.
+  // the shard until the next enqueue.
   for (auto& shard : shards_) {
     std::unique_lock lock(shard->mutex);
     shard->can_push.wait(
         lock, [&] { return !shard->task_scheduled && shard->queue.empty(); });
   }
+}
+
+void ShardedPipeline::rethrow_pending_error() {
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(error_mutex_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ShardedPipeline::finish() {
+  if (finished_) return;
+  drain_all();
+  finished_ = true;
   // Final (possibly partial) bin flushes, concurrent across shards like
   // any other flush; each shard's own flushes stay sequential.
   config_.pool->parallel_for(
@@ -165,11 +208,33 @@ void ShardedPipeline::finish() {
         for (auto& classifier : shards_[s]->classifiers) classifier.finish();
       },
       config_.num_shards);
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(error);
+  rethrow_pending_error();
+}
+
+void ShardedPipeline::rotate_epoch(std::size_t next_bin) {
+  if (finished_) {
+    throw std::logic_error("ShardedPipeline: rotate_epoch after finish");
   }
+  drain_all();
+  // Window-boundary flushes across all shards and streams; like finish()
+  // they run concurrently across shards, sequentially within one.
+  config_.pool->parallel_for(
+      shards_.size(),
+      [this, next_bin](std::size_t s) {
+        for (auto& classifier : shards_[s]->classifiers) {
+          classifier.flush_through(next_bin);
+        }
+      },
+      config_.num_shards);
+  rethrow_pending_error();
+}
+
+OverloadStats ShardedPipeline::overload_stats() const noexcept {
+  OverloadStats stats;
+  stats.queue_full_events = queue_full_events_.load(std::memory_order_relaxed);
+  stats.shed_chunks = shed_chunks_.load(std::memory_order_relaxed);
+  stats.shed_packets = shed_packets_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void ShardedPipeline::on_bin_flush(std::size_t shard, std::size_t stream,

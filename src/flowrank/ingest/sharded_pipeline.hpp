@@ -32,6 +32,7 @@
 // specialized to the paper's binning method.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,6 +50,25 @@
 
 namespace flowrank::ingest {
 
+/// What add_batch does when a shard queue is full.
+enum class OverloadPolicy {
+  /// Block the driver until the worker catches up (lossless; the default
+  /// and the only mode batch experiments use — results stay bit-identical
+  /// at any shard count).
+  kBlock,
+  /// Drop the chunk and count it. A monitor that must keep up with the
+  /// link pairs this with sampling-rate degradation so the loss is a
+  /// declared, counted rate change instead of silent tail drops.
+  kShed,
+};
+
+/// Loss and pressure counters, readable at any time from any thread.
+struct OverloadStats {
+  std::uint64_t queue_full_events = 0;  ///< enqueues that found a full queue
+  std::uint64_t shed_chunks = 0;        ///< chunks dropped under kShed
+  std::uint64_t shed_packets = 0;       ///< packets inside those chunks
+};
+
 struct ShardedPipelineConfig {
   /// Shard workers; each owns one FlowTable per stream. 0 = one shard per
   /// hardware thread. Capped at exec::TaskPool::kMaxParallelism — beyond
@@ -61,8 +81,15 @@ struct ShardedPipelineConfig {
   std::int64_t bin_ns = 0;
   /// Options for every per-shard table (initial_capacity is per shard).
   flowtable::FlowTable::Options table_options;
-  /// Backpressure: add_batch blocks once this many chunks queue per shard.
+  /// Backpressure: add_batch blocks (kBlock) or drops (kShed) once this
+  /// many chunks queue per shard.
   std::size_t max_queue_chunks = 8;
+  /// Full-queue behavior; see OverloadPolicy.
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// kBlock only: longest time add_batch may wait on one full shard queue
+  /// before declaring the shard wedged and throwing
+  /// flowrank::Error(kStalled). 0 = wait forever (batch semantics).
+  std::uint32_t block_deadline_ms = 0;
   /// Packets staged per (stream, shard) before a chunk is handed to the
   /// worker. Staging across add_batch calls amortizes the queue/wakeup
   /// cost per chunk over many packets; correctness is unaffected (each
@@ -110,6 +137,17 @@ class ShardedPipeline {
   /// called before reading results. Idempotent. Rethrows the first
   /// exception a shard task raised, if any.
   void finish();
+
+  /// Epoch rotation for continuous monitors: drains every shard queue
+  /// (blocking the driver until workers retire), then flushes every bin
+  /// strictly before `next_bin` on every classifier — tables clear and
+  /// are reused, exactly the batch path's boundary behavior. add_batch
+  /// may continue afterwards with packets in bins >= `next_bin`. Rethrows
+  /// the first shard-task exception, if any.
+  void rotate_epoch(std::size_t next_bin);
+
+  /// Overload counters so far (atomic snapshot, any thread, any time).
+  [[nodiscard]] OverloadStats overload_stats() const noexcept;
 
   /// Bins seen by `stream` (valid after finish()): one past the highest
   /// bin any of its packets landed in, 0 for a packet-less stream (always
@@ -161,6 +199,11 @@ class ShardedPipeline {
   [[nodiscard]] std::vector<packet::PacketRecord> take_buffer(Shard& shard);
   void on_bin_flush(std::size_t shard, std::size_t stream, std::size_t bin,
                     const flowtable::FlowTable& table);
+  /// Blocks until every queued chunk is classified and every drain task
+  /// has retired (driver thread only).
+  void drain_all();
+  /// Rethrows and clears the first shard-task exception, if any.
+  void rethrow_pending_error();
 
   ShardedPipelineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -177,6 +220,10 @@ class ShardedPipeline {
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
   bool finished_ = false;
+
+  std::atomic<std::uint64_t> queue_full_events_{0};
+  std::atomic<std::uint64_t> shed_chunks_{0};
+  std::atomic<std::uint64_t> shed_packets_{0};
 };
 
 }  // namespace flowrank::ingest

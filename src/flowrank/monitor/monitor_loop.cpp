@@ -1,0 +1,455 @@
+#include "flowrank/monitor/monitor_loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/bin_counts.hpp"
+#include "flowrank/trace/fault_injection.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/error.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::monitor {
+
+namespace {
+
+/// Sampled packet counts of one window, merged across shards. Merging is
+/// order-insensitive integer addition, so the result is identical at any
+/// shard count.
+using WindowCounts =
+    std::unordered_map<packet::FlowKey, std::uint64_t, packet::FlowKeyHash>;
+
+/// Seed stream for the degradation thinner; each halving reseeds so the
+/// thinned subset is deterministic in (seed, degradation number).
+constexpr std::uint64_t kThinnerStream = 0x5EDD'0001;
+
+constexpr std::uint32_t kMaxDegradeLevel = 20;  // rate floor: base / 2^20
+
+}  // namespace
+
+std::vector<std::string> snapshot_columns() {
+  return {"snapshot",        "window",          "time_s",
+          "top1_est",        "topt_est",        "tracked_flows",
+          "window_flows",    "window_packets",  "churn_entered",
+          "churn_exited",    "rank_moves",      "effective_rate",
+          "packets_offered", "packets_sampled", "packets_ingested",
+          "shed_packets",    "degradations",    "pipeline_shed_packets",
+          "queue_full_events", "corrupt_records", "truncated_records",
+          "stall_events",    "watchdog_rotations", "windows"};
+}
+
+report::Row snapshot_row(const MonitorSnapshot& snap) {
+  const double top1 = snap.top.empty() ? 0.0 : snap.top.front().estimate;
+  const double topt = snap.top.empty() ? 0.0 : snap.top.back().estimate;
+  const MonitorCounters& c = snap.counters;
+  return report::Row{
+      snap.index,
+      snap.window,
+      snap.time_s,
+      top1,
+      topt,
+      static_cast<std::uint64_t>(snap.tracked_flows),
+      static_cast<std::uint64_t>(snap.window_flows),
+      snap.window_packets,
+      static_cast<std::uint64_t>(snap.churn_entered),
+      static_cast<std::uint64_t>(snap.churn_exited),
+      static_cast<std::uint64_t>(snap.rank_moves),
+      snap.effective_rate,
+      c.packets_offered,
+      c.packets_sampled,
+      c.packets_ingested,
+      c.shed_packets,
+      c.degradations,
+      c.pipeline_shed_packets,
+      c.queue_full_events,
+      c.corrupt_records,
+      c.truncated_records,
+      c.stall_events,
+      c.watchdog_rotations,
+      c.windows,
+  };
+}
+
+MonitorLoop::MonitorLoop(std::shared_ptr<const trace::TraceSource> source,
+                         MonitorConfig config)
+    : source_(std::move(source)), config_(config) {
+  if (!source_) {
+    throw std::invalid_argument("monitor: trace source must not be null");
+  }
+  if (!(config_.window_s > 0.0)) {
+    throw std::invalid_argument("monitor: window_s must be > 0");
+  }
+  if (!(config_.sampling_rate > 0.0 && config_.sampling_rate <= 1.0)) {
+    throw std::invalid_argument("monitor: sampling_rate must be in (0, 1]");
+  }
+  if (!(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0)) {
+    throw std::invalid_argument("monitor: ewma_alpha must be in (0, 1]");
+  }
+  if (config_.snapshot_every < 1) {
+    throw std::invalid_argument("monitor: snapshot_every must be >= 1");
+  }
+  if (config_.top_t < 1) {
+    throw std::invalid_argument("monitor: top_t must be >= 1");
+  }
+  if (config_.batch_packets < 1) {
+    throw std::invalid_argument("monitor: batch_packets must be >= 1");
+  }
+}
+
+MonitorReport MonitorLoop::run(const SnapshotCallback& on_snapshot) {
+  if (ran_) throw std::logic_error("monitor: run() may be called once");
+  ran_ = true;
+
+  // The fault wrapper, when present, also drives the stall schedule.
+  const auto* faulty =
+      dynamic_cast<const trace::FaultInjectingTraceSource*>(source_.get());
+
+  MonitorReport report;
+  MonitorCounters& counters = report.counters;
+
+  // Materialize and screen the flow records: corrupt/truncated records
+  // are dropped and counted here, so the packet expander and everything
+  // downstream only ever see well-formed flows. With no faults this
+  // passes every record through untouched (order preserved), which is
+  // what keeps the no-fault monitor bit-identical to the batch path.
+  trace::FlowTrace trace = source_->flows();
+  {
+    std::vector<packet::FlowRecord> clean;
+    clean.reserve(trace.flows.size());
+    for (const packet::FlowRecord& flow : trace.flows) {
+      switch (trace::classify_record_fault(flow)) {
+        case trace::RecordFault::kNone:
+          clean.push_back(flow);
+          break;
+        case trace::RecordFault::kTruncated:
+          ++counters.truncated_records;
+          break;
+        case trace::RecordFault::kCorrupt:
+          ++counters.corrupt_records;
+          break;
+      }
+    }
+    trace.flows = std::move(clean);
+  }
+
+  const std::int64_t window_ns = trace::bin_length_ns(config_.window_s);
+
+  // Per-window sampled counts, keyed by window index, merged across
+  // shard flushes. Holds only windows not yet folded (normally one).
+  std::mutex acc_mutex;
+  std::map<std::size_t, WindowCounts> window_acc;
+
+  ingest::ShardedPipelineConfig pipeline_config;
+  pipeline_config.num_shards = config_.num_shards;
+  pipeline_config.num_streams = 1;
+  pipeline_config.bin_ns = window_ns;
+  pipeline_config.table_options = config_.table_options;
+  pipeline_config.max_queue_chunks = config_.max_queue_chunks;
+  pipeline_config.chunk_packets = config_.chunk_packets;
+  pipeline_config.overload = config_.overload;
+  pipeline_config.block_deadline_ms = config_.block_deadline_ms;
+  pipeline_config.pool = config_.pool;
+  pipeline_config.on_shard_bin = [&](std::size_t /*shard*/,
+                                     std::size_t /*stream*/, std::size_t bin,
+                                     const flowtable::FlowTable& table) {
+    std::lock_guard lock(acc_mutex);
+    WindowCounts& acc = window_acc[bin];
+    table.for_each_all([&acc](const flowtable::FlowCounter& flow) {
+      acc[flow.key] += flow.packets;  // re-merges idle-timeout subflows
+    });
+  };
+  ingest::ShardedPipeline pipeline(pipeline_config);
+
+  // The base sampler is stream-wide (skip state carries across batches
+  // and window boundaries), exactly as in the batch packet path.
+  trace::PacketStream stream(trace);
+  sampler::BernoulliSampler base_sampler(config_.sampling_rate, config_.seed);
+
+  // EWMA tracker. Bounded by eviction: estimates decay while a flow is
+  // absent and entries are dropped below evict_below or after
+  // max_idle_windows quiet windows.
+  struct Tracked {
+    double estimate = 0.0;
+    std::uint64_t last_window = 0;
+  };
+  std::unordered_map<packet::FlowKey, Tracked, packet::FlowKeyHash> tracked;
+
+  // Graceful-degradation state (kShed + window_packet_budget only).
+  std::uint32_t degrade_level = 0;
+  std::unique_ptr<sampler::BernoulliSampler> thinner;
+  const auto set_degrade_level = [&](std::uint32_t level) {
+    degrade_level = level;
+    if (level == 0) {
+      thinner.reset();
+    } else {
+      thinner = std::make_unique<sampler::BernoulliSampler>(
+          std::pow(0.5, static_cast<double>(level)),
+          util::mix_stream(util::mix_stream(config_.seed, kThinnerStream),
+                           counters.degradations));
+    }
+  };
+  const auto effective_rate = [&] {
+    return config_.sampling_rate * std::pow(0.5, static_cast<double>(degrade_level));
+  };
+
+  std::size_t window = 0;          // window currently being filled
+  std::uint64_t window_sampled = 0;  // base-sampled packets in it
+  bool overloaded_this_window = false;
+  std::uint64_t windows_since_snapshot = 0;
+  std::size_t last_window_flows = 0;
+  std::uint64_t last_window_packets = 0;
+  std::vector<TopFlow> prev_top;
+
+  const auto emit_snapshot = [&](std::uint64_t completed_window,
+                                 std::size_t window_flows,
+                                 std::uint64_t window_packets) {
+    MonitorSnapshot snap;
+    snap.index = report.snapshots;
+    snap.window = completed_window;
+    snap.time_s = static_cast<double>(completed_window + 1) * config_.window_s;
+    snap.tracked_flows = tracked.size();
+    snap.window_flows = window_flows;
+    snap.window_packets = window_packets;
+    snap.effective_rate = effective_rate();
+
+    // Canonical top-t: estimate descending, key ascending on ties.
+    snap.top.reserve(tracked.size());
+    for (const auto& [key, state] : tracked) {
+      snap.top.push_back(TopFlow{key, state.estimate});
+    }
+    const auto order = [](const TopFlow& a, const TopFlow& b) {
+      if (a.estimate != b.estimate) return a.estimate > b.estimate;
+      return a.key < b.key;
+    };
+    if (snap.top.size() > config_.top_t) {
+      std::partial_sort(snap.top.begin(), snap.top.begin() + config_.top_t,
+                        snap.top.end(), order);
+      snap.top.resize(config_.top_t);
+    } else {
+      std::sort(snap.top.begin(), snap.top.end(), order);
+    }
+
+    // Rank churn vs the previous snapshot's top list.
+    for (std::size_t rank = 0; rank < snap.top.size(); ++rank) {
+      const auto prev = std::find_if(prev_top.begin(), prev_top.end(),
+                                     [&](const TopFlow& f) {
+                                       return f.key == snap.top[rank].key;
+                                     });
+      if (prev == prev_top.end()) {
+        ++snap.churn_entered;
+      } else if (static_cast<std::size_t>(prev - prev_top.begin()) != rank) {
+        ++snap.rank_moves;
+      }
+    }
+    for (const TopFlow& old : prev_top) {
+      if (std::none_of(snap.top.begin(), snap.top.end(), [&](const TopFlow& f) {
+            return f.key == old.key;
+          })) {
+        ++snap.churn_exited;
+      }
+    }
+
+    const ingest::OverloadStats stats = pipeline.overload_stats();
+    counters.pipeline_shed_packets = stats.shed_packets;
+    counters.queue_full_events = stats.queue_full_events;
+    snap.counters = counters;
+
+    prev_top = snap.top;
+    ++report.snapshots;
+    windows_since_snapshot = 0;
+    if (on_snapshot) on_snapshot(snap);
+  };
+
+  // Folds completed window `w` into the tracker (after its flushes have
+  // been collected — i.e. after rotate_epoch(w + 1) or finish()).
+  const auto complete_window = [&](std::size_t w) {
+    WindowCounts acc;
+    {
+      std::lock_guard lock(acc_mutex);
+      const auto it = window_acc.find(w);
+      if (it != window_acc.end()) {
+        acc = std::move(it->second);
+        window_acc.erase(it);
+      }
+    }
+    const double rate = effective_rate();
+    const double alpha = config_.ewma_alpha;
+    std::uint64_t window_packets = 0;
+    for (const auto& [key, count] : acc) {
+      window_packets += count;
+      const double estimate = static_cast<double>(count) / rate;
+      const auto [it, fresh] = tracked.try_emplace(
+          key, Tracked{estimate, static_cast<std::uint64_t>(w)});
+      if (!fresh) {
+        it->second.estimate = alpha * estimate + (1.0 - alpha) * it->second.estimate;
+        it->second.last_window = w;
+      }
+    }
+    // Decay absentees (EWMA with a zero observation) and evict the dead.
+    for (auto it = tracked.begin(); it != tracked.end();) {
+      Tracked& state = it->second;
+      if (state.last_window != w) state.estimate *= 1.0 - alpha;
+      const bool idle_out = w - state.last_window >= config_.max_idle_windows;
+      if (state.estimate < config_.evict_below || idle_out) {
+        it = tracked.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    report.peak_tracked_flows = std::max(report.peak_tracked_flows, tracked.size());
+    report.peak_window_flows = std::max(report.peak_window_flows, acc.size());
+    ++counters.windows;
+    ++windows_since_snapshot;
+
+    // Degradation recovery: one clean window doubles the effective rate
+    // back toward the base rate.
+    if (!overloaded_this_window && degrade_level > 0) {
+      set_degrade_level(degrade_level - 1);
+    }
+    overloaded_this_window = false;
+    window_sampled = 0;
+    last_window_flows = acc.size();
+    last_window_packets = window_packets;
+
+    if ((w + 1) % config_.snapshot_every == 0) {
+      emit_snapshot(w, acc.size(), window_packets);
+    }
+  };
+
+  // Rotates the epoch up to `next_window`, folding every window in
+  // [window, next_window) — a quiet link can complete several at once.
+  const auto rotate_to = [&](std::size_t next_window) {
+    pipeline.rotate_epoch(next_window);
+    for (std::size_t w = window; w < next_window; ++w) complete_window(w);
+    window = next_window;
+  };
+
+  // Feeds one same-window segment: base-sample (stream-wide state), thin
+  // under degradation, ingest.
+  std::vector<packet::PacketRecord> selected, kept;
+  selected.reserve(config_.batch_packets);
+  kept.reserve(config_.batch_packets);
+  const auto feed = [&](std::span<const packet::PacketRecord> segment) {
+    base_sampler.select_into(segment, selected);
+    counters.packets_sampled += selected.size();
+    window_sampled += selected.size();
+
+    if (config_.overload == ingest::OverloadPolicy::kShed &&
+        config_.window_packet_budget > 0 && !overloaded_this_window &&
+        window_sampled > config_.window_packet_budget) {
+      // Declared capacity exceeded: degrade by halving the effective
+      // sampling rate for the rest of the window — a counted, reported
+      // rate change instead of silent tail drops.
+      overloaded_this_window = true;
+      ++counters.degradations;
+      set_degrade_level(std::min(degrade_level + 1, kMaxDegradeLevel));
+    }
+
+    if (thinner) {
+      thinner->select_into(selected, kept);
+      counters.shed_packets += selected.size() - kept.size();
+    } else {
+      kept = selected;
+    }
+    counters.packets_ingested += kept.size();
+    pipeline.add_batch(0, kept);
+  };
+
+  std::vector<packet::PacketRecord> batch;
+  batch.reserve(config_.batch_packets);
+  std::uint64_t batch_index = 0;
+
+  while (true) {
+    if (config_.stop_flag &&
+        config_.stop_flag->load(std::memory_order_relaxed)) {
+      break;
+    }
+
+    // Pull the next batch under the watchdog's monotonic-clock deadline.
+    // An injected fault-source stall sleeps here — on the pull side,
+    // where a genuinely slow source would spend the time.
+    const auto pull_start = std::chrono::steady_clock::now();
+    if (faulty) {
+      const std::uint32_t stall_ms = faulty->stall_ms_before_batch(batch_index);
+      if (stall_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      }
+    }
+    const std::size_t pulled = stream.next_batch(batch, config_.batch_packets);
+    ++batch_index;
+    if (config_.stall_deadline_ms > 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - pull_start);
+      if (elapsed.count() >=
+          static_cast<std::int64_t>(config_.stall_deadline_ms)) {
+        ++counters.stall_events;
+        if (config_.fail_on_stall) {
+          throw Error(ErrorCategory::kStalled, "monitor",
+                      "trace source stalled: batch " +
+                          std::to_string(batch_index - 1) + " took " +
+                          std::to_string(elapsed.count()) + " ms (deadline " +
+                          std::to_string(config_.stall_deadline_ms) + " ms)");
+        }
+        // Rotate early: close out the partial window so the operator
+        // sees a snapshot rather than silence. Traffic arriving after
+        // the stall accrues to the next window.
+        ++counters.watchdog_rotations;
+        rotate_to(window + 1);
+      }
+    }
+    if (pulled == 0) break;  // end of source
+    counters.packets_offered += pulled;
+
+    // Split the batch at window boundaries so each epoch rotation sees
+    // exactly its own packets. Sampling per segment is bit-identical to
+    // sampling the whole batch: skip state carries across calls.
+    std::size_t begin = 0;
+    while (begin < pulled) {
+      const std::int64_t boundary_ns =
+          static_cast<std::int64_t>(window + 1) * window_ns;
+      std::size_t end = begin;
+      while (end < pulled && batch[end].timestamp_ns < boundary_ns) ++end;
+      if (end > begin) {
+        feed(std::span(batch.data() + begin, end - begin));
+        begin = end;
+      }
+      if (begin < pulled) {
+        rotate_to(static_cast<std::size_t>(batch[begin].timestamp_ns / window_ns));
+      }
+    }
+  }
+
+  // End of stream (or stop requested): flush the final partial window
+  // and fold whatever it held.
+  pipeline.finish();
+  std::vector<std::size_t> remaining;
+  {
+    std::lock_guard lock(acc_mutex);
+    for (const auto& [bin, _] : window_acc) remaining.push_back(bin);
+  }
+  for (const std::size_t bin : remaining) {
+    for (std::size_t w = window; w <= bin; ++w) complete_window(w);
+    window = bin + 1;
+  }
+  // A trailing snapshot covering windows past the last cadence boundary.
+  if (windows_since_snapshot > 0 && counters.windows > 0) {
+    emit_snapshot(window - 1, last_window_flows, last_window_packets);
+  }
+
+  const ingest::OverloadStats stats = pipeline.overload_stats();
+  counters.pipeline_shed_packets = stats.shed_packets;
+  counters.queue_full_events = stats.queue_full_events;
+  return report;
+}
+
+}  // namespace flowrank::monitor

@@ -1,0 +1,181 @@
+// Continuous heavy-hitter monitoring (the ROADMAP's streaming monitor
+// mode).
+//
+// Every other path in the repo is run-to-completion: ingest a whole
+// trace, then read results. MonitorLoop is the operational shape the
+// paper motivates — a loop that pulls batches from any trace::TraceSource
+// into the sharded ingest path under rolling measurement windows, rotates
+// the epoch at each window boundary (tables flush and are reused, the
+// batch path's bin semantics exactly), folds each window's inverted
+// per-flow counts into EWMA-smoothed estimates, and emits periodic top-t
+// snapshots with rank-churn deltas as a time-series.
+//
+// What separates it from a batch job rerun in a loop is that failure
+// behavior is first-class:
+//   * corrupt/truncated flow records are dropped and counted, never fed
+//     downstream (see trace::classify_record_fault);
+//   * overload degrades gracefully: under OverloadPolicy::kShed a window
+//     that exceeds its declared packet budget halves the effective
+//     sampling rate via an extra skip-based thinning sampler — the
+//     paper's own knob — instead of dropping tail packets silently, and
+//     recovers one halving per clean window; every shed packet is
+//     counted;
+//   * a monotonic-clock watchdog detects stalled sources (and, via the
+//     pipeline's block deadline, wedged shards) and either fails loudly
+//     with flowrank::Error(kStalled) or rotates the epoch early so the
+//     operator sees a snapshot rather than silence;
+//   * every fault/shed/stall event is emitted in snapshot metadata.
+//
+// With faults disabled, alpha = 1 and the kBlock policy, the per-window
+// counts are bit-identical to the batch packet path's per-bin sampled
+// counts at any shard count (asserted in tests/test_monitor.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowrank/exec/task_pool.hpp"
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/ingest/sharded_pipeline.hpp"
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/report/result_sink.hpp"
+#include "flowrank/trace/trace_source.hpp"
+
+namespace flowrank::monitor {
+
+/// Monitor knobs. Defaults run a lossless (kBlock), unsmoothed
+/// (alpha = 1) monitor whose windows reproduce the batch path bit for
+/// bit.
+struct MonitorConfig {
+  double window_s = 60.0;          ///< measurement window (epoch) length
+  std::size_t snapshot_every = 1;  ///< windows per emitted snapshot
+  std::size_t top_t = 10;          ///< snapshot list length
+  double sampling_rate = 0.01;     ///< base Bernoulli sampling rate
+  std::uint64_t seed = 1;          ///< sampler seed (matches the batch path's run seed)
+  std::size_t num_shards = 1;      ///< ingest shards; 0 = one per hardware thread
+  flowtable::FlowTable::Options table_options;  ///< per-shard tables
+
+  /// Full-queue behavior of the ingest pipeline; kShed additionally arms
+  /// the budget-based rate degradation below.
+  ingest::OverloadPolicy overload = ingest::OverloadPolicy::kBlock;
+  /// Declared per-window capacity in *sampled* packets (0 = unlimited).
+  /// Under kShed, a window exceeding it halves the effective sampling
+  /// rate for the rest of the window; each clean window doubles it back
+  /// (never above the base rate).
+  std::uint64_t window_packet_budget = 0;
+
+  /// EWMA weight on the newest window, in (0, 1]. 1 = no smoothing: an
+  /// estimate is exactly the latest window's inverted count.
+  double ewma_alpha = 1.0;
+  /// Tracked flows whose estimate decays below this many packets are
+  /// evicted — with the idle-window cap below, this is what keeps the
+  /// tracker bounded over hours of flow churn.
+  double evict_below = 0.5;
+  /// Evict flows unseen for this many consecutive windows.
+  std::size_t max_idle_windows = 3;
+
+  /// Watchdog: longest tolerated source batch pull (monotonic clock).
+  /// 0 disables detection.
+  std::uint32_t stall_deadline_ms = 0;
+  /// On a detected stall: true throws flowrank::Error(kStalled); false
+  /// counts it, rotates the epoch early (the partial window is folded and
+  /// becomes visible) and keeps going.
+  bool fail_on_stall = false;
+  /// Wedged-shard watchdog, forwarded to the pipeline (kBlock only):
+  /// longest add_batch may wait on one full shard queue. 0 = forever.
+  std::uint32_t block_deadline_ms = 0;
+
+  std::size_t batch_packets = 4096;  ///< stream pull size (batch path's kBatch)
+  std::size_t max_queue_chunks = 8;  ///< pipeline passthrough
+  std::size_t chunk_packets = 8192;  ///< pipeline passthrough
+  exec::TaskPool* pool = nullptr;    ///< nullptr = exec::TaskPool::shared()
+
+  /// Checked between batches; set from a SIGINT/SIGTERM handler for a
+  /// clean shutdown that folds the current window and flushes sinks.
+  const std::atomic<bool>* stop_flag = nullptr;
+};
+
+/// Cumulative fault/loss accounting, emitted with every snapshot.
+struct MonitorCounters {
+  std::uint64_t packets_offered = 0;   ///< pulled from the source
+  std::uint64_t packets_sampled = 0;   ///< selected by the base sampler
+  std::uint64_t packets_ingested = 0;  ///< fed to the pipeline after shedding
+  std::uint64_t shed_packets = 0;      ///< thinned away by rate degradation
+  std::uint64_t degradations = 0;      ///< times the effective rate halved
+  std::uint64_t pipeline_shed_packets = 0;  ///< dropped by kShed shard queues
+  std::uint64_t queue_full_events = 0;      ///< full-queue encounters
+  std::uint64_t corrupt_records = 0;    ///< flow records dropped as corrupt
+  std::uint64_t truncated_records = 0;  ///< flow records dropped as truncated
+  std::uint64_t stall_events = 0;       ///< watchdog stall detections
+  std::uint64_t watchdog_rotations = 0;  ///< early epoch rotations after stalls
+  std::uint64_t windows = 0;             ///< measurement windows completed
+};
+
+/// One entry of a snapshot's top-t list, in canonical order (estimate
+/// descending, key ascending on ties — deterministic at any shard count).
+struct TopFlow {
+  packet::FlowKey key;
+  double estimate = 0.0;  ///< EWMA-smoothed estimated packets per window
+};
+
+/// One emitted snapshot: the monitor's externally visible state after
+/// `window` completed.
+struct MonitorSnapshot {
+  std::uint64_t index = 0;   ///< 0-based snapshot number
+  std::uint64_t window = 0;  ///< last completed window
+  double time_s = 0.0;       ///< end of that window, trace time
+  std::vector<TopFlow> top;  ///< top-t tracked flows
+  std::size_t tracked_flows = 0;  ///< EWMA tracker occupancy after the fold
+  std::size_t window_flows = 0;   ///< distinct flows sampled in the last window
+  std::uint64_t window_packets = 0;  ///< sampled packets ingested in it
+  std::size_t churn_entered = 0;  ///< top-t entries not in the previous top
+  std::size_t churn_exited = 0;   ///< previous top entries no longer present
+  std::size_t rank_moves = 0;     ///< common entries whose rank changed
+  double effective_rate = 0.0;    ///< sampling rate in effect (post-degradation)
+  MonitorCounters counters;       ///< cumulative, at emission time
+};
+
+/// What run() returns after the source dries up or stop is requested.
+struct MonitorReport {
+  MonitorCounters counters;
+  std::uint64_t snapshots = 0;
+  std::size_t peak_tracked_flows = 0;  ///< tracker occupancy high-water mark
+  std::size_t peak_window_flows = 0;   ///< per-window flow high-water mark
+};
+
+/// Column names of the snapshot time-series (all values numeric, so the
+/// JSONL output passes scripts/check_jsonl.py).
+[[nodiscard]] std::vector<std::string> snapshot_columns();
+
+/// A snapshot as one sink row, matching snapshot_columns().
+[[nodiscard]] report::Row snapshot_row(const MonitorSnapshot& snap);
+
+/// The continuous-operation loop. Construction is cheap; run() does the
+/// work and may be called once.
+class MonitorLoop {
+ public:
+  using SnapshotCallback = std::function<void(const MonitorSnapshot&)>;
+
+  /// Throws std::invalid_argument on a null source or bad config.
+  MonitorLoop(std::shared_ptr<const trace::TraceSource> source,
+              MonitorConfig config);
+
+  /// Runs until the source ends or the stop flag is set; `on_snapshot`
+  /// (optional) observes each snapshot as it is emitted. Throws
+  /// flowrank::Error(kStalled) when a watchdog deadline is missed under
+  /// fail_on_stall / the pipeline block deadline.
+  MonitorReport run(const SnapshotCallback& on_snapshot = {});
+
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
+
+ private:
+  std::shared_ptr<const trace::TraceSource> source_;
+  MonitorConfig config_;
+  bool ran_ = false;
+};
+
+}  // namespace flowrank::monitor

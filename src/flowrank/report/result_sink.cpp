@@ -6,6 +6,8 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "flowrank/util/error.hpp"
+
 namespace flowrank::report {
 
 namespace {
@@ -87,6 +89,15 @@ void ResultSink::open(const std::vector<std::string>& columns,
   } else {
     write_header(columns, meta);
   }
+  check_stream("open");
+}
+
+void ResultSink::check_stream(const char* when) const {
+  if (!stream_ok()) {
+    throw Error(ErrorCategory::kIo, "report",
+                std::string(when) +
+                    ": stream write failed (disk full or closed pipe?)");
+  }
 }
 
 void ResultSink::emit(std::size_t seq, Row row) {
@@ -109,6 +120,7 @@ void ResultSink::emit(std::size_t seq, Row row) {
        it = pending_.erase(it), ++next_seq_) {
     write_row(it->second);
   }
+  check_stream("emit");
 }
 
 void ResultSink::close(std::size_t expected_rows) {
@@ -127,8 +139,11 @@ void ResultSink::close(std::size_t expected_rows) {
                              std::to_string(expected_rows) +
                              " expected rows were emitted");
   }
-  closed_ = true;
+  // closed_ flips only after the stream check too: a close() that hit a
+  // dead stream must keep throwing on retry, not turn into a no-op.
   flush();
+  check_stream("close");
+  closed_ = true;
 }
 
 std::size_t ResultSink::rows_written() const {
@@ -160,6 +175,8 @@ void CsvResultSink::write_row(const Row& row) {
 }
 
 void CsvResultSink::flush() { os_.flush(); }
+
+bool CsvResultSink::stream_ok() const noexcept { return static_cast<bool>(os_); }
 
 // --- JSON lines ------------------------------------------------------------
 
@@ -197,6 +214,10 @@ void JsonlResultSink::write_row(const Row& row) {
 
 void JsonlResultSink::flush() { os_.flush(); }
 
+bool JsonlResultSink::stream_ok() const noexcept {
+  return static_cast<bool>(os_);
+}
+
 // --- factory ---------------------------------------------------------------
 
 OwnedSink make_sink(const std::string& path, const std::string& format) {
@@ -215,7 +236,9 @@ OwnedSink make_sink(const std::string& path, const std::string& format) {
   std::ostream* os = &std::cout;
   if (path != "-") {
     auto file = std::make_unique<std::ofstream>(path, std::ios::binary);
-    if (!*file) throw std::runtime_error("report: cannot open " + path);
+    if (!*file) {
+      throw Error(ErrorCategory::kIo, "report", "cannot open " + path);
+    }
     os = file.get();
     out.stream = std::move(file);
   }

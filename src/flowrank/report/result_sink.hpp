@@ -88,7 +88,8 @@ class ResultSink {
   /// Emits the row at grid position `seq` (0-based, dense). Thread-safe;
   /// rows are written to the stream in ascending seq order regardless of
   /// emission order. Throws std::invalid_argument on a duplicate seq or
-  /// a column-count mismatch.
+  /// a column-count mismatch, and flowrank::Error(kIo) when the backing
+  /// stream rejects the write (disk full, closed pipe).
   void emit(std::size_t seq, Row row);
 
   /// Sentinel for close(): skip the expected-count check.
@@ -111,8 +112,18 @@ class ResultSink {
                             const RunMetadata& meta) = 0;
   virtual void write_row(const Row& row) = 0;
   virtual void flush() = 0;
+  /// True while the backing stream can still accept bytes. The base class
+  /// checks this after header/row writes and after flush, and throws
+  /// flowrank::Error(kIo) the moment it reports false — a full disk or a
+  /// closed pipe surfaces at the write that hit it, not as silently
+  /// missing rows discovered (or not) much later.
+  [[nodiscard]] virtual bool stream_ok() const noexcept = 0;
 
  private:
+  /// Throws flowrank::Error(kIo) when stream_ok() is false; `when` names
+  /// the operation for the message.
+  void check_stream(const char* when) const;
+
   mutable std::mutex mutex_;
   std::size_t columns_ = 0;
   bool opened_ = false;
@@ -132,6 +143,7 @@ class CsvResultSink final : public ResultSink {
                     const RunMetadata& meta) override;
   void write_row(const Row& row) override;
   void flush() override;
+  [[nodiscard]] bool stream_ok() const noexcept override;
 
  private:
   std::ostream& os_;
@@ -148,6 +160,7 @@ class JsonlResultSink final : public ResultSink {
                     const RunMetadata& meta) override;
   void write_row(const Row& row) override;
   void flush() override;
+  [[nodiscard]] bool stream_ok() const noexcept override;
 
  private:
   std::ostream& os_;
@@ -162,8 +175,8 @@ struct OwnedSink {
 
 /// Builds a sink for `path`: "-" writes CSV to stdout; otherwise the
 /// format follows `format` ("csv" | "jsonl" | "" = by file extension,
-/// defaulting to CSV). Throws std::runtime_error when the file cannot be
-/// opened, std::invalid_argument on an unknown format.
+/// defaulting to CSV). Throws flowrank::Error(kIo) when the file cannot
+/// be opened, std::invalid_argument on an unknown format.
 [[nodiscard]] OwnedSink make_sink(const std::string& path, const std::string& format);
 
 }  // namespace flowrank::report

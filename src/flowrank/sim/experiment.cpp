@@ -148,6 +148,21 @@ void check_axes(const ExperimentSpec& spec) {
     throw std::invalid_argument(
         "experiment: estimator stages need model=packet");
   }
+  if (spec.monitor.enabled) {
+    if (spec.model != ExperimentModel::kPacket) {
+      throw std::invalid_argument("experiment: mode=monitor needs model=packet");
+    }
+    if (!spec.sweeps.empty()) {
+      throw std::invalid_argument(
+          "experiment: mode=monitor is a single continuous run, not a sweep; "
+          "drop the sweep axes");
+    }
+    if (spec.estimator.kind != EstimatorStage::Kind::kNone) {
+      throw std::invalid_argument(
+          "experiment: mode=monitor has inversion + EWMA built in; estimator "
+          "stages are batch-only");
+    }
+  }
 }
 
 /// The grid axes that index rows (mc/packet fold a rate sweep into the
@@ -589,6 +604,39 @@ std::vector<std::pair<std::string, std::string>> experiment_echo(
     add("definition",
         spec.definition == packet::FlowDefinition::kFiveTuple ? "5tuple"
                                                               : "prefix24");
+    if (spec.monitor.enabled) {
+      add("mode", "monitor");
+      add("window", format_value(spec.monitor.window_s > 0.0
+                                     ? spec.monitor.window_s
+                                     : spec.bin_seconds));
+      add("snapshot-every", std::to_string(spec.monitor.snapshot_every));
+      add("overload", spec.monitor.shed ? "shed" : "block");
+      add("ewma", format_value(spec.monitor.ewma_alpha));
+      if (spec.monitor.window_packet_budget > 0) {
+        add("budget", std::to_string(spec.monitor.window_packet_budget));
+      }
+      if (spec.monitor.watchdog_ms > 0) {
+        add("watchdog-ms", std::to_string(spec.monitor.watchdog_ms));
+        add("on-stall", spec.monitor.fail_on_stall ? "fail" : "rotate");
+      }
+      const trace::FaultSpec& fault = spec.monitor.fault;
+      if (fault.corrupt_fraction > 0.0) {
+        add("fault.corrupt", format_value(fault.corrupt_fraction));
+      }
+      if (fault.truncate_fraction > 0.0) {
+        add("fault.truncate", format_value(fault.truncate_fraction));
+      }
+      if (fault.stall_every_batches > 0) {
+        add("fault.stall-every", std::to_string(fault.stall_every_batches));
+        add("fault.stall-ms", std::to_string(fault.stall_ms));
+      }
+      if (fault.burst_flows > 0) {
+        add("fault.burst-flows", std::to_string(fault.burst_flows));
+        add("fault.burst-every", format_value(fault.burst_every_s));
+        add("fault.burst-duration", format_value(fault.burst_duration_s));
+      }
+      if (fault.any()) add("fault.seed", std::to_string(fault.seed));
+    }
   }
   add("seed", std::to_string(spec.seed));
   for (const auto& axis : spec.sweeps) {
@@ -598,6 +646,7 @@ std::vector<std::pair<std::string, std::string>> experiment_echo(
 }
 
 std::vector<std::string> experiment_columns(const ExperimentSpec& spec) {
+  if (spec.monitor.enabled) return monitor::snapshot_columns();
   std::vector<std::string> columns;
   for (const auto& axis : grid_axes(spec)) columns.push_back(axis.param);
   switch (spec.model) {
@@ -631,6 +680,26 @@ std::vector<std::string> experiment_columns(const ExperimentSpec& spec) {
 
 std::size_t run_experiment(const ExperimentSpec& spec, report::ResultSink& sink) {
   check_axes(spec);
+
+  if (spec.monitor.enabled) {
+    // Continuous-monitor mode: one MonitorLoop run, one row per emitted
+    // top-t snapshot. Snapshots stream in emission order — the monitor's
+    // own determinism (canonical top-t, order-insensitive window merges)
+    // keeps the output reproducible at any shard count under kBlock.
+    report::RunMetadata meta;
+    meta.experiment = spec.name;
+    meta.seed = spec.seed;
+    meta.spec_echo = experiment_echo(spec);
+    sink.open(monitor::snapshot_columns(), meta);
+    monitor::MonitorLoop loop(make_trace_source(spec), make_monitor_config(spec));
+    std::size_t rows = 0;
+    loop.run([&sink, &rows](const monitor::MonitorSnapshot& snap) {
+      sink.emit(rows++, monitor::snapshot_row(snap));
+    });
+    sink.close(rows);
+    return rows;
+  }
+
   const auto axes = grid_axes(spec);
   const std::size_t cells = grid_size(axes);
 

@@ -37,6 +37,11 @@
 // → ranked loop):
 //   estimator = inversion | tcp_seq
 //             | sample_and_hold:slots=K[,hold=H] | space_saving:slots=K
+//
+// Monitor mode (`mode = monitor` plus the scenario monitor/fault.* keys)
+// turns a model=packet experiment into one continuous MonitorLoop run
+// whose rows are periodic top-t snapshots with fault/shed accounting
+// (see flowrank/monitor/monitor_loop.hpp). No sweeps, one sampling rate.
 #pragma once
 
 #include <cstdint>

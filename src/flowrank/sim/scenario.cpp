@@ -15,6 +15,7 @@
 #include "flowrank/exec/task_pool.hpp"
 #include "flowrank/sim/spec_detail.hpp"
 #include "flowrank/trace/trace_io.hpp"
+#include "flowrank/util/error.hpp"
 #include "flowrank/util/table.hpp"
 
 namespace flowrank::sim {
@@ -97,6 +98,31 @@ std::shared_ptr<const dist::FlowSizeDistribution> parse_dist_component(
   }
   expect_empty(args, "dist " + family);
   return out;
+}
+
+/// The dotted fault.* sub-keys, mapping onto trace::FaultSpec.
+void apply_fault_entry(trace::FaultSpec& fault, const std::string& key,
+                       const std::string& value) {
+  const std::string knob = key.substr(std::string("fault.").size());
+  if (knob == "corrupt") {
+    fault.corrupt_fraction = parse_double(key, value);
+  } else if (knob == "truncate") {
+    fault.truncate_fraction = parse_double(key, value);
+  } else if (knob == "stall-every") {
+    fault.stall_every_batches = parse_uint(key, value);
+  } else if (knob == "stall-ms") {
+    fault.stall_ms = static_cast<std::uint32_t>(parse_uint(key, value));
+  } else if (knob == "burst-flows") {
+    fault.burst_flows = parse_uint(key, value);
+  } else if (knob == "burst-every") {
+    fault.burst_every_s = parse_double(key, value);
+  } else if (knob == "burst-duration") {
+    fault.burst_duration_s = parse_double(key, value);
+  } else if (knob == "seed") {
+    fault.seed = parse_uint(key, value);
+  } else {
+    throw std::invalid_argument("scenario: unknown fault knob '" + key + "'");
+  }
 }
 
 trace::OnOffArrivals parse_onoff(const std::string& clause) {
@@ -192,6 +218,54 @@ void apply_entry(ScenarioSpec& spec, const std::string& key, const std::string& 
   } else if (key == "shards") {
     spec.num_shards = exec::TaskPool::resolve_parallelism(parse_uint(key, value));
     if (value == "0") spec.num_shards = 0;
+  } else if (key == "mode") {
+    if (value == "batch") {
+      spec.monitor.enabled = false;
+    } else if (value == "monitor") {
+      spec.monitor.enabled = true;
+    } else {
+      throw std::invalid_argument("scenario: mode must be batch|monitor, got '" +
+                                  value + "'");
+    }
+  } else if (key == "window") {
+    spec.monitor.window_s = parse_double(key, value);
+    if (spec.monitor.window_s < 0.0) {
+      throw std::invalid_argument("scenario: window >= 0 (0 = use bin)");
+    }
+  } else if (key == "snapshot-every") {
+    spec.monitor.snapshot_every = parse_uint(key, value);
+    if (spec.monitor.snapshot_every < 1) {
+      throw std::invalid_argument("scenario: snapshot-every >= 1");
+    }
+  } else if (key == "overload") {
+    if (value == "block") {
+      spec.monitor.shed = false;
+    } else if (value == "shed") {
+      spec.monitor.shed = true;
+    } else {
+      throw std::invalid_argument("scenario: overload must be block|shed, got '" +
+                                  value + "'");
+    }
+  } else if (key == "ewma") {
+    spec.monitor.ewma_alpha = parse_double(key, value);
+    if (!(spec.monitor.ewma_alpha > 0.0 && spec.monitor.ewma_alpha <= 1.0)) {
+      throw std::invalid_argument("scenario: ewma must be in (0, 1]");
+    }
+  } else if (key == "budget") {
+    spec.monitor.window_packet_budget = parse_uint(key, value);
+  } else if (key == "watchdog-ms") {
+    spec.monitor.watchdog_ms = static_cast<std::uint32_t>(parse_uint(key, value));
+  } else if (key == "on-stall") {
+    if (value == "rotate") {
+      spec.monitor.fail_on_stall = false;
+    } else if (value == "fail") {
+      spec.monitor.fail_on_stall = true;
+    } else {
+      throw std::invalid_argument("scenario: on-stall must be rotate|fail, got '" +
+                                  value + "'");
+    }
+  } else if (key.rfind("fault.", 0) == 0) {
+    apply_fault_entry(spec.monitor.fault, key, value);
   } else {
     throw std::invalid_argument("scenario: unknown key '" + key + "'");
   }
@@ -201,11 +275,26 @@ void apply_entry(ScenarioSpec& spec, const std::string& key, const std::string& 
 
 const std::vector<std::string>& scenario_keys() {
   static const std::vector<std::string> keys = {
-      "beta",      "bin",        "definition",      "dist",       "duration",
-      "epoch-gap", "epochs",     "flow-rate",       "flow-rate-scale",
-      "name",      "onoff",      "packet-size",     "path",       "preset",
-      "rates",     "runs",       "seed",            "shards",     "t",
-      "threads",   "ties",       "trace",           "trace-seed"};
+      "beta",           "bin",
+      "budget",         "definition",
+      "dist",           "duration",
+      "epoch-gap",      "epochs",
+      "ewma",           "fault.burst-duration",
+      "fault.burst-every", "fault.burst-flows",
+      "fault.corrupt",  "fault.seed",
+      "fault.stall-every", "fault.stall-ms",
+      "fault.truncate", "flow-rate",
+      "flow-rate-scale", "mode",
+      "name",           "on-stall",
+      "onoff",          "overload",
+      "packet-size",    "path",
+      "preset",         "rates",
+      "runs",           "seed",
+      "shards",         "snapshot-every",
+      "t",              "threads",
+      "ties",           "trace",
+      "trace-seed",     "watchdog-ms",
+      "window"};
   return keys;
 }
 
@@ -235,7 +324,9 @@ void parse_spec_file(
     const std::string& path,
     const std::function<void(const std::string&, const std::string&)>& entry) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("scenario: cannot open " + path);
+  if (!is) {
+    throw Error(ErrorCategory::kIo, "scenario", "cannot open " + path);
+  }
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
@@ -252,14 +343,17 @@ void parse_spec_file(
     if (line.empty()) continue;
     const auto eq = line.find('=');
     if (eq == std::string::npos) {
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                               ": expected key = value");
+      throw Error(ErrorCategory::kSpec, path + ":" + std::to_string(line_no),
+                  "expected key = value");
     }
+    const std::string key = trim(line.substr(0, eq));
     try {
-      entry(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+      entry(key, trim(line.substr(eq + 1)));
     } catch (const std::invalid_argument& e) {
-      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " +
-                               e.what());
+      // File, line and offending key up front; the entry's own message
+      // carries the value diagnosis.
+      throw Error(ErrorCategory::kSpec, path + ":" + std::to_string(line_no),
+                  "key '" + key + "': " + e.what());
     }
   }
 }
@@ -301,7 +395,11 @@ std::shared_ptr<const dist::FlowSizeDistribution> make_size_distribution(
   throw std::invalid_argument("scenario: preset=custom requires a dist= grammar");
 }
 
-std::shared_ptr<const trace::TraceSource> make_trace_source(const ScenarioSpec& spec) {
+namespace {
+
+/// The spec's trace source before any fault wrapping.
+std::shared_ptr<const trace::TraceSource> make_base_trace_source(
+    const ScenarioSpec& spec) {
   if (spec.trace != "synthetic") {
     // FRT1 file replay. epochs > 1 loops the recording back to back — the
     // streaming soak-test shape.
@@ -363,6 +461,19 @@ std::shared_ptr<const trace::TraceSource> make_trace_source(const ScenarioSpec& 
                                                     spec.epoch_gap_s);
 }
 
+}  // namespace
+
+std::shared_ptr<const trace::TraceSource> make_trace_source(const ScenarioSpec& spec) {
+  auto source = make_base_trace_source(spec);
+  // Fault injection only arms in monitor mode: batch figure runs keep
+  // their clean traces even if a spec carries stray fault.* keys.
+  if (spec.monitor.enabled && spec.monitor.fault.any()) {
+    return std::make_shared<trace::FaultInjectingTraceSource>(std::move(source),
+                                                              spec.monitor.fault);
+  }
+  return source;
+}
+
 SimConfig make_sim_config(const ScenarioSpec& spec) {
   if (spec.sampling_rates.empty()) {
     throw std::invalid_argument("scenario: at least one sampling rate");
@@ -379,7 +490,39 @@ SimConfig make_sim_config(const ScenarioSpec& spec) {
   return config;
 }
 
+monitor::MonitorConfig make_monitor_config(const ScenarioSpec& spec) {
+  if (!spec.monitor.enabled) {
+    throw std::invalid_argument("scenario: make_monitor_config requires mode=monitor");
+  }
+  if (spec.sampling_rates.size() != 1) {
+    throw std::invalid_argument(
+        "scenario: mode=monitor needs exactly one sampling rate (rates=...), got " +
+        std::to_string(spec.sampling_rates.size()));
+  }
+  monitor::MonitorConfig config;
+  config.window_s =
+      spec.monitor.window_s > 0.0 ? spec.monitor.window_s : spec.bin_seconds;
+  config.snapshot_every = spec.monitor.snapshot_every;
+  config.top_t = spec.top_t;
+  config.sampling_rate = spec.sampling_rates.front();
+  config.seed = spec.seed;
+  config.num_shards = spec.num_shards;
+  config.table_options.definition = spec.definition;
+  config.overload = spec.monitor.shed ? ingest::OverloadPolicy::kShed
+                                      : ingest::OverloadPolicy::kBlock;
+  config.window_packet_budget = spec.monitor.window_packet_budget;
+  config.ewma_alpha = spec.monitor.ewma_alpha;
+  config.stall_deadline_ms = spec.monitor.watchdog_ms;
+  config.fail_on_stall = spec.monitor.fail_on_stall;
+  return config;
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  if (spec.monitor.enabled) {
+    throw std::invalid_argument(
+        "scenario: mode=monitor runs through the experiment engine "
+        "(flowrank_experiments) or monitor::MonitorLoop, not run_scenario");
+  }
   const auto source = make_trace_source(spec);
   const auto trace = source->flows();
   const SimConfig config = make_sim_config(spec);

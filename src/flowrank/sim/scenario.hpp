@@ -35,6 +35,27 @@
 //   path        = count                # count|packet
 //   threads     = 0                    # count-path grid workers (0 = all hw)
 //   shards      = 0                    # packet-path ingest shards (0 = all hw)
+//
+// Continuous-monitor keys (mode=monitor runs the spec through
+// flowrank::monitor::MonitorLoop via the experiment engine; requires
+// path=packet semantics and exactly one sampling rate):
+//
+//   mode        = monitor              # batch|monitor
+//   window      = 30                   # monitor window seconds (0 = use bin)
+//   snapshot-every = 2                 # windows per emitted snapshot
+//   overload    = shed                 # block|shed full-queue policy
+//   ewma        = 0.3                  # smoothing weight on newest window, (0,1]
+//   budget      = 100000               # sampled packets/window before shed degrades
+//   watchdog-ms = 50                   # source-stall deadline ms (0 = off)
+//   on-stall    = rotate               # rotate|fail
+//   fault.corrupt     = 0.01           # corrupt-record fraction injected
+//   fault.truncate    = 0.01           # truncated-record fraction injected
+//   fault.stall-every = 32             # stall before every k-th batch
+//   fault.stall-ms    = 40             # injected stall length
+//   fault.burst-flows = 2000           # flash-crowd flows per burst
+//   fault.burst-every = 5              # burst cadence, trace seconds
+//   fault.burst-duration = 0.25        # burst width, seconds
+//   fault.seed        = 99             # injection seed
 #pragma once
 
 #include <cstdint>
@@ -45,7 +66,9 @@
 #include <vector>
 
 #include "flowrank/dist/flow_size_distribution.hpp"
+#include "flowrank/monitor/monitor_loop.hpp"
 #include "flowrank/sim/binned_sim.hpp"
+#include "flowrank/trace/fault_injection.hpp"
 #include "flowrank/trace/trace_source.hpp"
 #include "flowrank/util/cli.hpp"
 
@@ -55,6 +78,20 @@ namespace flowrank::sim {
 /// binomial thinning, Monte-Carlo over runs) or the packet path (full
 /// packet stream through sampler + sharded classifier, one pass).
 enum class ExecutionPath { kCount, kPacket };
+
+/// Continuous-monitor knobs (the `mode = monitor` key family). Executed
+/// by flowrank::monitor::MonitorLoop through the experiment engine.
+struct MonitorOptions {
+  bool enabled = false;     ///< mode = monitor
+  double window_s = 0.0;    ///< window seconds; 0 = use the spec's bin
+  std::size_t snapshot_every = 1;
+  bool shed = false;        ///< overload = shed (vs the default block)
+  double ewma_alpha = 1.0;  ///< EWMA weight on the newest window, (0, 1]
+  std::uint64_t window_packet_budget = 0;  ///< sampled packets per window
+  std::uint32_t watchdog_ms = 0;  ///< source-stall deadline (0 = off)
+  bool fail_on_stall = false;     ///< on-stall = fail (vs rotate)
+  trace::FaultSpec fault;         ///< fault.* injection knobs
+};
 
 /// One workload, as data. Defaults reproduce a laptop-scale Sprint
 /// 5-tuple run.
@@ -90,6 +127,7 @@ struct ScenarioSpec {
   ExecutionPath path = ExecutionPath::kCount;
   std::size_t num_threads = 0;  ///< count-path grid workers, 0 = all hw
   std::size_t num_shards = 0;   ///< packet-path shards, 0 = all hw
+  MonitorOptions monitor;       ///< continuous-monitor keys (mode=monitor)
 };
 
 /// Parses a dist grammar string into a distribution:
@@ -105,8 +143,9 @@ struct ScenarioSpec {
 /// Parses a key=value spec file line by line, invoking `entry(key, value)`
 /// per entry. Handles '#' comments (at line start or after whitespace; a
 /// '#' embedded in a token is part of the value) and rethrows entry
-/// errors as std::runtime_error tagged path:line. Shared by the scenario
-/// and experiment (sim/experiment.hpp) parsers.
+/// errors as flowrank::Error(kSpec) tagged "path:line" and naming the
+/// offending key. Shared by the scenario and experiment
+/// (sim/experiment.hpp) parsers.
 void parse_spec_file(
     const std::string& path,
     const std::function<void(const std::string&, const std::string&)>& entry);
@@ -142,6 +181,11 @@ make_size_distribution(const ScenarioSpec& spec);
 
 /// The SimConfig the spec describes (threads resolved, 0 = all hw).
 [[nodiscard]] SimConfig make_sim_config(const ScenarioSpec& spec);
+
+/// The MonitorConfig the spec describes. Requires mode=monitor and
+/// exactly one sampling rate (the monitor has one live stream, not a
+/// rate grid); throws std::invalid_argument otherwise.
+[[nodiscard]] monitor::MonitorConfig make_monitor_config(const ScenarioSpec& spec);
 
 /// A scenario's outputs: the count path fills `count`, the packet path
 /// fills `packet` (one metrics series per sampling rate).

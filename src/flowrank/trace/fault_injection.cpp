@@ -1,0 +1,138 @@
+#include "flowrank/trace/fault_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::trace {
+
+namespace {
+
+// Stream ids under spec.seed: record faults and burst placement must not
+// share draws, or changing one knob would silently reshuffle the other.
+constexpr std::uint64_t kRecordFaultStream = 0xFA17'0001;
+constexpr std::uint64_t kBurstStream = 0xFA17'0002;
+
+}  // namespace
+
+bool FaultSpec::any() const noexcept {
+  return corrupt_fraction > 0.0 || truncate_fraction > 0.0 ||
+         (stall_every_batches > 0 && stall_ms > 0) ||
+         (burst_flows > 0 && burst_every_s > 0.0);
+}
+
+RecordFault classify_record_fault(const packet::FlowRecord& flow) noexcept {
+  if (!std::isfinite(flow.start_s) || !std::isfinite(flow.duration_s) ||
+      flow.start_s < 0.0 || flow.duration_s < 0.0) {
+    return RecordFault::kCorrupt;
+  }
+  if (flow.packets == 0) return RecordFault::kTruncated;
+  return RecordFault::kNone;
+}
+
+FaultInjectingTraceSource::FaultInjectingTraceSource(
+    std::shared_ptr<const TraceSource> inner, FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec) {
+  if (!inner_) {
+    throw std::invalid_argument("fault: inner trace source must not be null");
+  }
+  auto fraction = [](const char* what, double value) {
+    if (!(value >= 0.0 && value <= 1.0)) {
+      throw std::invalid_argument(std::string("fault: ") + what +
+                                  " must be in [0, 1]");
+    }
+  };
+  fraction("corrupt fraction", spec_.corrupt_fraction);
+  fraction("truncate fraction", spec_.truncate_fraction);
+  if (spec_.burst_every_s < 0.0 || spec_.burst_duration_s < 0.0) {
+    throw std::invalid_argument("fault: burst timing must be >= 0");
+  }
+}
+
+std::string FaultInjectingTraceSource::name() const {
+  return "faulty(" + inner_->name() + ")";
+}
+
+std::uint32_t FaultInjectingTraceSource::stall_ms_before_batch(
+    std::uint64_t batch_index) const noexcept {
+  if (spec_.stall_every_batches == 0 || spec_.stall_ms == 0) return 0;
+  if (batch_index == 0) return 0;  // never stall the very first pull
+  return batch_index % spec_.stall_every_batches == 0 ? spec_.stall_ms : 0;
+}
+
+FlowTrace FaultInjectingTraceSource::flows() const {
+  InjectionCounts counts;
+  return build(counts);
+}
+
+FaultInjectingTraceSource::InjectionCounts
+FaultInjectingTraceSource::injection_counts() const {
+  InjectionCounts counts;
+  (void)build(counts);
+  return counts;
+}
+
+FlowTrace FaultInjectingTraceSource::build(InjectionCounts& counts) const {
+  FlowTrace trace = inner_->flows();
+
+  // Burst flows first: they are valid records and must take part in the
+  // start-time sort, which record corruption (NaN starts) would poison.
+  if (spec_.burst_flows > 0 && spec_.burst_every_s > 0.0) {
+    util::Engine engine = util::make_engine(spec_.seed, kBurstStream);
+    std::uniform_real_distribution<double> offset(0.0, spec_.burst_duration_s);
+    const double horizon = trace.config.duration_s;
+    for (double at = spec_.burst_every_s; at < horizon; at += spec_.burst_every_s) {
+      for (std::size_t i = 0; i < spec_.burst_flows; ++i) {
+        packet::FlowRecord flow;
+        // Distinct synthetic clients hammering one service: unique tuples
+        // that cannot collide with the generator's address space (which
+        // stays below the 203.0.113.0 TEST-NET-3 block).
+        flow.tuple.src_ip = 0xCB007100u + static_cast<std::uint32_t>(
+                                              counts.burst_flows & 0xFFFFFFu);
+        flow.tuple.dst_ip = 0xCB007101u;
+        flow.tuple.src_port = static_cast<std::uint16_t>(1024 + (counts.burst_flows % 60000));
+        flow.tuple.dst_port = 80;
+        flow.tuple.protocol = packet::Protocol::kTcp;
+        flow.start_s = std::min(at + offset(engine), horizon);
+        flow.duration_s = 0.0;  // single-packet mice
+        flow.packets = 1;
+        flow.bytes = trace.config.packet_size_bytes;
+        trace.flows.push_back(flow);
+        ++counts.burst_flows;
+      }
+    }
+    std::stable_sort(trace.flows.begin(), trace.flows.end(),
+                     [](const packet::FlowRecord& a, const packet::FlowRecord& b) {
+                       return a.start_s < b.start_s;
+                     });
+  }
+
+  if (spec_.corrupt_fraction > 0.0 || spec_.truncate_fraction > 0.0) {
+    util::Engine engine = util::make_engine(spec_.seed, kRecordFaultStream);
+    std::uniform_real_distribution<double> unif(0.0, 1.0);
+    for (packet::FlowRecord& flow : trace.flows) {
+      const double draw = unif(engine);
+      if (draw < spec_.corrupt_fraction) {
+        // Alternate corruption shapes so filters cannot overfit to one.
+        if ((counts.corrupted & 1) == 0) {
+          flow.start_s = std::numeric_limits<double>::quiet_NaN();
+        } else {
+          flow.duration_s = -1.0;
+        }
+        ++counts.corrupted;
+      } else if (draw < spec_.corrupt_fraction + spec_.truncate_fraction) {
+        flow.packets = 0;
+        flow.bytes = 0;
+        ++counts.truncated;
+      }
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace flowrank::trace

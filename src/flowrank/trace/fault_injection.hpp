@@ -1,0 +1,90 @@
+// Deterministic fault injection for trace sources.
+//
+// The monitor's failure behavior (corrupt-record handling, watchdog
+// stalls, overload shedding) is first-class and must be testable without
+// real broken hardware. FaultInjectingTraceSource wraps any TraceSource
+// and injects three fault families, all seeded and reproducible:
+//
+//   * record faults — flow records corrupted in place (non-finite or
+//     negative timing fields) or truncated (zero packets/bytes, as if the
+//     collector died mid-write);
+//   * source stalls — a deterministic schedule of delays the monitor's
+//     batch pull observes, exercising the stall watchdog;
+//   * burst overloads — flash crowds of short valid flows injected at a
+//     fixed cadence, exercising the overload/shed policy.
+//
+// Record faults never reorder the surviving records, so a consumer that
+// filters them sees exactly the inner source's (plus burst) flows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "flowrank/trace/trace_source.hpp"
+
+namespace flowrank::trace {
+
+/// Injection knobs. Everything is off by default; `seed` makes the
+/// per-record corruption draws and burst placement reproducible.
+struct FaultSpec {
+  double corrupt_fraction = 0.0;   ///< P(record gets non-finite/negative fields)
+  double truncate_fraction = 0.0;  ///< P(record zeroed as if partially written)
+  std::size_t stall_every_batches = 0;  ///< stall before every k-th batch (0 = never)
+  std::uint32_t stall_ms = 0;           ///< stall length
+  std::size_t burst_flows = 0;      ///< flash-crowd flows injected per burst
+  double burst_every_s = 0.0;       ///< burst cadence in trace time (0 = never)
+  double burst_duration_s = 0.25;   ///< width of each burst
+  std::uint64_t seed = 99;
+
+  /// True when any knob would actually inject something.
+  [[nodiscard]] bool any() const noexcept;
+};
+
+/// How a single flow record is broken, if at all. Classification is what
+/// consumers (MonitorLoop) use to drop-and-count instead of crashing.
+enum class RecordFault {
+  kNone,
+  kTruncated,  ///< zero packets — a partially written record
+  kCorrupt,    ///< non-finite or negative timing/size fields
+};
+
+/// Classifies a flow record. Any record a generator or FRT1 loader can
+/// legally produce classifies kNone.
+[[nodiscard]] RecordFault classify_record_fault(const packet::FlowRecord& flow) noexcept;
+
+/// Wraps an inner source and injects the faults described by `spec`.
+class FaultInjectingTraceSource final : public TraceSource {
+ public:
+  /// Throws std::invalid_argument on a null inner source or fractions
+  /// outside [0, 1].
+  FaultInjectingTraceSource(std::shared_ptr<const TraceSource> inner, FaultSpec spec);
+
+  [[nodiscard]] std::string name() const override;
+  /// Inner flows plus burst flows (re-sorted by start time), with record
+  /// faults applied in place. Deterministic in (inner source, spec.seed).
+  [[nodiscard]] FlowTrace flows() const override;
+
+  /// Milliseconds the source stalls before producing batch `batch_index`
+  /// (0-based; 0 ms = no stall). The monitor sleeps for this long before
+  /// its pull so the watchdog sees a genuinely late source.
+  [[nodiscard]] std::uint32_t stall_ms_before_batch(std::uint64_t batch_index) const noexcept;
+
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// What flows() injected — recomputed deterministically, for tests.
+  struct InjectionCounts {
+    std::uint64_t corrupted = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t burst_flows = 0;
+  };
+  [[nodiscard]] InjectionCounts injection_counts() const;
+
+ private:
+  [[nodiscard]] FlowTrace build(InjectionCounts& counts) const;
+
+  std::shared_ptr<const TraceSource> inner_;
+  FaultSpec spec_;
+};
+
+}  // namespace flowrank::trace

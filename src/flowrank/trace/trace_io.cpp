@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "flowrank/util/error.hpp"
+
 namespace flowrank::trace {
 
 namespace {
@@ -63,18 +65,25 @@ void write_flow_records(std::ostream& os,
     const PackedFlow p = pack(f);
     os.write(reinterpret_cast<const char*>(&p), sizeof(p));
   }
-  if (!os) throw std::runtime_error("write_flow_records: stream failure");
+  if (!os) {
+    throw Error(ErrorCategory::kIo, "trace_io",
+                "write_flow_records: stream failure");
+  }
 }
 
 std::vector<packet::FlowRecord> read_flow_records(std::istream& is) {
   char magic[4];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("read_flow_records: bad magic");
+    throw Error(ErrorCategory::kCorruptInput, "trace_io",
+                "read_flow_records: bad magic");
   }
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!is) throw std::runtime_error("read_flow_records: truncated header");
+  if (!is) {
+    throw Error(ErrorCategory::kCorruptInput, "trace_io",
+                "read_flow_records: truncated header");
+  }
   std::vector<packet::FlowRecord> flows;
   // Cap the up-front reservation: a corrupt header claiming 2^60 records
   // must fail with the truncation error below, not an allocation failure.
@@ -82,7 +91,10 @@ std::vector<packet::FlowRecord> read_flow_records(std::istream& is) {
   for (std::uint64_t i = 0; i < count; ++i) {
     PackedFlow p;
     is.read(reinterpret_cast<char*>(&p), sizeof(p));
-    if (!is) throw std::runtime_error("read_flow_records: truncated records");
+    if (!is) {
+      throw Error(ErrorCategory::kCorruptInput, "trace_io",
+                  "read_flow_records: truncated records");
+    }
     flows.push_back(unpack(p));
   }
   return flows;
@@ -91,13 +103,19 @@ std::vector<packet::FlowRecord> read_flow_records(std::istream& is) {
 void save_flow_records(const std::string& path,
                        const std::vector<packet::FlowRecord>& flows) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_flow_records: cannot open " + path);
+  if (!os) {
+    throw Error(ErrorCategory::kIo, "trace_io",
+                "save_flow_records: cannot open " + path);
+  }
   write_flow_records(os, flows);
 }
 
 std::vector<packet::FlowRecord> load_flow_records(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_flow_records: cannot open " + path);
+  if (!is) {
+    throw Error(ErrorCategory::kIo, "trace_io",
+                "load_flow_records: cannot open " + path);
+  }
   return read_flow_records(is);
 }
 
@@ -110,7 +128,10 @@ void export_flow_records_csv(std::ostream& os,
        << packet::format_ipv4(f.tuple.src_ip) << ',' << f.tuple.src_port << ','
        << packet::format_ipv4(f.tuple.dst_ip) << ',' << f.tuple.dst_port << '\n';
   }
-  if (!os) throw std::runtime_error("export_flow_records_csv: stream failure");
+  if (!os) {
+    throw Error(ErrorCategory::kIo, "trace_io",
+                "export_flow_records_csv: stream failure");
+  }
 }
 
 }  // namespace flowrank::trace

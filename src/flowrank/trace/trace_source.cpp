@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "flowrank/trace/trace_io.hpp"
+#include "flowrank/util/error.hpp"
 
 namespace flowrank::trace {
 
@@ -55,8 +56,9 @@ FlowTrace FileTraceSource::flows() const {
                                 ? options_.duration_s
                                 : derived_duration_s(trace.flows);
   if (!(trace.config.duration_s > 0.0)) {
-    throw std::runtime_error("FileTraceSource: " + path_ +
-                             " has no flows and no explicit duration");
+    throw Error(ErrorCategory::kCorruptInput, "trace",
+                "FileTraceSource: " + path_ +
+                    " has no flows and no explicit duration");
   }
   trace.config.flow_rate_per_s =
       static_cast<double>(trace.flows.size()) / trace.config.duration_s;

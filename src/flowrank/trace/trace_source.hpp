@@ -36,8 +36,9 @@ class TraceSource {
   /// "file(scenarios/tiny_sprint.frt1)".
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Materializes the trace. Throws std::runtime_error when the backing
-  /// data cannot be produced (e.g. an unreadable or malformed file).
+  /// Materializes the trace. Throws flowrank::Error (kIo for an
+  /// unreadable file, kCorruptInput for malformed data) when the backing
+  /// data cannot be produced.
   [[nodiscard]] virtual FlowTrace flows() const = 0;
 };
 
@@ -73,8 +74,9 @@ class FileTraceSource final : public TraceSource {
   FileTraceSource(std::string path, Options options);
 
   [[nodiscard]] std::string name() const override;
-  /// Loads and validates the file. Throws std::runtime_error on a
-  /// missing or malformed file (trace_io's errors pass through).
+  /// Loads and validates the file. Throws flowrank::Error on a missing
+  /// (kIo) or malformed (kCorruptInput) file (trace_io's errors pass
+  /// through).
   [[nodiscard]] FlowTrace flows() const override;
 
  private:

@@ -47,6 +47,7 @@ class CaptureSink final : public fr::ResultSink {
     rows.push_back(std::move(cells));
   }
   void flush() override {}
+  [[nodiscard]] bool stream_ok() const noexcept override { return true; }
 };
 
 std::size_t column_index(const CaptureSink& sink, const std::string& name) {

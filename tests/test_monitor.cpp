@@ -1,0 +1,440 @@
+// Tests for the continuous monitor loop and its fault-injection harness.
+//
+// The load-bearing contract: with faults disabled, alpha = 1 and the
+// kBlock overload policy, MonitorLoop's per-window results are
+// bit-identical to the batch packet path (stream -> BernoulliSampler ->
+// per-bin counts) at ANY shard count. The reference below replays that
+// batch path literally and the tests assert exact double equality.
+//
+// Suite names matter: `Monitor*` and `FaultInjection*` are part of the
+// CI sanitizer gtest filters (.github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "flowrank/monitor/monitor_loop.hpp"
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/bin_counts.hpp"
+#include "flowrank/trace/fault_injection.hpp"
+#include "flowrank/trace/flow_trace_generator.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/trace/trace_source.hpp"
+#include "flowrank/util/error.hpp"
+
+namespace fm = flowrank::monitor;
+namespace fp = flowrank::packet;
+namespace fs = flowrank::sampler;
+namespace ft = flowrank::trace;
+
+namespace {
+
+ft::FlowTraceConfig small_trace(double duration_s, double flow_rate,
+                                std::uint64_t seed) {
+  auto cfg = ft::FlowTraceConfig::sprint_5tuple(1.5, seed);
+  cfg.duration_s = duration_s;
+  cfg.flow_rate_per_s = flow_rate;
+  return cfg;
+}
+
+std::shared_ptr<const ft::TraceSource> fixed_source(
+    const ft::FlowTrace& trace, const std::string& label) {
+  return std::make_shared<ft::FixedTraceSource>(trace, label);
+}
+
+/// The batch packet path, replayed literally: same stream, same sampler,
+/// same batch size as MonitorLoop. Per-window sampled packet counts per
+/// flow key.
+using WindowCounts = std::map<std::size_t, std::map<fp::FlowKey, std::uint64_t>>;
+
+WindowCounts batch_path_window_counts(const ft::FlowTrace& trace, double rate,
+                                      std::uint64_t seed, double window_s) {
+  const std::int64_t window_ns = ft::bin_length_ns(window_s);
+  ft::PacketStream stream(trace);
+  fs::BernoulliSampler sampler(rate, seed);
+  std::vector<fp::PacketRecord> batch;
+  std::vector<fp::PacketRecord> selected;
+  WindowCounts counts;
+  while (stream.next_batch(batch, 4096) > 0) {
+    sampler.select_into(batch, selected);
+    for (const fp::PacketRecord& pkt : selected) {
+      const auto w = static_cast<std::size_t>(pkt.timestamp_ns / window_ns);
+      ++counts[w][fp::make_flow_key(pkt.tuple, fp::FlowDefinition::kFiveTuple)];
+    }
+  }
+  return counts;
+}
+
+/// Canonical top-t of one window's counts, inverted by the sampling rate
+/// exactly the way the monitor does it (double division, no rounding).
+std::vector<fm::TopFlow> expected_top(
+    const std::map<fp::FlowKey, std::uint64_t>& window, double rate,
+    std::size_t t) {
+  std::vector<fm::TopFlow> all;
+  all.reserve(window.size());
+  for (const auto& [key, count] : window) {
+    all.push_back({key, static_cast<double>(count) / rate});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const fm::TopFlow& a, const fm::TopFlow& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.key < b.key;
+            });
+  if (all.size() > t) all.resize(t);
+  return all;
+}
+
+void expect_same_snapshots(const std::vector<fm::MonitorSnapshot>& a,
+                           const std::vector<fm::MonitorSnapshot>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("snapshot " + std::to_string(i));
+    EXPECT_EQ(a[i].window, b[i].window);
+    EXPECT_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_EQ(a[i].tracked_flows, b[i].tracked_flows);
+    EXPECT_EQ(a[i].window_flows, b[i].window_flows);
+    EXPECT_EQ(a[i].window_packets, b[i].window_packets);
+    EXPECT_EQ(a[i].churn_entered, b[i].churn_entered);
+    EXPECT_EQ(a[i].churn_exited, b[i].churn_exited);
+    EXPECT_EQ(a[i].rank_moves, b[i].rank_moves);
+    EXPECT_EQ(a[i].effective_rate, b[i].effective_rate);
+    ASSERT_EQ(a[i].top.size(), b[i].top.size());
+    for (std::size_t r = 0; r < a[i].top.size(); ++r) {
+      EXPECT_EQ(a[i].top[r].key, b[i].top[r].key) << "rank " << r;
+      EXPECT_EQ(a[i].top[r].estimate, b[i].top[r].estimate) << "rank " << r;
+    }
+  }
+}
+
+std::vector<fm::MonitorSnapshot> run_collecting(
+    std::shared_ptr<const ft::TraceSource> source, fm::MonitorConfig config,
+    fm::MonitorReport* report_out = nullptr) {
+  fm::MonitorLoop loop(std::move(source), config);
+  std::vector<fm::MonitorSnapshot> snaps;
+  const fm::MonitorReport report =
+      loop.run([&](const fm::MonitorSnapshot& snap) { snaps.push_back(snap); });
+  if (report_out != nullptr) *report_out = report;
+  return snaps;
+}
+
+}  // namespace
+
+TEST(MonitorLoop, RejectsBadConfigs) {
+  const auto trace = ft::generate_flow_trace(small_trace(2.0, 20.0, 1));
+  const auto source = fixed_source(trace, "tiny");
+  EXPECT_THROW(fm::MonitorLoop(nullptr, {}), std::invalid_argument);
+  fm::MonitorConfig bad;
+  bad.window_s = 0.0;
+  EXPECT_THROW(fm::MonitorLoop(source, bad), std::invalid_argument);
+  bad = {};
+  bad.sampling_rate = 0.0;
+  EXPECT_THROW(fm::MonitorLoop(source, bad), std::invalid_argument);
+  bad = {};
+  bad.ewma_alpha = 1.5;
+  EXPECT_THROW(fm::MonitorLoop(source, bad), std::invalid_argument);
+  bad = {};
+  bad.top_t = 0;
+  EXPECT_THROW(fm::MonitorLoop(source, bad), std::invalid_argument);
+
+  fm::MonitorConfig ok;
+  ok.window_s = 1.0;
+  ok.sampling_rate = 1.0;
+  fm::MonitorLoop loop(source, ok);
+  (void)loop.run();
+  EXPECT_THROW((void)loop.run(), std::logic_error);
+}
+
+// The acceptance contract: no faults, alpha = 1, kBlock, window = bin —
+// every snapshot reproduces the batch packet path's per-window sampled
+// counts exactly, and shard count does not change a single bit.
+TEST(MonitorLoop, BitIdenticalToBatchPacketPathAtAnyShardCount) {
+  const double kRate = 0.3;
+  const double kWindowS = 5.0;
+  const std::uint64_t kSeed = 9;
+  const std::size_t kTopT = 5;
+
+  const auto trace = ft::generate_flow_trace(small_trace(20.0, 80.0, 17));
+  const WindowCounts reference =
+      batch_path_window_counts(trace, kRate, kSeed, kWindowS);
+  ASSERT_FALSE(reference.empty());
+
+  fm::MonitorConfig config;
+  config.window_s = kWindowS;
+  config.sampling_rate = kRate;
+  config.seed = kSeed;
+  config.top_t = kTopT;
+  config.num_shards = 1;
+  // Large queues: kBlock never hits a full queue, so the snapshot rows
+  // (which include queue_full_events) stay deterministic.
+  config.max_queue_chunks = 1024;
+
+  fm::MonitorReport report1;
+  const auto snaps1 =
+      run_collecting(fixed_source(trace, "ref"), config, &report1);
+  config.num_shards = 4;
+  fm::MonitorReport report4;
+  const auto snaps4 =
+      run_collecting(fixed_source(trace, "ref"), config, &report4);
+
+  expect_same_snapshots(snaps1, snaps4);
+  EXPECT_EQ(report1.counters.packets_sampled, report4.counters.packets_sampled);
+  EXPECT_EQ(report1.counters.windows, report4.counters.windows);
+
+  // Each snapshot matches the independently replayed batch path.
+  std::uint64_t total_sampled = 0;
+  for (const auto& [w, window] : reference) {
+    std::uint64_t window_total = 0;
+    for (const auto& [key, count] : window) window_total += count;
+    total_sampled += window_total;
+
+    const auto it = std::find_if(
+        snaps1.begin(), snaps1.end(),
+        [&](const fm::MonitorSnapshot& s) { return s.window == w; });
+    ASSERT_NE(it, snaps1.end()) << "no snapshot for window " << w;
+    EXPECT_EQ(it->window_flows, window.size());
+    EXPECT_EQ(it->window_packets, window_total);
+    // alpha = 1: the tracker holds exactly the last window's flows.
+    EXPECT_EQ(it->tracked_flows, window.size());
+    EXPECT_EQ(it->effective_rate, kRate);
+
+    const auto want = expected_top(window, kRate, kTopT);
+    ASSERT_EQ(it->top.size(), want.size());
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      EXPECT_EQ(it->top[r].key, want[r].key) << "window " << w << " rank " << r;
+      EXPECT_EQ(it->top[r].estimate, want[r].estimate)
+          << "window " << w << " rank " << r;
+    }
+  }
+  EXPECT_EQ(report1.counters.packets_sampled, total_sampled);
+  EXPECT_EQ(report1.counters.shed_packets, 0u);
+  EXPECT_EQ(report1.counters.corrupt_records, 0u);
+  EXPECT_EQ(report1.counters.stall_events, 0u);
+}
+
+// Soak: ~10^6 packets through >= 20 epoch rotations with EWMA smoothing.
+// Tracker occupancy stays bounded (eviction works) and the snapshot
+// series is identical at shard counts 1 and 4.
+TEST(MonitorSoak, LongRunBoundedOccupancyAndShardIdentity) {
+  const auto trace = ft::generate_flow_trace(small_trace(420.0, 260.0, 5));
+  ASSERT_GE(trace.total_packets(), 1'000'000u);
+
+  fm::MonitorConfig config;
+  config.window_s = 20.0;
+  config.sampling_rate = 0.05;
+  config.seed = 11;
+  config.top_t = 10;
+  config.ewma_alpha = 0.3;
+  config.num_shards = 1;
+  config.max_queue_chunks = 1024;  // see bit-identity test
+
+  fm::MonitorReport report1;
+  const auto snaps1 =
+      run_collecting(fixed_source(trace, "soak"), config, &report1);
+  config.num_shards = 4;
+  fm::MonitorReport report4;
+  const auto snaps4 =
+      run_collecting(fixed_source(trace, "soak"), config, &report4);
+
+  EXPECT_GE(report1.counters.windows, 20u);
+  expect_same_snapshots(snaps1, snaps4);
+  EXPECT_EQ(report1.peak_tracked_flows, report4.peak_tracked_flows);
+
+  // Bounded occupancy: eviction (estimate < 0.5 or 3 idle windows) keeps
+  // the tracker within a small multiple of one window's flow population
+  // even though the trace churns through vastly more distinct flows.
+  EXPECT_GT(report1.peak_tracked_flows, 0u);
+  EXPECT_LE(report1.peak_tracked_flows, 4 * report1.peak_window_flows);
+}
+
+// A fault-injected run completes: corrupt/truncated records are dropped
+// and counted, bursts trip the shed policy, the effective rate degrades
+// below the base rate and everything lands in the snapshot counters.
+TEST(MonitorFaults, FaultInjectedRunCompletesWithNonzeroCounters) {
+  const auto trace = ft::generate_flow_trace(small_trace(30.0, 100.0, 23));
+
+  ft::FaultSpec faults;
+  faults.corrupt_fraction = 0.05;
+  faults.truncate_fraction = 0.05;
+  faults.burst_flows = 300;
+  faults.burst_every_s = 5.0;
+  faults.burst_duration_s = 0.5;
+  faults.seed = 99;
+  const auto source = std::make_shared<ft::FaultInjectingTraceSource>(
+      fixed_source(trace, "inner"), faults);
+
+  fm::MonitorConfig config;
+  config.window_s = 5.0;
+  config.sampling_rate = 0.2;
+  config.seed = 3;
+  config.top_t = 10;
+  config.overload = flowrank::ingest::OverloadPolicy::kShed;
+  config.window_packet_budget = 300;
+  config.max_queue_chunks = 1024;
+
+  fm::MonitorReport report;
+  const auto snaps = run_collecting(source, config, &report);
+
+  EXPECT_GE(snaps.size(), 3u);
+  EXPECT_GT(report.counters.corrupt_records, 0u);
+  EXPECT_GT(report.counters.truncated_records, 0u);
+  EXPECT_GT(report.counters.degradations, 0u);
+  EXPECT_GT(report.counters.shed_packets, 0u);
+  EXPECT_EQ(report.counters.packets_ingested,
+            report.counters.packets_sampled - report.counters.shed_packets);
+
+  double min_rate = std::numeric_limits<double>::infinity();
+  for (const auto& snap : snaps) min_rate = std::min(min_rate, snap.effective_rate);
+  EXPECT_LT(min_rate, config.sampling_rate);
+
+  // The injected record faults match the wrapper's own deterministic count.
+  const auto injected = source->injection_counts();
+  EXPECT_EQ(report.counters.corrupt_records, injected.corrupted);
+  EXPECT_EQ(report.counters.truncated_records, injected.truncated);
+}
+
+TEST(MonitorWatchdog, FailOnStallThrowsCategorizedError) {
+  const auto trace = ft::generate_flow_trace(small_trace(10.0, 100.0, 7));
+  ft::FaultSpec faults;
+  faults.stall_every_batches = 2;
+  faults.stall_ms = 60;
+  const auto source = std::make_shared<ft::FaultInjectingTraceSource>(
+      fixed_source(trace, "inner"), faults);
+
+  fm::MonitorConfig config;
+  config.window_s = 2.0;
+  config.sampling_rate = 0.5;
+  config.stall_deadline_ms = 10;
+  config.fail_on_stall = true;
+
+  fm::MonitorLoop loop(source, config);
+  try {
+    (void)loop.run();
+    FAIL() << "expected flowrank::Error(kStalled)";
+  } catch (const flowrank::Error& e) {
+    EXPECT_EQ(e.category(), flowrank::ErrorCategory::kStalled);
+    EXPECT_EQ(e.context(), "monitor");
+  }
+}
+
+TEST(MonitorWatchdog, RotateOnStallSurvivesAndCounts) {
+  const auto trace = ft::generate_flow_trace(small_trace(10.0, 100.0, 7));
+  ft::FaultSpec faults;
+  faults.stall_every_batches = 2;
+  faults.stall_ms = 60;
+  const auto source = std::make_shared<ft::FaultInjectingTraceSource>(
+      fixed_source(trace, "inner"), faults);
+
+  fm::MonitorConfig config;
+  config.window_s = 2.0;
+  config.sampling_rate = 0.5;
+  config.stall_deadline_ms = 10;
+  config.fail_on_stall = false;
+
+  fm::MonitorReport report;
+  const auto snaps = run_collecting(source, config, &report);
+  EXPECT_GE(report.counters.stall_events, 1u);
+  EXPECT_GE(report.counters.watchdog_rotations, 1u);
+  EXPECT_FALSE(snaps.empty());
+}
+
+TEST(MonitorSnapshots, ColumnsAndRowsAgreeAndAreNumeric) {
+  const auto columns = fm::snapshot_columns();
+  fm::MonitorSnapshot snap;
+  snap.top = {{fp::FlowKey{1, 2}, 42.0}};
+  const auto row = fm::snapshot_row(snap);
+  EXPECT_EQ(row.size(), columns.size());
+}
+
+TEST(FaultInjection, ClassifiesRecordFaults) {
+  fp::FlowRecord clean;
+  clean.start_s = 1.0;
+  clean.duration_s = 2.0;
+  clean.packets = 5;
+  clean.bytes = 2500;
+  EXPECT_EQ(ft::classify_record_fault(clean), ft::RecordFault::kNone);
+
+  fp::FlowRecord corrupt = clean;
+  corrupt.start_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ft::classify_record_fault(corrupt), ft::RecordFault::kCorrupt);
+  corrupt = clean;
+  corrupt.duration_s = -1.0;
+  EXPECT_EQ(ft::classify_record_fault(corrupt), ft::RecordFault::kCorrupt);
+
+  fp::FlowRecord truncated = clean;
+  truncated.packets = 0;
+  truncated.bytes = 0;
+  EXPECT_EQ(ft::classify_record_fault(truncated), ft::RecordFault::kTruncated);
+}
+
+TEST(FaultInjection, InjectionIsDeterministicAndCounted) {
+  const auto trace = ft::generate_flow_trace(small_trace(20.0, 60.0, 13));
+  ft::FaultSpec faults;
+  faults.corrupt_fraction = 0.1;
+  faults.truncate_fraction = 0.1;
+  faults.burst_flows = 50;
+  faults.burst_every_s = 4.0;
+  faults.seed = 41;
+
+  const ft::FaultInjectingTraceSource a(fixed_source(trace, "x"), faults);
+  const ft::FaultInjectingTraceSource b(fixed_source(trace, "x"), faults);
+  const auto fa = a.flows();
+  const auto fb = b.flows();
+  ASSERT_EQ(fa.flows.size(), fb.flows.size());
+  EXPECT_EQ(fa.flows.size(), trace.flows.size() + a.injection_counts().burst_flows);
+
+  const auto counts = a.injection_counts();
+  EXPECT_GT(counts.corrupted, 0u);
+  EXPECT_GT(counts.truncated, 0u);
+  EXPECT_GT(counts.burst_flows, 0u);
+
+  std::uint64_t corrupted = 0;
+  std::uint64_t truncated = 0;
+  for (std::size_t i = 0; i < fa.flows.size(); ++i) {
+    const auto fault = ft::classify_record_fault(fa.flows[i]);
+    EXPECT_EQ(fault, ft::classify_record_fault(fb.flows[i])) << "record " << i;
+    if (fault == ft::RecordFault::kCorrupt) ++corrupted;
+    if (fault == ft::RecordFault::kTruncated) ++truncated;
+  }
+  EXPECT_EQ(corrupted, counts.corrupted);
+  EXPECT_EQ(truncated, counts.truncated);
+
+  EXPECT_EQ(a.name(), "faulty(x)");
+}
+
+TEST(FaultInjection, RejectsBadSpecs) {
+  const auto trace = ft::generate_flow_trace(small_trace(2.0, 20.0, 1));
+  ft::FaultSpec ok;
+  EXPECT_THROW(ft::FaultInjectingTraceSource(nullptr, ok), std::invalid_argument);
+  ft::FaultSpec bad;
+  bad.corrupt_fraction = 1.5;
+  EXPECT_THROW(ft::FaultInjectingTraceSource(fixed_source(trace, "x"), bad),
+               std::invalid_argument);
+  bad = {};
+  bad.truncate_fraction = -0.1;
+  EXPECT_THROW(ft::FaultInjectingTraceSource(fixed_source(trace, "x"), bad),
+               std::invalid_argument);
+}
+
+TEST(FaultInjection, StallScheduleIsDeterministic) {
+  const auto trace = ft::generate_flow_trace(small_trace(2.0, 20.0, 1));
+  ft::FaultSpec faults;
+  faults.stall_every_batches = 3;
+  faults.stall_ms = 25;
+  const ft::FaultInjectingTraceSource source(fixed_source(trace, "x"), faults);
+  EXPECT_EQ(source.stall_ms_before_batch(0), 0u);  // never stall the first pull
+  EXPECT_EQ(source.stall_ms_before_batch(1), 0u);
+  EXPECT_EQ(source.stall_ms_before_batch(3), 25u);
+  EXPECT_EQ(source.stall_ms_before_batch(6), 25u);
+
+  ft::FaultSpec none;
+  const ft::FaultInjectingTraceSource quiet(fixed_source(trace, "x"), none);
+  EXPECT_EQ(quiet.stall_ms_before_batch(3), 0u);
+  EXPECT_FALSE(none.any());
+  EXPECT_TRUE(faults.any());
+}

@@ -11,6 +11,7 @@
 #include "flowrank/exec/task_pool.hpp"
 #include "flowrank/report/result_sink.hpp"
 #include "flowrank/sim/experiment.hpp"
+#include "flowrank/util/error.hpp"
 
 namespace fr = flowrank::report;
 namespace fsim = flowrank::sim;
@@ -158,6 +159,32 @@ TEST(ResultSink, TrailingDroppedRowsFailExpectedCount) {
   sink.emit(0, {1});
   sink.emit(1, {2});  // rows 2..3 of a 4-row grid never arrive
   EXPECT_THROW(sink.close(4), std::runtime_error);
+}
+
+// Regression: a failing stream (full disk, closed pipe) used to be
+// swallowed silently — rows vanished and close() reported success. Every
+// write is now checked and surfaces as flowrank::Error(kIo).
+TEST(ResultSink, StreamWriteFailureSurfacesAsIoError) {
+  std::ostringstream os;
+  fr::CsvResultSink sink(os);
+  sink.open({"a"}, test_metadata());
+  sink.emit(0, {1});
+  os.setstate(std::ios::badbit);  // the "disk" dies mid-run
+  try {
+    sink.emit(1, {2});
+    FAIL() << "expected flowrank::Error(kIo)";
+  } catch (const flowrank::Error& e) {
+    EXPECT_EQ(e.category(), flowrank::ErrorCategory::kIo);
+    EXPECT_EQ(e.context(), "report");
+  }
+
+  // A failure that only shows up at the final flush still fails close().
+  std::ostringstream os2;
+  fr::CsvResultSink sink2(os2);
+  sink2.open({"a"}, test_metadata());
+  sink2.emit(0, {1});
+  os2.setstate(std::ios::badbit);
+  EXPECT_THROW(sink2.close(1), flowrank::Error);
 }
 
 TEST(ResultSink, OpenTwiceThrows) {

@@ -19,6 +19,7 @@
 #include "flowrank/trace/trace_io.hpp"
 #include "flowrank/trace/trace_source.hpp"
 #include "flowrank/util/cli.hpp"
+#include "flowrank/util/error.hpp"
 #include "flowrank/util/rng.hpp"
 
 namespace fd = flowrank::dist;
@@ -278,6 +279,102 @@ TEST(ScenarioSpec, UnknownKeysAndValuesFailLoudly) {
   const char* argv[] = {"test", "--ties", "strict"};
   const flowrank::util::Cli cli(3, argv);
   EXPECT_THROW(fsim::apply_scenario_overrides(spec, cli), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ParseErrorsReportFileLineAndKey) {
+  // A bad value on line 3 must name the file, the line and the key.
+  const std::string path = write_temp(
+      "scenario_bad_line.scn", "name = x\nbin = 10\nrates = nope\n");
+  try {
+    (void)fsim::parse_scenario_file(path);
+    FAIL() << "expected flowrank::Error(kSpec)";
+  } catch (const flowrank::Error& e) {
+    EXPECT_EQ(e.category(), flowrank::ErrorCategory::kSpec);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("key 'rates'"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+
+  // A line with no '=' is a grammar error at that line.
+  const std::string path2 =
+      write_temp("scenario_no_eq.scn", "name = x\njust words\n");
+  try {
+    (void)fsim::parse_scenario_file(path2);
+    FAIL() << "expected flowrank::Error(kSpec)";
+  } catch (const flowrank::Error& e) {
+    EXPECT_EQ(e.category(), flowrank::ErrorCategory::kSpec);
+    EXPECT_NE(std::string(e.what()).find(path2 + ":2"), std::string::npos);
+  }
+  std::remove(path2.c_str());
+
+  // A missing file is an io error, not a spec error.
+  try {
+    (void)fsim::parse_scenario_file("/nonexistent/definitely_missing.scn");
+    FAIL() << "expected flowrank::Error(kIo)";
+  } catch (const flowrank::Error& e) {
+    EXPECT_EQ(e.category(), flowrank::ErrorCategory::kIo);
+  }
+}
+
+TEST(ScenarioSpec, MonitorKeysParseIntoMonitorOptions) {
+  const std::string path = write_temp("scenario_monitor.scn",
+                                      "mode = monitor\n"
+                                      "window = 30\n"
+                                      "snapshot-every = 2\n"
+                                      "overload = shed\n"
+                                      "budget = 4000\n"
+                                      "ewma = 0.25\n"
+                                      "watchdog-ms = 25\n"
+                                      "on-stall = fail\n"
+                                      "fault.corrupt = 0.01\n"
+                                      "fault.truncate = 0.02\n"
+                                      "fault.stall-every = 48\n"
+                                      "fault.stall-ms = 40\n"
+                                      "fault.burst-flows = 1500\n"
+                                      "fault.burst-every = 45\n"
+                                      "fault.burst-duration = 0.5\n"
+                                      "fault.seed = 7\n");
+  const fsim::ScenarioSpec spec = fsim::parse_scenario_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(spec.monitor.enabled);
+  EXPECT_DOUBLE_EQ(spec.monitor.window_s, 30.0);
+  EXPECT_EQ(spec.monitor.snapshot_every, 2u);
+  EXPECT_TRUE(spec.monitor.shed);
+  EXPECT_EQ(spec.monitor.window_packet_budget, 4000u);
+  EXPECT_DOUBLE_EQ(spec.monitor.ewma_alpha, 0.25);
+  EXPECT_EQ(spec.monitor.watchdog_ms, 25u);
+  EXPECT_TRUE(spec.monitor.fail_on_stall);
+  EXPECT_DOUBLE_EQ(spec.monitor.fault.corrupt_fraction, 0.01);
+  EXPECT_DOUBLE_EQ(spec.monitor.fault.truncate_fraction, 0.02);
+  EXPECT_EQ(spec.monitor.fault.stall_every_batches, 48u);
+  EXPECT_EQ(spec.monitor.fault.stall_ms, 40u);
+  EXPECT_EQ(spec.monitor.fault.burst_flows, 1500u);
+  EXPECT_DOUBLE_EQ(spec.monitor.fault.burst_every_s, 45.0);
+  EXPECT_DOUBLE_EQ(spec.monitor.fault.burst_duration_s, 0.5);
+  EXPECT_EQ(spec.monitor.fault.seed, 7u);
+  EXPECT_TRUE(spec.monitor.fault.any());
+
+  // Monitor keys reject bad values like every other scenario key.
+  fsim::ScenarioSpec s;
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "mode", "streaming"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "overload", "panic"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "ewma", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "on-stall", "retry"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "fault.unknown", "1"),
+               std::invalid_argument);
+
+  // Monitor runs go through the experiment engine / MonitorLoop, not the
+  // batch run_scenario driver.
+  fsim::ScenarioSpec mon;
+  fsim::apply_scenario_entry(mon, "mode", "monitor");
+  mon.sampling_rates = {0.1};
+  EXPECT_THROW((void)fsim::run_scenario(mon), std::invalid_argument);
 }
 
 TEST(ScenarioSpec, ThreadCapValidatedAtParseTime) {

@@ -2,6 +2,7 @@
 // semantics, and the load-bearing guarantee that hash-sharded
 // classification is bit-identical to the single-threaded path at any
 // shard count (per-bin flow counters and downstream rank metrics alike).
+#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <span>
@@ -17,6 +18,7 @@
 #include "flowrank/sim/binned_sim.hpp"
 #include "flowrank/trace/bin_counts.hpp"
 #include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/error.hpp"
 
 namespace fp = flowrank::packet;
 namespace ftab = flowrank::flowtable;
@@ -303,6 +305,148 @@ TEST(ShardedPipeline, TimeoutSplittingSurvivesSharding) {
   const auto inline_bins = classify_inline(trace, opts, bin_ns);
   const auto sharded_bins = classify_sharded(trace, opts, bin_ns, 4);
   EXPECT_EQ(sharded_bins, inline_bins);
+}
+
+namespace {
+
+/// A flush callback that takes the worker hostage: it records each
+/// flushed bin's packet total, then blocks until released. With a
+/// one-chunk queue this wedges the shard deterministically, which is how
+/// the overload-policy tests force the full-queue path.
+struct HostageFlush {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool released = false;
+  std::map<std::size_t, std::uint64_t> flushed;  // bin -> packets
+
+  auto callback() {
+    return [this](std::size_t, std::size_t, std::size_t bin,
+                  const ftab::FlowTable& table) {
+      std::unique_lock lock(mutex);
+      std::uint64_t packets = 0;
+      table.for_each_all(
+          [&](const ftab::FlowCounter& f) { packets += f.packets; });
+      flushed[bin] += packets;
+      cv.wait(lock, [this] { return released; });
+    };
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(mutex);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+fing::ShardedPipelineConfig tiny_queue_config(HostageFlush& hostage) {
+  fing::ShardedPipelineConfig cfg;
+  cfg.num_shards = 1;
+  cfg.bin_ns = 1000;  // every test packet lands in its own bin
+  cfg.table_options = {fp::FlowDefinition::kFiveTuple, 0};
+  cfg.max_queue_chunks = 1;
+  cfg.chunk_packets = 1;  // every packet is its own chunk
+  cfg.on_shard_bin = hostage.callback();
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ShardedPipeline, ShedPolicyDropsAndCountsOnFullQueue) {
+  HostageFlush hostage;
+  auto cfg = tiny_queue_config(hostage);
+  cfg.overload = fing::OverloadPolicy::kShed;
+  fing::ShardedPipeline pipeline(cfg);
+
+  // The worker wedges on the first bin flush; with a one-chunk queue the
+  // driver must hit the shed path within a handful of adds.
+  std::int64_t ts = 0;
+  bool shed = false;
+  for (int i = 0; i < 10000 && !shed; ++i) {
+    ts += 1000;
+    const fp::PacketRecord pkt = make_packet(1, ts);
+    pipeline.add_batch(0, std::span<const fp::PacketRecord>(&pkt, 1));
+    shed = pipeline.overload_stats().shed_packets > 0;
+  }
+  EXPECT_TRUE(shed) << "shed path never hit";
+
+  hostage.release();
+  pipeline.finish();
+
+  const fing::OverloadStats stats = pipeline.overload_stats();
+  EXPECT_GT(stats.queue_full_events, 0u);
+  EXPECT_GT(stats.shed_chunks, 0u);
+  EXPECT_EQ(stats.shed_packets, stats.shed_chunks);  // one-packet chunks
+}
+
+TEST(ShardedPipeline, BlockDeadlineFailsLoudlyOnWedgedShard) {
+  HostageFlush hostage;
+  auto cfg = tiny_queue_config(hostage);
+  cfg.overload = fing::OverloadPolicy::kBlock;
+  cfg.block_deadline_ms = 20;
+  fing::ShardedPipeline pipeline(cfg);
+
+  std::int64_t ts = 0;
+  bool threw = false;
+  try {
+    for (int i = 0; i < 1000; ++i) {
+      ts += 1000;
+      const fp::PacketRecord pkt = make_packet(1, ts);
+      pipeline.add_batch(0, std::span<const fp::PacketRecord>(&pkt, 1));
+    }
+  } catch (const flowrank::Error& e) {
+    threw = true;
+    EXPECT_EQ(e.category(), flowrank::ErrorCategory::kStalled);
+    EXPECT_EQ(e.context(), "ingest");
+    EXPECT_NE(std::string(e.what()).find("wedged"), std::string::npos);
+  }
+  EXPECT_TRUE(threw) << "block deadline never fired";
+
+  hostage.release();
+  pipeline.finish();
+  EXPECT_GT(pipeline.overload_stats().queue_full_events, 0u);
+}
+
+TEST(ShardedPipeline, RotateEpochFlushesThroughRequestedBin) {
+  std::mutex mutex;
+  std::map<std::size_t, std::uint64_t> flushed;  // bin -> packets
+
+  fing::ShardedPipelineConfig cfg;
+  cfg.num_shards = 1;
+  cfg.bin_ns = 1000;
+  cfg.table_options = {fp::FlowDefinition::kFiveTuple, 0};
+  cfg.on_shard_bin = [&](std::size_t, std::size_t, std::size_t bin,
+                         const ftab::FlowTable& table) {
+    std::lock_guard lock(mutex);
+    std::uint64_t packets = 0;
+    table.for_each_all(
+        [&](const ftab::FlowCounter& f) { packets += f.packets; });
+    flushed[bin] += packets;
+  };
+  fing::ShardedPipeline pipeline(cfg);
+
+  // Two packets in bin 0; rotating to bin 2 flushes everything below it
+  // synchronously (the monitor's window-boundary move).
+  const fp::PacketRecord bin0[] = {make_packet(1, 100), make_packet(2, 200)};
+  pipeline.add_batch(0, bin0);
+  pipeline.rotate_epoch(2);
+  {
+    std::lock_guard lock(mutex);
+    ASSERT_TRUE(flushed.count(0));
+    EXPECT_EQ(flushed[0], 2u);
+  }
+
+  // Ingest continues after the rotation; finish() flushes the new bin.
+  const fp::PacketRecord bin2 = make_packet(3, 2500);
+  pipeline.add_batch(0, std::span<const fp::PacketRecord>(&bin2, 1));
+  pipeline.finish();
+  {
+    std::lock_guard lock(mutex);
+    ASSERT_TRUE(flushed.count(2));
+    EXPECT_EQ(flushed[2], 1u);
+  }
+  EXPECT_THROW(pipeline.rotate_epoch(3), std::logic_error);
 }
 
 TEST(ShardedSim, PacketLevelMetricsBitIdenticalAcrossShardCounts) {
