@@ -35,6 +35,7 @@ std::vector<TrackedFlow> SampleAndHold::flows() const {
   std::vector<TrackedFlow> out;
   out.reserve(table_.size());
   const double correction = (1.0 - hold_probability_) / hold_probability_;
+  // unordered-ok: consumers sort (top-t) or fold per-key into a map
   for (const auto& [key, count] : table_) {
     out.push_back(TrackedFlow{key, static_cast<double>(count) + correction,
                               /*error_bound=*/correction});
@@ -70,6 +71,7 @@ void SpaceSavingTracker::offer(const packet::FlowKey& key) {
 std::vector<TrackedFlow> SpaceSavingTracker::flows() const {
   std::vector<TrackedFlow> out;
   out.reserve(entries_.size());
+  // unordered-ok: consumers sort (top()) or fold per-key into a map
   for (const auto& [key, entry] : entries_) {
     out.push_back(TrackedFlow{key, static_cast<double>(entry.count),
                               static_cast<double>(entry.error)});

@@ -7,6 +7,9 @@
 #include <string>
 #include <utility>
 
+#include "flowrank/util/sync.hpp"
+#include "flowrank/util/thread_annotations.hpp"
+
 namespace flowrank::exec {
 
 namespace {
@@ -26,11 +29,14 @@ void check_parallelism(std::size_t requested, const char* what) {
 struct ForJob {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t count = 0;
-  std::mutex mutex;
-  std::condition_variable done;
-  std::size_t next = 0;       ///< first unclaimed index
-  std::size_t in_flight = 0;  ///< claimed but not yet retired
-  std::exception_ptr error;   ///< first exception thrown by a task
+  util::Mutex mutex;
+  util::CondVar done;
+  /// First unclaimed index.
+  std::size_t next FR_GUARDED_BY(mutex) = 0;
+  /// Claimed but not yet retired.
+  std::size_t in_flight FR_GUARDED_BY(mutex) = 0;
+  /// First exception thrown by a task.
+  std::exception_ptr error FR_GUARDED_BY(mutex);
 };
 
 /// Claims and runs indices until none are left. Runs on helpers and on the
@@ -39,7 +45,7 @@ void drain(ForJob& job) {
   for (;;) {
     std::size_t index;
     {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      util::MutexLock lock(job.mutex);
       if (job.next >= job.count) return;
       index = job.next++;
       ++job.in_flight;
@@ -47,12 +53,12 @@ void drain(ForJob& job) {
     try {
       (*job.fn)(index);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      util::MutexLock lock(job.mutex);
       if (!job.error) job.error = std::current_exception();
       job.next = job.count;  // skip everything still unclaimed
     }
     {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      util::MutexLock lock(job.mutex);
       --job.in_flight;
       if (job.next >= job.count && job.in_flight == 0) job.done.notify_all();
     }
@@ -66,9 +72,13 @@ TaskPool::TaskPool(std::size_t initial_workers) {
   ensure_workers(initial_workers);
 }
 
-TaskPool::~TaskPool() {
+// Joining must happen without mutex_ (exiting workers take it to observe
+// shutting_down_), and workers_ itself is append-only while the pool is
+// live, so the unguarded reads here race with nothing. The analysis skips
+// destructors anyway; the annotation documents the reasoning for readers.
+TaskPool::~TaskPool() FR_NO_THREAD_SAFETY_ANALYSIS {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   wake_workers_.notify_all();
@@ -82,14 +92,14 @@ TaskPool& TaskPool::shared() {
 
 void TaskPool::ensure_workers(std::size_t count) {
   check_parallelism(count, "worker count");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   while (workers_.size() < count) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
 std::size_t TaskPool::worker_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return workers_.size();
 }
 
@@ -111,7 +121,7 @@ void TaskPool::parallel_for(std::size_t count,
 
   std::size_t helpers = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     helpers = std::min({max_parallelism - 1, workers_.size(), count - 1});
   }
   if (helpers == 0) {
@@ -130,8 +140,10 @@ void TaskPool::parallel_for(std::size_t count,
   // The calling thread is one of the job's claimants.
   drain(*job);
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done.wait(lock, [&] { return job->next >= job->count && job->in_flight == 0; });
+  util::MutexLock lock(job->mutex);
+  while (job->next < job->count || job->in_flight != 0) {
+    job->done.wait(job->mutex);
+  }
   if (job->error) {
     std::exception_ptr error = job->error;
     lock.unlock();
@@ -141,7 +153,7 @@ void TaskPool::parallel_for(std::size_t count,
 
 void TaskPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!workers_.empty()) {
       queue_.push_back(std::move(task));
       ++outstanding_;
@@ -154,24 +166,23 @@ void TaskPool::submit(std::function<void()> task) {
 }
 
 void TaskPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return outstanding_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (outstanding_ != 0) idle_.wait(mutex_);
 }
 
 void TaskPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_workers_.wait(lock,
-                         [this] { return shutting_down_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) wake_workers_.wait(mutex_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (--outstanding_ == 0) idle_.notify_all();
     }
   }

@@ -26,13 +26,14 @@
 // (ensure_workers) and only retire at process exit.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "flowrank/util/sync.hpp"
+#include "flowrank/util/thread_annotations.hpp"
 
 namespace flowrank::exec {
 
@@ -96,13 +97,16 @@ class TaskPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_workers_;  ///< task queued (or shutdown)
-  std::condition_variable idle_;          ///< outstanding_ hit zero
-  std::deque<std::function<void()>> queue_;
-  std::size_t outstanding_ = 0;  ///< queued + running tasks
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  mutable util::Mutex mutex_;
+  util::CondVar wake_workers_;  ///< task queued (or shutdown)
+  util::CondVar idle_;          ///< outstanding_ hit zero
+  std::deque<std::function<void()>> queue_ FR_GUARDED_BY(mutex_);
+  /// Queued + running tasks.
+  std::size_t outstanding_ FR_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ FR_GUARDED_BY(mutex_) = false;
+  /// Only grows while the pool is live; the destructor joins without the
+  /// lock (workers need it to observe shutdown).
+  std::vector<std::thread> workers_ FR_GUARDED_BY(mutex_);
 };
 
 }  // namespace flowrank::exec

@@ -7,6 +7,7 @@
 
 #include "flowrank/packet/flow_key.hpp"
 #include "flowrank/util/error.hpp"
+#include "flowrank/util/sync.hpp"
 
 namespace flowrank::ingest {
 
@@ -50,14 +51,23 @@ ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
   }
 }
 
-ShardedPipeline::~ShardedPipeline() { finish(); }
+ShardedPipeline::~ShardedPipeline() {
+  // The destructor is noexcept, so a shard error rethrown by finish()
+  // here would terminate the process. Success paths call finish()
+  // explicitly and get the exception; an abandoning destructor only
+  // needs the drain.
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
 
 void ShardedPipeline::drain_shard(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   while (true) {
     Chunk chunk;
     {
-      std::lock_guard lock(shard.mutex);
+      util::MutexLock lock(shard.mutex);
       if (shard.queue.empty()) {
         // Retire: the next enqueue (or none) schedules a fresh task. The
         // driver may be waiting in finish() for exactly this transition.
@@ -72,19 +82,19 @@ void ShardedPipeline::drain_shard(std::size_t shard_index) {
     try {
       shard.classifiers[chunk.stream].add_batch(chunk.packets);
     } catch (...) {
-      std::lock_guard lock(error_mutex_);
+      util::MutexLock lock(error_mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     chunk.packets.clear();
     {
-      std::lock_guard lock(shard.mutex);
+      util::MutexLock lock(shard.mutex);
       shard.spare_buffers.push_back(std::move(chunk.packets));
     }
   }
 }
 
 std::vector<packet::PacketRecord> ShardedPipeline::take_buffer(Shard& shard) {
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   if (shard.spare_buffers.empty()) return {};
   auto buffer = std::move(shard.spare_buffers.back());
   shard.spare_buffers.pop_back();
@@ -96,11 +106,8 @@ void ShardedPipeline::enqueue(std::size_t shard_index, std::size_t stream,
   Shard& shard = *shards_[shard_index];
   bool schedule = false;
   {
-    std::unique_lock lock(shard.mutex);
-    const auto has_room = [&] {
-      return shard.queue.size() < config_.max_queue_chunks;
-    };
-    if (!has_room()) {
+    util::MutexLock lock(shard.mutex);
+    if (shard.queue.size() >= config_.max_queue_chunks) {
       queue_full_events_.fetch_add(1, std::memory_order_relaxed);
       if (config_.overload == OverloadPolicy::kShed) {
         // A full queue means a drain task is live (tasks retire only on
@@ -113,16 +120,23 @@ void ShardedPipeline::enqueue(std::size_t shard_index, std::size_t stream,
         return;
       }
       if (config_.block_deadline_ms > 0) {
-        if (!shard.can_push.wait_for(
-                lock, std::chrono::milliseconds(config_.block_deadline_ms),
-                has_room)) {
-          throw Error(ErrorCategory::kStalled, "ingest",
-                      "shard " + std::to_string(shard_index) +
-                          " wedged: queue full for " +
-                          std::to_string(config_.block_deadline_ms) + " ms");
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.block_deadline_ms);
+        while (shard.queue.size() >= config_.max_queue_chunks) {
+          if (shard.can_push.wait_until(shard.mutex, deadline) ==
+                  std::cv_status::timeout &&
+              shard.queue.size() >= config_.max_queue_chunks) {
+            throw Error(ErrorCategory::kStalled, "ingest",
+                        "shard " + std::to_string(shard_index) +
+                            " wedged: queue full for " +
+                            std::to_string(config_.block_deadline_ms) + " ms");
+          }
         }
       } else {
-        shard.can_push.wait(lock, has_room);
+        while (shard.queue.size() >= config_.max_queue_chunks) {
+          shard.can_push.wait(shard.mutex);
+        }
       }
     }
     shard.queue.push_back(
@@ -180,16 +194,17 @@ void ShardedPipeline::drain_all() {
   // drain task to retire with an empty queue; after that no task touches
   // the shard until the next enqueue.
   for (auto& shard : shards_) {
-    std::unique_lock lock(shard->mutex);
-    shard->can_push.wait(
-        lock, [&] { return !shard->task_scheduled && shard->queue.empty(); });
+    util::MutexLock lock(shard->mutex);
+    while (shard->task_scheduled || !shard->queue.empty()) {
+      shard->can_push.wait(shard->mutex);
+    }
   }
 }
 
 void ShardedPipeline::rethrow_pending_error() {
   std::exception_ptr error;
   {
-    std::lock_guard lock(error_mutex_);
+    util::MutexLock lock(error_mutex_);
     error = first_error_;
     first_error_ = nullptr;
   }
@@ -247,7 +262,7 @@ void ShardedPipeline::on_bin_flush(std::size_t shard, std::size_t stream,
   // Disjoint shard key sets: retaining the merged view is pure
   // concatenation, no re-probing. The lock is held once per bin per shard
   // per stream — far off the packet path.
-  std::lock_guard lock(merged_mutex_);
+  util::MutexLock lock(merged_mutex_);
   auto& bins = merged_[stream];
   if (bins.size() <= bin) bins.resize(bin + 1);
   auto& flows = bins[bin];
@@ -256,10 +271,15 @@ void ShardedPipeline::on_bin_flush(std::size_t shard, std::size_t stream,
       [&flows](const flowtable::FlowCounter& f) { flows.push_back(f); });
 }
 
+// After finish() the shard tasks have all retired, so these reads are
+// quiescent; they still take merged_mutex_ because "finished and idle" is
+// a protocol fact the static analysis cannot see, and the lock is
+// uncontended here anyway (results are read once per run).
 std::size_t ShardedPipeline::bin_count(std::size_t stream) const {
   if (!finished_) {
     throw std::logic_error("ShardedPipeline: results read before finish");
   }
+  util::MutexLock lock(merged_mutex_);
   if (stream >= merged_.size()) {
     throw std::out_of_range("ShardedPipeline: bad stream index");
   }
@@ -271,6 +291,7 @@ std::span<const flowtable::FlowCounter> ShardedPipeline::bin_flows(
   if (!finished_) {
     throw std::logic_error("ShardedPipeline: results read before finish");
   }
+  util::MutexLock lock(merged_mutex_);
   if (stream >= merged_.size() || bin >= merged_[stream].size()) {
     throw std::out_of_range("ShardedPipeline: bad stream/bin index");
   }

@@ -33,13 +33,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -47,6 +45,8 @@
 #include "flowrank/flowtable/binned_classifier.hpp"
 #include "flowrank/flowtable/flow_table.hpp"
 #include "flowrank/packet/records.hpp"
+#include "flowrank/util/sync.hpp"
+#include "flowrank/util/thread_annotations.hpp"
 
 namespace flowrank::ingest {
 
@@ -121,7 +121,9 @@ class ShardedPipeline {
   /// std::invalid_argument on a bad config.
   explicit ShardedPipeline(ShardedPipelineConfig config);
 
-  /// Drains the shards (finish() is called if it has not been).
+  /// Drains the shards (finish() is called if it has not been). A shard
+  /// error is swallowed here — the destructor is noexcept — so success
+  /// paths must call finish() explicitly to observe it.
   ~ShardedPipeline();
 
   ShardedPipeline(const ShardedPipeline&) = delete;
@@ -174,18 +176,23 @@ class ShardedPipeline {
   };
 
   struct Shard {
-    std::mutex mutex;
-    std::condition_variable can_push;  ///< driver waits: queue full / not idle
-    std::deque<Chunk> queue;
+    util::Mutex mutex;
+    util::CondVar can_push;  ///< driver waits: queue full / not idle
+    std::deque<Chunk> queue FR_GUARDED_BY(mutex);
     /// Recycled packet buffers, handed back to the driver.
-    std::vector<std::vector<packet::PacketRecord>> spare_buffers;
+    std::vector<std::vector<packet::PacketRecord>> spare_buffers
+        FR_GUARDED_BY(mutex);
     /// True while a drain task is queued or running for this shard. At
     /// most one at a time, so the shard's chunks are classified strictly
     /// in FIFO order — the invariant bit-identity rests on.
-    bool task_scheduled = false;
+    bool task_scheduled FR_GUARDED_BY(mutex) = false;
     /// One classifier per stream, owned (and only touched) by the drain
     /// task — which runs exclusively, so this is single-threaded state
     /// handed from pool worker to pool worker under the shard mutex.
+    /// Exclusive hand-off, not mutual exclusion: the drain task reads it
+    /// outside the lock, which FR_GUARDED_BY cannot express — the
+    /// task_scheduled protocol above is what makes it safe (and TSan
+    /// checks it dynamically).
     std::vector<flowtable::BinnedClassifier> classifiers;
   };
 
@@ -211,14 +218,15 @@ class ShardedPipeline {
   /// packets until chunk_packets of them are ready to enqueue.
   std::vector<std::vector<std::vector<packet::PacketRecord>>> pending_;
 
-  std::mutex merged_mutex_;
+  mutable util::Mutex merged_mutex_;
   /// merged_[stream][bin]: concatenated per-shard flow snapshots, built
   /// up as shards flush; grown under the lock. Unused (left empty) when
   /// config_.on_shard_bin streams flushes out instead.
-  std::vector<std::vector<std::vector<flowtable::FlowCounter>>> merged_;
+  std::vector<std::vector<std::vector<flowtable::FlowCounter>>> merged_
+      FR_GUARDED_BY(merged_mutex_);
   /// First exception thrown inside a shard task; rethrown by finish().
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
+  util::Mutex error_mutex_;
+  std::exception_ptr first_error_ FR_GUARDED_BY(error_mutex_);
   bool finished_ = false;
 
   std::atomic<std::uint64_t> queue_full_events_{0};

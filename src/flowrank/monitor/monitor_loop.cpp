@@ -4,12 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "flowrank/sampler/packet_sampler.hpp"
 #include "flowrank/trace/bin_counts.hpp"
@@ -17,6 +17,8 @@
 #include "flowrank/trace/packet_stream.hpp"
 #include "flowrank/util/error.hpp"
 #include "flowrank/util/rng.hpp"
+#include "flowrank/util/sync.hpp"
+#include "flowrank/util/thread_annotations.hpp"
 
 namespace flowrank::monitor {
 
@@ -27,6 +29,47 @@ namespace {
 /// shard count.
 using WindowCounts =
     std::unordered_map<packet::FlowKey, std::uint64_t, packet::FlowKeyHash>;
+
+/// Per-window sampled counts, keyed by window index, folded in by the
+/// shard flush callbacks (concurrently, from pool workers) and drained by
+/// the driver. Holds only windows not yet completed (normally one).
+class WindowAccumulator {
+ public:
+  /// Merges one shard's flushed table into `window`'s counts. Called from
+  /// the flushing worker's thread, concurrently across shards.
+  void fold(std::size_t window, const flowtable::FlowTable& table) {
+    util::MutexLock lock(mutex_);
+    WindowCounts& acc = windows_[window];
+    table.for_each_all([&acc](const flowtable::FlowCounter& flow) {
+      acc[flow.key] += flow.packets;  // re-merges idle-timeout subflows
+    });
+  }
+
+  /// Removes and returns `window`'s counts (empty if nothing flushed).
+  [[nodiscard]] WindowCounts take(std::size_t window) {
+    util::MutexLock lock(mutex_);
+    WindowCounts out;
+    const auto it = windows_.find(window);
+    if (it != windows_.end()) {
+      out = std::move(it->second);
+      windows_.erase(it);
+    }
+    return out;
+  }
+
+  /// Window indices still holding counts, ascending (std::map order).
+  [[nodiscard]] std::vector<std::size_t> pending_windows() const {
+    util::MutexLock lock(mutex_);
+    std::vector<std::size_t> out;
+    out.reserve(windows_.size());
+    for (const auto& [window, counts] : windows_) out.push_back(window);
+    return out;
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  std::map<std::size_t, WindowCounts> windows_ FR_GUARDED_BY(mutex_);
+};
 
 /// Seed stream for the degradation thinner; each halving reseeds so the
 /// thinned subset is deterministic in (seed, degradation number).
@@ -143,10 +186,7 @@ MonitorReport MonitorLoop::run(const SnapshotCallback& on_snapshot) {
 
   const std::int64_t window_ns = trace::bin_length_ns(config_.window_s);
 
-  // Per-window sampled counts, keyed by window index, merged across
-  // shard flushes. Holds only windows not yet folded (normally one).
-  std::mutex acc_mutex;
-  std::map<std::size_t, WindowCounts> window_acc;
+  WindowAccumulator accumulator;
 
   ingest::ShardedPipelineConfig pipeline_config;
   pipeline_config.num_shards = config_.num_shards;
@@ -161,11 +201,7 @@ MonitorReport MonitorLoop::run(const SnapshotCallback& on_snapshot) {
   pipeline_config.on_shard_bin = [&](std::size_t /*shard*/,
                                      std::size_t /*stream*/, std::size_t bin,
                                      const flowtable::FlowTable& table) {
-    std::lock_guard lock(acc_mutex);
-    WindowCounts& acc = window_acc[bin];
-    table.for_each_all([&acc](const flowtable::FlowCounter& flow) {
-      acc[flow.key] += flow.packets;  // re-merges idle-timeout subflows
-    });
+    accumulator.fold(bin, table);
   };
   ingest::ShardedPipeline pipeline(pipeline_config);
 
@@ -223,6 +259,7 @@ MonitorReport MonitorLoop::run(const SnapshotCallback& on_snapshot) {
 
     // Canonical top-t: estimate descending, key ascending on ties.
     snap.top.reserve(tracked.size());
+    // unordered-ok: fully re-sorted (or partial_sorted) just below
     for (const auto& [key, state] : tracked) {
       snap.top.push_back(TopFlow{key, state.estimate});
     }
@@ -272,18 +309,11 @@ MonitorReport MonitorLoop::run(const SnapshotCallback& on_snapshot) {
   // Folds completed window `w` into the tracker (after its flushes have
   // been collected — i.e. after rotate_epoch(w + 1) or finish()).
   const auto complete_window = [&](std::size_t w) {
-    WindowCounts acc;
-    {
-      std::lock_guard lock(acc_mutex);
-      const auto it = window_acc.find(w);
-      if (it != window_acc.end()) {
-        acc = std::move(it->second);
-        window_acc.erase(it);
-      }
-    }
+    WindowCounts acc = accumulator.take(w);
     const double rate = effective_rate();
     const double alpha = config_.ewma_alpha;
     std::uint64_t window_packets = 0;
+    // unordered-ok: per-key try_emplace/EWMA folds commute across visit order
     for (const auto& [key, count] : acc) {
       window_packets += count;
       const double estimate = static_cast<double>(count) / rate;
@@ -432,12 +462,7 @@ MonitorReport MonitorLoop::run(const SnapshotCallback& on_snapshot) {
   // End of stream (or stop requested): flush the final partial window
   // and fold whatever it held.
   pipeline.finish();
-  std::vector<std::size_t> remaining;
-  {
-    std::lock_guard lock(acc_mutex);
-    for (const auto& [bin, _] : window_acc) remaining.push_back(bin);
-  }
-  for (const std::size_t bin : remaining) {
+  for (const std::size_t bin : accumulator.pending_windows()) {
     for (std::size_t w = window; w <= bin; ++w) complete_window(w);
     window = bin + 1;
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "flowrank/numeric/special.hpp"
+#include "flowrank/util/error.hpp"
 
 namespace flowrank::numeric {
 
@@ -45,7 +46,8 @@ double betacf(double a, double b, double x) {
   }
   // Convergence failure is a programming/domain error, not a runtime state
   // the models should silently absorb.
-  throw std::runtime_error("incbeta: continued fraction did not converge");
+  throw Error(ErrorCategory::kInternal, "numeric",
+              "incbeta: continued fraction did not converge");
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "flowrank/util/sync.hpp"
+#include "flowrank/util/thread_annotations.hpp"
 
 namespace flowrank::numeric {
 
@@ -47,9 +49,9 @@ const GaussLegendreRule& gauss_legendre(int order) {
   if (order < 1 || order > 128) {
     throw std::domain_error("gauss_legendre: order must be in [1,128]");
   }
-  static std::mutex mutex;
-  static std::map<int, GaussLegendreRule> cache;
-  std::lock_guard<std::mutex> lock(mutex);
+  static util::Mutex mutex;
+  static std::map<int, GaussLegendreRule> cache FR_GUARDED_BY(mutex);
+  util::MutexLock lock(mutex);
   auto it = cache.find(order);
   if (it == cache.end()) {
     it = cache.emplace(order, compute_rule(order)).first;

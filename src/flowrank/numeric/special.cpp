@@ -6,9 +6,37 @@
 #include <stdexcept>
 #include <vector>
 
+// std::lgamma is not thread-safe: C99 requires it to store the sign of
+// Γ(x) in the global `signgam`, so two pool workers evaluating pmf terms
+// concurrently race on that write (caught by the full-suite TSan job).
+// POSIX's lgamma_r returns the sign through an out-parameter instead and
+// touches no globals; glibc's lgamma is lgamma_r plus the signgam store,
+// so switching changes no returned bits. Under -std=c++20 (strict ANSI)
+// glibc hides the declaration, so declare it ourselves; `noexcept`
+// matches glibc's __THROW.
+#if defined(__GLIBC__)
+#if defined(__STRICT_ANSI__)
+extern "C" double lgamma_r(double, int*) noexcept;
+#endif
+#define FLOWRANK_HAVE_LGAMMA_R 1
+#elif defined(__APPLE__) || (defined(_POSIX_C_SOURCE) && _POSIX_C_SOURCE >= 200112L)
+#define FLOWRANK_HAVE_LGAMMA_R 1
+#endif
+
 namespace flowrank::numeric {
 
 namespace {
+// The only lgamma spelling allowed in this repo (the linter bans the
+// rest); x > 0 everywhere we call it, so the sign is discarded.
+double lgamma_threadsafe(double x) {
+#if defined(FLOWRANK_HAVE_LGAMMA_R)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);  // single-threaded fallback platforms only
+#endif
+}
+
 // ln n! values are memoized in a lazily grown table: the exact models
 // sweep binomial coefficients with n in the tens of thousands (flow sizes)
 // and the table means each ln n! is computed once per thread rather than
@@ -32,7 +60,7 @@ double cached_log_factorial(std::size_t n) {
     for (std::size_t i = table.size(); i < new_size; ++i) {
       table.push_back(i < kCumulativeLimit
                           ? table[i - 1] + std::log(static_cast<double>(i))
-                          : std::lgamma(static_cast<double>(i) + 1.0));
+                          : lgamma_threadsafe(static_cast<double>(i) + 1.0));
     }
   }
   return table[n];
@@ -43,7 +71,7 @@ double log_gamma(double x) {
   if (!(x > 0.0)) {
     throw std::domain_error("log_gamma: requires x > 0");
   }
-  return std::lgamma(x);
+  return lgamma_threadsafe(x);
 }
 
 double log_factorial(std::int64_t n) {
@@ -51,7 +79,7 @@ double log_factorial(std::int64_t n) {
   if (static_cast<std::size_t>(n) < kFactorialCacheCap) {
     return cached_log_factorial(static_cast<std::size_t>(n));
   }
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0);
 }
 
 double log_choose(std::int64_t n, std::int64_t k) {

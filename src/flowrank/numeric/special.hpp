@@ -9,7 +9,8 @@
 
 namespace flowrank::numeric {
 
-/// ln Γ(x) for x > 0 (thin wrapper over std::lgamma, asserted domain).
+/// ln Γ(x) for x > 0 (reentrant lgamma_r under the hood — std::lgamma
+/// writes the global `signgam`, racing across pool workers).
 [[nodiscard]] double log_gamma(double x);
 
 /// ln n! with a cached table for small n and lgamma for large n.

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "flowrank/util/error.hpp"
+#include "flowrank/util/sync.hpp"
 
 namespace flowrank::report {
 
@@ -77,7 +78,7 @@ ResultSink::~ResultSink() = default;
 
 void ResultSink::open(const std::vector<std::string>& columns,
                       const RunMetadata& meta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (opened_) throw std::invalid_argument("ResultSink: open() called twice");
   if (columns.empty()) throw std::invalid_argument("ResultSink: no columns");
   opened_ = true;
@@ -101,7 +102,7 @@ void ResultSink::check_stream(const char* when) const {
 }
 
 void ResultSink::emit(std::size_t seq, Row row) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!opened_ || closed_) {
     throw std::invalid_argument("ResultSink: emit() outside open()/close()");
   }
@@ -124,20 +125,25 @@ void ResultSink::emit(std::size_t seq, Row row) {
 }
 
 void ResultSink::close(std::size_t expected_rows) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (closed_) return;
-  if (!opened_) throw std::runtime_error("ResultSink: close() before open()");
+  if (!opened_) {
+    throw Error(ErrorCategory::kInternal, "report",
+                "ResultSink: close() before open()");
+  }
   // closed_ flips only after validation: a close() that throws must keep
   // throwing on retry, not dissolve into an idempotent no-op.
   if (!pending_.empty()) {
-    throw std::runtime_error(
-        "ResultSink: row " + std::to_string(next_seq_) + " was never emitted (" +
-        std::to_string(pending_.size()) + " later rows stranded)");
+    throw Error(ErrorCategory::kInternal, "report",
+                "ResultSink: row " + std::to_string(next_seq_) +
+                    " was never emitted (" + std::to_string(pending_.size()) +
+                    " later rows stranded)");
   }
   if (expected_rows != kNoExpectedRows && next_seq_ != expected_rows) {
-    throw std::runtime_error("ResultSink: " + std::to_string(next_seq_) + " of " +
-                             std::to_string(expected_rows) +
-                             " expected rows were emitted");
+    throw Error(ErrorCategory::kInternal, "report",
+                "ResultSink: " + std::to_string(next_seq_) + " of " +
+                    std::to_string(expected_rows) +
+                    " expected rows were emitted");
   }
   // closed_ flips only after the stream check too: a close() that hit a
   // dead stream must keep throwing on retry, not turn into a no-op.
@@ -147,7 +153,7 @@ void ResultSink::close(std::size_t expected_rows) {
 }
 
 std::size_t ResultSink::rows_written() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return next_seq_;
 }
 

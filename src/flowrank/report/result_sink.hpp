@@ -21,10 +21,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "flowrank/util/sync.hpp"
+#include "flowrank/util/thread_annotations.hpp"
 
 namespace flowrank::report {
 
@@ -108,28 +110,36 @@ class ResultSink {
  protected:
   ResultSink() = default;
 
+  /// The formatting hooks below run with mutex_ held (open/emit/close
+  /// serialize all stream access through it); FR_REQUIRES documents and
+  /// enforces that they are never called outside it.
   virtual void write_header(const std::vector<std::string>& columns,
-                            const RunMetadata& meta) = 0;
-  virtual void write_row(const Row& row) = 0;
-  virtual void flush() = 0;
+                            const RunMetadata& meta) FR_REQUIRES(mutex_) = 0;
+  virtual void write_row(const Row& row) FR_REQUIRES(mutex_) = 0;
+  virtual void flush() FR_REQUIRES(mutex_) = 0;
   /// True while the backing stream can still accept bytes. The base class
   /// checks this after header/row writes and after flush, and throws
   /// flowrank::Error(kIo) the moment it reports false — a full disk or a
   /// closed pipe surfaces at the write that hit it, not as silently
   /// missing rows discovered (or not) much later.
-  [[nodiscard]] virtual bool stream_ok() const noexcept = 0;
+  [[nodiscard]] virtual bool stream_ok() const noexcept FR_REQUIRES(mutex_) = 0;
+
+  /// Serializes every sink operation; protected so derived formatters can
+  /// name it in their own annotations.
+  mutable util::Mutex mutex_;
 
  private:
   /// Throws flowrank::Error(kIo) when stream_ok() is false; `when` names
   /// the operation for the message.
-  void check_stream(const char* when) const;
+  void check_stream(const char* when) const FR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::size_t columns_ = 0;
-  bool opened_ = false;
-  bool closed_ = false;
-  std::size_t next_seq_ = 0;              ///< first seq not yet written
-  std::map<std::size_t, Row> pending_;    ///< out-of-order rows by seq
+  std::size_t columns_ FR_GUARDED_BY(mutex_) = 0;
+  bool opened_ FR_GUARDED_BY(mutex_) = false;
+  bool closed_ FR_GUARDED_BY(mutex_) = false;
+  /// First seq not yet written.
+  std::size_t next_seq_ FR_GUARDED_BY(mutex_) = 0;
+  /// Out-of-order rows by seq.
+  std::map<std::size_t, Row> pending_ FR_GUARDED_BY(mutex_);
 };
 
 /// CSV: '#' metadata comment lines, a header row, then data rows.

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <random>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "flowrank/util/binomial_sample.hpp"
 
 namespace flowrank::trace {
 
@@ -68,8 +69,14 @@ BinnedCounts bin_flow_counts(const FlowTrace& trace, double bin_seconds,
       const double overlap = bin_end - std::max(start, static_cast<double>(b) *
                                                            bin_seconds);
       const double prob = std::clamp(overlap / remaining_len, 0.0, 1.0);
-      std::binomial_distribution<std::uint64_t> split(remaining, prob);
-      const std::uint64_t here = split(engine);
+      // util::binomial_sample, not std::binomial_distribution: the std
+      // distribution's algorithm is implementation-defined, so the same
+      // seed would place packets differently under libstdc++ and libc++.
+      // Canonical-stream change (like the PR 3 BINV/BTPE switch): splits
+      // differ draw-by-draw from the old libstdc++ stream, but every
+      // consumer asserts conservation or distributional bands, not exact
+      // split values.
+      const std::uint64_t here = util::binomial_sample(remaining, prob, engine);
       if (here > 0) acc[b][key] += here;
       remaining -= here;
       remaining_len -= overlap;
@@ -78,6 +85,7 @@ BinnedCounts bin_flow_counts(const FlowTrace& trace, double bin_seconds,
 
   for (std::size_t b = 0; b < bin_count; ++b) {
     out.bins[b].reserve(acc[b].size());
+    // unordered-ok: sorted by key immediately below before anything reads it
     for (const auto& [key, packets] : acc[b]) {
       out.bins[b].push_back(BinFlowCount{key, packets});
     }

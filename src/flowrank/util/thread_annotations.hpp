@@ -1,0 +1,80 @@
+// Clang thread-safety annotation macros.
+//
+// The repo's concurrency contract — results bit-identical at any
+// thread/shard count, every shared member reached only under its lock —
+// was enforced purely dynamically (TSan over the test suite) until this
+// layer. These macros attach Clang's static thread-safety analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) to the lock
+// protocol itself, so "member touched without its mutex" is a compile
+// error under `clang++ -Wthread-safety -Werror` (a dedicated CI job)
+// instead of a race TSan may or may not catch at runtime.
+//
+// Conventions (enforced by scripts/lint_flowrank.py):
+//  * concurrency code uses util::Mutex / util::MutexLock / util::CondVar
+//    (util/sync.hpp) — raw std::mutex has no capability annotations, so
+//    the analysis cannot see through it;
+//  * every member a mutex protects carries FR_GUARDED_BY(mutex);
+//  * a private method called only under a lock carries FR_REQUIRES(mutex)
+//    instead of re-locking;
+//  * code the analysis cannot model (e.g. joining workers in a destructor
+//    while they still hold the mutex briefly) is annotated
+//    FR_NO_THREAD_SAFETY_ANALYSIS with a comment saying why it is safe.
+//
+// All macros expand to nothing on compilers without the attribute (GCC,
+// MSVC), so annotated code builds everywhere and only Clang checks it.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FR_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define FR_CAPABILITY(x) FR_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define FR_SCOPED_CAPABILITY FR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define FR_GUARDED_BY(x) FR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define FR_PT_GUARDED_BY(x) FR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given capabilities.
+#define FR_REQUIRES(...) \
+  FR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while NOT holding them (deadlock
+/// documentation: it will acquire them itself).
+#define FR_EXCLUDES(...) FR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability and leaves it held on return.
+#define FR_ACQUIRE(...) \
+  FR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define FR_RELEASE(...) \
+  FR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns the given value:
+/// FR_TRY_ACQUIRE(true) or FR_TRY_ACQUIRE(true, mutex). The success value
+/// rides in __VA_ARGS__ so a one-argument use expands without a stray
+/// trailing comma.
+#define FR_TRY_ACQUIRE(...) \
+  FR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returning a reference to the capability that guards it.
+#define FR_RETURN_CAPABILITY(x) FR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts (to the analysis only) that the capability is already held.
+#define FR_ASSERT_CAPABILITY(x) \
+  FR_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opt a function out of the analysis entirely. Every use must carry a
+/// comment explaining why the code is safe despite the analysis not being
+/// able to prove it.
+#define FR_NO_THREAD_SAFETY_ANALYSIS \
+  FR_THREAD_ANNOTATION(no_thread_safety_analysis)

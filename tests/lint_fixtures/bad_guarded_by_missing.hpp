@@ -1,0 +1,17 @@
+// Fixture: trips exactly [guarded-by-missing]: a util::Mutex member with
+// no FR_GUARDED_BY/FR_REQUIRES naming what it protects.
+#pragma once
+
+#include "flowrank/util/sync.hpp"
+
+class SilentlyLocked {
+ public:
+  void bump() {
+    flowrank::util::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  mutable flowrank::util::Mutex mutex_;
+  int count_ = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: trips exactly [iostream-in-header].
+#pragma once
+
+#include <iostream>
+
+inline void shout() { std::cout << "hello\n"; }

@@ -1,0 +1,5 @@
+// Violates exactly one rule: lgamma-signgam (std::lgamma writes the
+// libm global `signgam`, racing across pool workers).
+#include <cmath>
+
+double log_gamma_of(double x) { return std::lgamma(x); }

@@ -1,0 +1,3 @@
+// Fixture: trips exactly [pragma-once] (no include guard pragma).
+
+inline int answer() { return 42; }

@@ -1,0 +1,4 @@
+// Fixture: trips exactly [rand-func].
+#include <cstdlib>
+
+int hidden_global_state() { return rand() % 6; }

@@ -1,0 +1,7 @@
+// Fixture: trips exactly [random-device].
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,4 @@
+// Fixture: trips exactly [raw-runtime-error].
+#include <stdexcept>
+
+void fail() { throw std::runtime_error("not a flowrank::Error"); }

@@ -1,0 +1,10 @@
+// Fixture: trips exactly [raw-sync]. Locking the analysis cannot see.
+#include <mutex>
+
+int counter = 0;
+
+void bump() {
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  ++counter;
+}

@@ -1,0 +1,7 @@
+// Fixture: trips exactly [raw-thread]. Threads belong to the exec layer.
+#include <thread>
+
+void spawn_outside_exec() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,7 @@
+// Fixture: trips exactly [std-binomial-distribution].
+#include <random>
+
+unsigned long split(std::mt19937_64& engine) {
+  std::binomial_distribution<unsigned long> dist(100, 0.5);
+  return dist(engine);
+}

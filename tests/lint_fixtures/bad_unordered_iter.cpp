@@ -1,0 +1,16 @@
+// Fixture: trips exactly [unordered-iter]. The iteration order of an
+// unordered container is implementation-defined; pushing it straight
+// into output makes the bytes depend on the standard library.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::uint64_t> values_in_hash_order(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& counts) {
+  std::unordered_map<std::uint64_t, std::uint64_t> copy = counts;
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, value] : copy) {
+    out.push_back(value);
+  }
+  return out;
+}

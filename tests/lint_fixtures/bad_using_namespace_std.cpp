@@ -1,0 +1,6 @@
+// Fixture: trips exactly [using-namespace-std].
+#include <vector>
+
+using namespace std;
+
+vector<int> empty_vector() { return {}; }

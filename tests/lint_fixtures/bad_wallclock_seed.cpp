@@ -1,0 +1,6 @@
+// Fixture: trips exactly [wallclock-seed].
+#include <chrono>
+
+long wall_clock_seed() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,19 @@
+// Fixture: a header that must produce zero findings.
+#pragma once
+
+#include <iosfwd>
+
+#include "flowrank/util/sync.hpp"
+#include "flowrank/util/thread_annotations.hpp"
+
+class ProperlyAnnotated {
+ public:
+  void bump() {
+    flowrank::util::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  mutable flowrank::util::Mutex mutex_;
+  int count_ FR_GUARDED_BY(mutex_) = 0;
+};

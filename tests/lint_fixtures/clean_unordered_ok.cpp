@@ -1,0 +1,15 @@
+// Fixture: must produce zero findings. The unordered-ok comment marks a
+// reviewed order-insensitive fold; banned symbols in comments (like
+// std::random_device or std::binomial_distribution here) never count.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t total(const std::unordered_map<std::uint64_t, std::uint64_t>& counts) {
+  std::unordered_map<std::uint64_t, std::uint64_t> copy = counts;
+  std::uint64_t sum = 0;
+  // unordered-ok: addition commutes; no output depends on visit order
+  for (const auto& [key, value] : copy) {
+    sum += value;
+  }
+  return sum;
+}
