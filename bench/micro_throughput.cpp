@@ -19,10 +19,12 @@
 
 #include "legacy_baseline.hpp"
 
+#include "flowrank/agg/flow_summary.hpp"
 #include "flowrank/core/discrete_model.hpp"
 #include "flowrank/core/misranking.hpp"
 #include "flowrank/core/ranking_model.hpp"
 #include "flowrank/dist/pareto.hpp"
+#include "flowrank/estimators/heavy_hitter_trackers.hpp"
 #include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/flow_table.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
@@ -168,6 +170,57 @@ void BM_FlowTableAddLegacy(benchmark::State& state) {
   state.counters["flows"] = static_cast<double>(table.size());
 }
 BENCHMARK(BM_FlowTableAddLegacy);
+
+// --- multi-vantage aggregation: parse + invert + union fold ------------------
+
+/// The aggregator's per-window merge path: parse each agent's serialized
+/// FlowSummary (framing + FNV-1a checksum validation), invert it at its
+/// own sampling rate and left-fold the mergeable Space-Saving union.
+/// Arg = union slot budget (0 keeps every key — exact for table kind).
+void BM_SummaryMergeUnion(benchmark::State& state) {
+  namespace fa = flowrank::agg;
+  constexpr std::size_t kAgents = 4;
+  constexpr std::size_t kEntries = 4096;
+  // Overlapping halves: consecutive agents share kEntries/2 keys, so the
+  // fold exercises both the merge-existing and insert-new paths.
+  std::vector<std::vector<std::uint8_t>> wire;
+  for (std::size_t a = 0; a < kAgents; ++a) {
+    fa::FlowSummary summary;
+    summary.agent_id = static_cast<std::uint32_t>(a);
+    summary.epoch = 0;
+    summary.effective_rate = 0.25;
+    for (std::size_t i = 0; i < kEntries; ++i) {
+      fa::SummaryEntry entry;
+      entry.key.hi = 0;
+      entry.key.lo = a * (kEntries / 2) + i;
+      entry.packets = 1 + (kEntries - i) * (kEntries - i) / kEntries;
+      entry.bytes = entry.packets * 500;
+      entry.first_ns = static_cast<std::int64_t>(i);
+      entry.last_ns = static_cast<std::int64_t>(i + 1);
+      summary.entries.push_back(entry);
+      summary.packets_sampled += entry.packets;
+    }
+    summary.packets_offered = summary.packets_sampled * 4;
+    wire.push_back(fa::serialize(summary));
+  }
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  std::size_t merged_flows = 0;
+  for (auto _ : state) {
+    flowrank::estimators::MergedSketch merged;
+    for (const auto& bytes : wire) {
+      const fa::FlowSummary summary = fa::parse_summary(bytes);
+      const flowrank::estimators::MergedSketch view = fa::inverted_view(summary);
+      merged = flowrank::estimators::space_saving_union(merged.view(),
+                                                        view.view(), capacity);
+    }
+    merged_flows = merged.flows.size();
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kAgents * kEntries));
+  state.counters["merged_flows"] = static_cast<double>(merged_flows);
+}
+BENCHMARK(BM_SummaryMergeUnion)->Arg(0)->Arg(256)->Unit(benchmark::kMillisecond);
 
 // --- ingest pipeline: seed per-packet path vs batched path -------------------
 

@@ -97,6 +97,16 @@ BANNED = [
         "no using namespace std",
     ),
     (
+        "raw-byte-cast",
+        # Serialization must go through util/bytes.hpp's explicit
+        # little-endian field helpers: reinterpret_cast / raw memcpy of
+        # object bytes bakes host endianness and struct padding into wire
+        # formats and checksums.
+        re.compile(r"\breinterpret_cast\b|\b(?:std::)?memcpy\s*\(|__builtin_memcpy\b"),
+        "raw byte casts make wire formats host-dependent; use util/bytes.hpp put_*/ByteReader "
+        "(or std::bit_cast for scalar reinterpretation)",
+    ),
+    (
         "lgamma-signgam",
         # std::lgamma / bare lgamma( write the libm global `signgam`
         # (C99), racing across pool workers; lgamma_r( does not match.
@@ -119,6 +129,9 @@ ALLOWLIST = {
     "guarded-by-missing": ("src/flowrank/util/sync.hpp",),
     # special.cpp wraps lgamma_r exactly once (and documents why).
     "lgamma-signgam": ("src/flowrank/numeric/special.cpp",),
+    # bytes.hpp IS the sanctioned byte layer: its stream read/write pair
+    # holds the only reinterpret_casts, over byte spans it sized itself.
+    "raw-byte-cast": ("src/flowrank/util/bytes.hpp",),
 }
 
 HEADER_SUFFIXES = (".hpp", ".h")

@@ -1,0 +1,250 @@
+#include "flowrank/agg/aggregator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "flowrank/util/error.hpp"
+
+namespace flowrank::agg {
+
+Aggregator::Aggregator(AggregatorConfig config) : config_(config) {
+  if (config_.agents_expected < 1) {
+    throw std::invalid_argument("aggregator: agents_expected >= 1");
+  }
+  if (config_.quarantine_after < 1) {
+    throw std::invalid_argument("aggregator: quarantine_after >= 1");
+  }
+  if (config_.readmit_after < 1) {
+    throw std::invalid_argument("aggregator: readmit_after >= 1");
+  }
+  if (!(config_.window_s > 0.0)) {
+    throw std::invalid_argument("aggregator: window_s > 0");
+  }
+  agents_.resize(config_.agents_expected);
+}
+
+OfferOutcome Aggregator::note_corrupt(std::uint32_t transport_agent_id) {
+  ++counters_.corrupt_summaries;
+  ++window_faults_.corrupt;
+  if (transport_agent_id < agents_.size()) {
+    // A corrupt probe is not a clean one: restart the readmission count.
+    agents_[transport_agent_id].clean_probes = 0;
+  }
+  return OfferOutcome::kCorrupt;
+}
+
+OfferOutcome Aggregator::offer(std::uint32_t transport_agent_id,
+                               std::span<const std::uint8_t> bytes) {
+  FlowSummary summary;
+  try {
+    summary = parse_summary(bytes);
+  } catch (const Error& error) {
+    if (error.category() != ErrorCategory::kCorruptSummary) throw;
+    ++counters_.summaries_offered;
+    return note_corrupt(transport_agent_id);
+  }
+  if (summary.agent_id != transport_agent_id) {
+    // Checksum-valid but misrouted or forged: never merge it.
+    ++counters_.summaries_offered;
+    return note_corrupt(transport_agent_id);
+  }
+  return offer_summary(std::move(summary));
+}
+
+OfferOutcome Aggregator::offer_summary(FlowSummary summary) {
+  ++counters_.summaries_offered;
+  if (summary.agent_id >= agents_.size()) {
+    ++counters_.unknown_agent_summaries;
+    return OfferOutcome::kUnknownAgent;
+  }
+  AgentState& agent = agents_[summary.agent_id];
+  const std::uint64_t epoch = summary.epoch;
+
+  // Deadline first: a summary for an already-closed window is late no
+  // matter what else is true of it — the row went out without it.
+  if (epoch < next_epoch_) {
+    ++counters_.late_summaries;
+    ++window_faults_.late;
+    return OfferOutcome::kLate;
+  }
+
+  if (agent.quarantined) {
+    // Valid, on-time summary from a quarantined agent: a clean probe.
+    // Probes must advance epochs — a duplicated probe counts once.
+    if (agent.last_probe_epoch != kNoEpoch && epoch <= agent.last_probe_epoch) {
+      ++counters_.duplicate_summaries;
+      ++window_faults_.duplicates;
+      return OfferOutcome::kDuplicate;
+    }
+    agent.last_probe_epoch = epoch;
+    ++counters_.quarantined_probes;
+    ++agent.clean_probes;
+    if (agent.clean_probes >= config_.readmit_after) {
+      agent.quarantined = false;
+      agent.consecutive_bad = 0;
+      agent.clean_probes = 0;
+      agent.last_probe_epoch = kNoEpoch;
+      // Fence future offers at the probe epoch: the probe itself was
+      // consumed by readmission, not merged — and closing its window
+      // must not immediately charge the readmitted agent a miss.
+      agent.last_accepted_epoch = epoch;
+      agent.excused_epoch = epoch;
+      ++counters_.readmissions;
+    }
+    return OfferOutcome::kQuarantinedProbe;
+  }
+
+  auto pending_it = pending_.find(epoch);
+  if (pending_it != pending_.end() &&
+      pending_it->second[summary.agent_id].has_value()) {
+    ++counters_.duplicate_summaries;
+    ++window_faults_.duplicates;
+    return OfferOutcome::kDuplicate;
+  }
+
+  // Staleness fencing: never accept an epoch at or below the agent's
+  // last accepted one — a replay or reordering cannot roll it back.
+  if (agent.last_accepted_epoch != kNoEpoch &&
+      epoch <= agent.last_accepted_epoch) {
+    ++counters_.stale_summaries;
+    ++window_faults_.stale;
+    return OfferOutcome::kStale;
+  }
+
+  if (pending_it == pending_.end()) {
+    pending_it = pending_
+                     .emplace(epoch, std::vector<std::optional<FlowSummary>>(
+                                         agents_.size()))
+                     .first;
+  }
+  agent.last_accepted_epoch = epoch;
+  pending_it->second[summary.agent_id] = std::move(summary);
+  return OfferOutcome::kAccepted;
+}
+
+MergedWindow Aggregator::close_window(std::uint64_t epoch) {
+  if (epoch != next_epoch_) {
+    throw std::invalid_argument("aggregator: windows close in order");
+  }
+
+  std::vector<std::optional<FlowSummary>> slots;
+  const auto pending_it = pending_.find(epoch);
+  if (pending_it != pending_.end()) {
+    slots = std::move(pending_it->second);
+    pending_.erase(pending_it);
+  } else {
+    slots.resize(agents_.size());
+  }
+
+  MergedWindow window;
+  window.epoch = epoch;
+  window.time_s = static_cast<double>(epoch + 1) * config_.window_s;
+  window.agents_expected = agents_.size();
+
+  estimators::MergedSketch merged;
+  for (std::uint32_t id = 0; id < agents_.size(); ++id) {
+    AgentState& agent = agents_[id];
+    if (agent.quarantined) continue;  // neither merged nor charged a miss
+    const std::optional<FlowSummary>& slot = slots[id];
+    if (!slot.has_value()) {
+      if (agent.excused_epoch == epoch) continue;  // readmission probe window
+      ++window.missed;
+      ++counters_.missed_summaries;
+      ++agent.consecutive_bad;
+      if (agent.consecutive_bad >= config_.quarantine_after) {
+        agent.quarantined = true;
+        agent.clean_probes = 0;
+        agent.last_probe_epoch = kNoEpoch;
+        ++counters_.quarantines;
+      }
+      continue;
+    }
+    const FlowSummary& summary = *slot;
+    merged = estimators::space_saving_union(
+        merged.view(), inverted_view(summary).view(), config_.union_capacity);
+    ++window.agents_merged;
+    ++counters_.summaries_merged;
+    agent.consecutive_bad = 0;
+    window.packets_offered += summary.packets_offered;
+    window.packets_sampled += summary.packets_sampled;
+    window.shed_packets += summary.shed_packets;
+  }
+
+  window.merged_flows = merged.flows.size();
+  for (const estimators::TrackedFlow& flow : merged.flows) {
+    window.estimated_packets += flow.estimated_packets;
+  }
+  const std::size_t keep = std::min(config_.top_t, merged.flows.size());
+  window.top.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    window.top.push_back(MergedFlow{merged.flows[i].key,
+                                    merged.flows[i].estimated_packets,
+                                    merged.flows[i].error_bound});
+  }
+  window.coverage_fraction = static_cast<double>(window.agents_merged) /
+                             static_cast<double>(window.agents_expected);
+  for (const AgentState& agent : agents_) {
+    if (agent.quarantined) ++window.quarantined;
+  }
+  window.corrupt = window_faults_.corrupt;
+  window.stale = window_faults_.stale;
+  window.late = window_faults_.late;
+  window.duplicates = window_faults_.duplicates;
+  window_faults_ = WindowFaults{};
+
+  ++counters_.windows_closed;
+  ++next_epoch_;
+  window.counters = counters_;
+  return window;
+}
+
+bool Aggregator::quarantined(std::uint32_t agent_id) const {
+  if (agent_id >= agents_.size()) {
+    throw std::out_of_range("aggregator: agent id out of range");
+  }
+  return agents_[agent_id].quarantined;
+}
+
+std::vector<std::string> window_columns() {
+  return {"window",          "time_s",          "agents_expected",
+          "agents_merged",   "coverage_fraction", "merged_flows",
+          "top1_est",        "topt_est",        "est_total_packets",
+          "packets_offered", "packets_sampled", "shed_packets",
+          "missed",          "corrupt",         "stale",
+          "late",            "duplicates",      "quarantined",
+          "quarantines_total", "readmissions_total", "merged_total",
+          "windows"};
+}
+
+report::Row window_row(const MergedWindow& window) {
+  const double top1 = window.top.empty() ? 0.0 : window.top.front().estimated_packets;
+  const double topt = window.top.empty() ? 0.0 : window.top.back().estimated_packets;
+  const AggregatorCounters& c = window.counters;
+  return report::Row{
+      window.epoch,
+      window.time_s,
+      static_cast<std::uint64_t>(window.agents_expected),
+      static_cast<std::uint64_t>(window.agents_merged),
+      window.coverage_fraction,
+      static_cast<std::uint64_t>(window.merged_flows),
+      top1,
+      topt,
+      window.estimated_packets,
+      window.packets_offered,
+      window.packets_sampled,
+      window.shed_packets,
+      static_cast<std::uint64_t>(window.missed),
+      static_cast<std::uint64_t>(window.corrupt),
+      static_cast<std::uint64_t>(window.stale),
+      static_cast<std::uint64_t>(window.late),
+      static_cast<std::uint64_t>(window.duplicates),
+      static_cast<std::uint64_t>(window.quarantined),
+      c.quarantines,
+      c.readmissions,
+      c.summaries_merged,
+      c.windows_closed,
+  };
+}
+
+}  // namespace flowrank::agg

@@ -1,0 +1,190 @@
+// Epoch-aligned, fault-tolerant collector of per-agent FlowSummary
+// messages.
+//
+// The aggregator owns the failure semantics of multi-vantage merging:
+//
+//  * Deadlines — the driver closes every window on its deadline whether
+//    or not all agents reported; whatever arrives after the close is
+//    counted late and excluded, and the window's row still goes out.
+//  * Staleness fencing — a summary whose epoch is at or below the
+//    agent's last accepted epoch is rejected stale; it can never roll a
+//    merged window backwards.
+//  * Quarantine — an agent that misses or corrupts `quarantine_after`
+//    consecutive windows is quarantined: its summaries stop being merged
+//    and instead count as clean probes; after `readmit_after` clean
+//    probes on distinct epochs it is readmitted (the probes themselves
+//    are never merged).
+//  * Degraded-coverage reporting — every closed window reports
+//    agents_expected / agents_merged / coverage_fraction plus the
+//    rejection counts observed while it was open, as an all-numeric
+//    report::Row (window_columns() / window_row()).
+//
+// Merging inverts each summary at its own sampling rate and left-folds
+// the mergeable Space-Saving union (estimators::space_saving_union);
+// full-rate table summaries therefore merge exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flowrank/agg/flow_summary.hpp"
+#include "flowrank/report/result_sink.hpp"
+
+namespace flowrank::agg {
+
+/// Aggregator policy knobs.
+struct AggregatorConfig {
+  std::size_t agents_expected = 1;  ///< fleet size; agent ids in [0, N)
+  std::size_t top_t = 10;           ///< ranked flows reported per window
+  double window_s = 60.0;           ///< window length (row time axis)
+  /// Consecutive windows without a valid contribution before an agent is
+  /// quarantined (>= 1).
+  std::size_t quarantine_after = 3;
+  /// Clean probe summaries (distinct epochs) before a quarantined agent
+  /// is readmitted (>= 1).
+  std::size_t readmit_after = 1;
+  /// Slot budget for the folded union; 0 keeps every key (exact for
+  /// table summaries).
+  std::size_t union_capacity = 0;
+};
+
+/// Verdict on one offered summary.
+enum class OfferOutcome {
+  kAccepted,          ///< parsed, fresh, pending merge at window close
+  kCorrupt,           ///< failed framing/checksum, or agent-id mismatch
+  kLate,              ///< its window already closed
+  kStale,             ///< at or below the agent's last accepted epoch
+  kDuplicate,         ///< the agent already reported this epoch
+  kQuarantinedProbe,  ///< valid summary from a quarantined agent
+  kUnknownAgent,      ///< agent id outside [0, agents_expected)
+};
+
+/// Cumulative aggregator counters (all offers and closes so far).
+struct AggregatorCounters {
+  std::uint64_t summaries_offered = 0;
+  std::uint64_t summaries_merged = 0;
+  std::uint64_t corrupt_summaries = 0;
+  std::uint64_t stale_summaries = 0;
+  std::uint64_t late_summaries = 0;
+  std::uint64_t duplicate_summaries = 0;
+  std::uint64_t missed_summaries = 0;  ///< agent-windows closed without input
+  std::uint64_t unknown_agent_summaries = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t quarantined_probes = 0;
+  std::uint64_t windows_closed = 0;
+};
+
+/// One merged flow in a window's ranking.
+struct MergedFlow {
+  packet::FlowKey key;
+  double estimated_packets = 0.0;
+  double error_bound = 0.0;
+};
+
+/// The merged result of one closed window, including its coverage and
+/// fault accounting.
+struct MergedWindow {
+  std::uint64_t epoch = 0;
+  double time_s = 0.0;
+  std::vector<MergedFlow> top;      ///< top_t flows, estimate desc
+  std::size_t merged_flows = 0;     ///< distinct keys in the folded union
+  double estimated_packets = 0.0;   ///< sum of merged estimates
+  std::size_t agents_expected = 0;
+  std::size_t agents_merged = 0;
+  double coverage_fraction = 0.0;   ///< agents_merged / agents_expected
+  // Rejections observed while this window was open:
+  std::size_t missed = 0;
+  std::size_t corrupt = 0;
+  std::size_t stale = 0;
+  std::size_t late = 0;
+  std::size_t duplicates = 0;
+  std::size_t quarantined = 0;      ///< agents quarantined after this close
+  // Sums over the merged summaries' agent-side counters:
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_sampled = 0;
+  std::uint64_t shed_packets = 0;
+  AggregatorCounters counters;      ///< cumulative snapshot at close
+};
+
+/// The collector. Single-threaded: the fleet driver (or demo parent
+/// process) offers summaries and closes windows in order.
+class Aggregator {
+ public:
+  /// Throws std::invalid_argument on a bad config.
+  explicit Aggregator(AggregatorConfig config);
+
+  /// Offers one serialized summary received from transport lane
+  /// `transport_agent_id`. Parse failures are attributed to that lane;
+  /// a checksum-valid summary whose embedded agent id does not match the
+  /// lane is treated as corrupt too (misrouted or forged).
+  OfferOutcome offer(std::uint32_t transport_agent_id,
+                     std::span<const std::uint8_t> bytes);
+
+  /// Offers an already-parsed summary (trusted path; unit tests).
+  OfferOutcome offer_summary(FlowSummary summary);
+
+  /// Closes window `epoch` — must be the next unclosed window (windows
+  /// close in order from 0; throws std::invalid_argument otherwise) —
+  /// merging every pending summary for it, charging misses, and applying
+  /// the quarantine policy. The window closes no matter how many agents
+  /// reported; coverage says how degraded it is.
+  [[nodiscard]] MergedWindow close_window(std::uint64_t epoch);
+
+  [[nodiscard]] const AggregatorCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] std::uint64_t windows_closed() const noexcept {
+    return next_epoch_;
+  }
+  /// True if `agent_id` is currently quarantined.
+  [[nodiscard]] bool quarantined(std::uint32_t agent_id) const;
+
+ private:
+  static constexpr std::uint64_t kNoEpoch =
+      std::numeric_limits<std::uint64_t>::max();
+
+  struct AgentState {
+    std::uint64_t last_accepted_epoch = kNoEpoch;
+    std::uint64_t last_probe_epoch = kNoEpoch;
+    /// Epoch whose readmission probe was consumed (not merged); closing
+    /// it does not charge this agent a miss.
+    std::uint64_t excused_epoch = kNoEpoch;
+    std::size_t consecutive_bad = 0;
+    std::size_t clean_probes = 0;
+    bool quarantined = false;
+  };
+
+  /// Rejections observed while the current window is open; reset at close.
+  struct WindowFaults {
+    std::size_t corrupt = 0;
+    std::size_t stale = 0;
+    std::size_t late = 0;
+    std::size_t duplicates = 0;
+  };
+
+  OfferOutcome note_corrupt(std::uint32_t transport_agent_id);
+
+  AggregatorConfig config_;
+  std::vector<AgentState> agents_;
+  /// Pending summaries per open epoch (slot per agent). Future epochs
+  /// buffer here until their window closes.
+  std::map<std::uint64_t, std::vector<std::optional<FlowSummary>>> pending_;
+  std::uint64_t next_epoch_ = 0;  ///< next window to close
+  WindowFaults window_faults_;
+  AggregatorCounters counters_;
+};
+
+/// Column names of the degraded-coverage result rows (all numeric, in
+/// emit order), mirroring monitor::snapshot_columns().
+[[nodiscard]] std::vector<std::string> window_columns();
+
+/// One closed window as a report::Row matching window_columns().
+[[nodiscard]] report::Row window_row(const MergedWindow& window);
+
+}  // namespace flowrank::agg

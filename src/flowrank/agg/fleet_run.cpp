@@ -1,0 +1,265 @@
+#include "flowrank/agg/fleet_run.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "flowrank/estimators/heavy_hitter_trackers.hpp"
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/ingest/sharded_pipeline.hpp"
+#include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/bin_counts.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/rng.hpp"
+#include "flowrank/util/sync.hpp"
+
+namespace flowrank::agg {
+
+namespace {
+
+/// One simulated vantage agent: its sampler, its per-window classifier,
+/// and the counters its next summary will carry.
+struct AgentRuntime {
+  explicit AgentRuntime(double rate, std::uint64_t sampler_seed)
+      : sampler(rate, sampler_seed) {}
+
+  sampler::BernoulliSampler sampler;
+  std::unique_ptr<ingest::ShardedPipeline> pipeline;          // table kind
+  std::unique_ptr<estimators::SpaceSavingTracker> tracker;    // sketch kind
+  util::Mutex mutex;
+  /// Shard-bin flushes land here from worker threads at rotate time.
+  std::map<std::size_t, std::vector<flowtable::FlowCounter>> window_flows
+      FR_GUARDED_BY(mutex);
+  std::uint64_t offered_window = 0;
+  std::uint64_t sampled_window = 0;
+  std::uint64_t prev_shed = 0;
+  std::vector<packet::PacketRecord> routed;
+  std::vector<packet::PacketRecord> selected;
+};
+
+void check_config(const FleetConfig& config) {
+  if (config.agents < 1) {
+    throw std::invalid_argument("fleet: agents >= 1");
+  }
+  if (!(config.window_s > 0.0)) {
+    throw std::invalid_argument("fleet: window_s > 0");
+  }
+  if (!(config.sampling_rate > 0.0 && config.sampling_rate <= 1.0)) {
+    throw std::invalid_argument("fleet: sampling rate in (0, 1]");
+  }
+  if (config.summary_kind == SummaryKind::kSpaceSaving &&
+      config.summary_slots < 1) {
+    throw std::invalid_argument("fleet: summary_slots >= 1");
+  }
+  if (config.batch_packets < 1) {
+    throw std::invalid_argument("fleet: batch_packets >= 1");
+  }
+}
+
+}  // namespace
+
+FleetReport run_fleet(const trace::FlowTrace& trace, const FleetConfig& config,
+                      const WindowCallback& on_window) {
+  check_config(config);
+  const std::int64_t window_ns = trace::bin_length_ns(config.window_s);
+
+  std::vector<std::unique_ptr<AgentRuntime>> agents;
+  agents.reserve(config.agents);
+  for (std::size_t a = 0; a < config.agents; ++a) {
+    // A one-agent fleet reuses the run seed unmixed: its sampler then
+    // draws the identical Bernoulli skip sequence as the direct pipeline,
+    // which is what makes single-agent aggregation bit-identical to it.
+    const std::uint64_t sampler_seed =
+        config.agents == 1 ? config.seed : util::mix_stream(config.seed, a);
+    agents.push_back(
+        std::make_unique<AgentRuntime>(config.sampling_rate, sampler_seed));
+    AgentRuntime& agent = *agents.back();
+    if (config.summary_kind == SummaryKind::kFlowTable) {
+      ingest::ShardedPipelineConfig pipe;
+      pipe.num_shards = config.num_shards;
+      pipe.bin_ns = window_ns;
+      pipe.table_options.definition = config.definition;
+      pipe.on_shard_bin = [&agent](std::size_t, std::size_t, std::size_t bin,
+                                   const flowtable::FlowTable& table) {
+        util::MutexLock lock(agent.mutex);
+        auto& flows = agent.window_flows[bin];
+        table.for_each_all([&flows](const flowtable::FlowCounter& counter) {
+          flows.push_back(counter);
+        });
+      };
+      agent.pipeline = std::make_unique<ingest::ShardedPipeline>(pipe);
+    } else {
+      agent.tracker =
+          std::make_unique<estimators::SpaceSavingTracker>(config.summary_slots);
+    }
+  }
+
+  FaultInjectingSummaryChannel channel(config.chan, config.agents);
+  AggregatorConfig agg_config;
+  agg_config.agents_expected = config.agents;
+  agg_config.top_t = config.top_t;
+  agg_config.window_s = config.window_s;
+  agg_config.quarantine_after = config.quarantine_after;
+  agg_config.readmit_after = config.readmit_after;
+  agg_config.union_capacity = config.union_capacity;
+  Aggregator aggregator(agg_config);
+
+  FleetReport report;
+  std::uint64_t current = 0;   // next window to close
+  std::uint64_t max_seen = 0;  // highest window with packets
+  bool any_packet = false;
+
+  // Summarize + submit every agent's window `w`, then deliver and close.
+  const auto close_one = [&](std::uint64_t w) {
+    for (std::size_t a = 0; a < config.agents; ++a) {
+      AgentRuntime& agent = *agents[a];
+      FlowSummary summary;
+      if (config.summary_kind == SummaryKind::kFlowTable) {
+        // Window boundary = the agent's flush deadline: rotate the
+        // pipeline so every shard's bin-w table reaches window_flows.
+        agent.pipeline->rotate_epoch(static_cast<std::size_t>(w) + 1);
+        std::vector<flowtable::FlowCounter> flows;
+        {
+          util::MutexLock lock(agent.mutex);
+          const auto it = agent.window_flows.find(static_cast<std::size_t>(w));
+          if (it != agent.window_flows.end()) {
+            flows = std::move(it->second);
+            agent.window_flows.erase(it);
+          }
+        }
+        flowtable::FlowTable::Options options;
+        options.definition = config.definition;
+        options.initial_capacity = std::max<std::size_t>(64, flows.size() * 2);
+        flowtable::FlowTable table(options);
+        for (const flowtable::FlowCounter& counter : flows) {
+          table.insert_counter(counter);
+        }
+        summary = summarize_table(table, static_cast<std::uint32_t>(a), w,
+                                  config.sampling_rate);
+        const std::uint64_t shed =
+            agent.pipeline->overload_stats().shed_packets;
+        summary.shed_packets = shed - agent.prev_shed;
+        agent.prev_shed = shed;
+      } else {
+        summary = summarize_sketch(*agent.tracker, static_cast<std::uint32_t>(a),
+                                   w, config.sampling_rate);
+        agent.tracker = std::make_unique<estimators::SpaceSavingTracker>(
+            config.summary_slots);
+      }
+      summary.packets_offered = agent.offered_window;
+      summary.packets_sampled = agent.sampled_window;
+      agent.offered_window = 0;
+      agent.sampled_window = 0;
+      channel.submit(static_cast<std::uint32_t>(a), w, serialize(summary));
+    }
+    for (SummaryDelivery& delivery : channel.drain_ready(w)) {
+      (void)aggregator.offer(delivery.agent_id, delivery.bytes);
+    }
+    const MergedWindow window = aggregator.close_window(w);
+    if (on_window) on_window(window);
+  };
+
+  const auto close_through = [&](std::uint64_t target) {
+    while (current < target) {
+      close_one(current);
+      ++current;
+    }
+  };
+
+  // Feeds one same-window run of routed packets through each agent.
+  const auto process_segment = [&](std::span<const packet::PacketRecord> pkts) {
+    if (config.agents == 1) {
+      AgentRuntime& agent = *agents[0];
+      agent.offered_window += pkts.size();
+      agent.sampler.select_into(pkts, agent.selected);
+      agent.sampled_window += agent.selected.size();
+      if (config.summary_kind == SummaryKind::kFlowTable) {
+        agent.pipeline->add_batch(0, agent.selected);
+      } else {
+        for (const packet::PacketRecord& pkt : agent.selected) {
+          agent.tracker->offer(packet::make_flow_key(pkt.tuple, config.definition));
+        }
+      }
+      return;
+    }
+    for (auto& agent : agents) agent->routed.clear();
+    for (const packet::PacketRecord& pkt : pkts) {
+      const packet::FlowKey key =
+          packet::make_flow_key(pkt.tuple, config.definition);
+      const std::uint64_t hash = packet::FlowKeyHash{}(key);
+      const std::uint64_t lane =
+          config.split == FleetSplit::kFlow
+              ? hash % config.agents
+              : util::mix_stream(hash,
+                                 static_cast<std::uint64_t>(pkt.timestamp_ns)) %
+                    config.agents;
+      agents[static_cast<std::size_t>(lane)]->routed.push_back(pkt);
+    }
+    for (auto& agent_ptr : agents) {
+      AgentRuntime& agent = *agent_ptr;
+      if (agent.routed.empty()) continue;
+      agent.offered_window += agent.routed.size();
+      agent.sampler.select_into(agent.routed, agent.selected);
+      agent.sampled_window += agent.selected.size();
+      if (config.summary_kind == SummaryKind::kFlowTable) {
+        agent.pipeline->add_batch(0, agent.selected);
+      } else {
+        for (const packet::PacketRecord& pkt : agent.selected) {
+          agent.tracker->offer(packet::make_flow_key(pkt.tuple, config.definition));
+        }
+      }
+    }
+  };
+
+  trace::PacketStream stream(trace);
+  std::vector<packet::PacketRecord> batch;
+  batch.reserve(config.batch_packets);
+  while (stream.next_batch(batch, config.batch_packets) > 0) {
+    report.packets_total += batch.size();
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      const std::uint64_t w = static_cast<std::uint64_t>(
+          batch[i].timestamp_ns / window_ns);
+      // Every window strictly before this packet's is now past its
+      // deadline: summarize, deliver, close — late input stays excluded.
+      if (w > current) close_through(w);
+      std::size_t j = i + 1;
+      while (j < batch.size() &&
+             static_cast<std::uint64_t>(batch[j].timestamp_ns / window_ns) == w) {
+        ++j;
+      }
+      process_segment(std::span<const packet::PacketRecord>(batch.data() + i,
+                                                            j - i));
+      max_seen = std::max(max_seen, w);
+      any_packet = true;
+      i = j;
+    }
+  }
+
+  // Close out the trace: every declared window (the trace's duration may
+  // extend past the last packet) plus any straggler bins beyond it.
+  std::uint64_t total_windows =
+      trace::bin_count(trace.config.duration_s, config.window_s);
+  if (any_packet) total_windows = std::max(total_windows, max_seen + 1);
+  close_through(total_windows);
+
+  // End of run: whatever the channel still holds arrives after its window
+  // closed and is counted late by the aggregator.
+  for (SummaryDelivery& delivery : channel.drain_all()) {
+    (void)aggregator.offer(delivery.agent_id, delivery.bytes);
+  }
+  for (auto& agent : agents) {
+    if (agent->pipeline) agent->pipeline->finish();
+  }
+
+  report.counters = aggregator.counters();
+  report.injected = channel.counters();
+  report.windows = total_windows;
+  return report;
+}
+
+}  // namespace flowrank::agg

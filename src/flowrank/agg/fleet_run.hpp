@@ -1,0 +1,78 @@
+// In-process multi-vantage fleet driver.
+//
+// Simulates N vantage agents observing disjoint (flow-hash) or
+// overlapping (per-packet) splits of one packet stream, each running its
+// own sampler and per-window classifier, summarizing every window into a
+// FlowSummary and shipping it through the fault-injecting channel to the
+// Aggregator. Windows close strictly in order at their logical deadline
+// (the stream advancing past the window boundary stands in for wall-clock
+// deadline_ms, which the out-of-process demo enforces for real); whatever
+// the channel has not delivered by then is excluded from the merged row.
+//
+// Determinism contract: with agents == 1 the sampler seed is the run seed
+// itself and the agent sees every packet in stream order — the same
+// Bernoulli skip sequence as the direct single-pipeline path — so the
+// per-window sampled tables (and therefore the merged rankings, and the
+// serialized FlowSummary bytes) are bit-identical to the direct pipeline
+// at any shard count. With agents > 1 each agent gets an independent
+// substream seed (util::mix_stream(seed, agent)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "flowrank/agg/aggregator.hpp"
+#include "flowrank/agg/summary_channel.hpp"
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/trace/flow_trace_generator.hpp"
+
+namespace flowrank::agg {
+
+/// How packets are divided among vantage agents.
+enum class FleetSplit {
+  kFlow,    ///< flow-hash: each key wholly owned by one agent (disjoint)
+  kPacket,  ///< per-packet: keys overlap across agents, no double counting
+};
+
+/// Fleet topology and per-agent pipeline knobs.
+struct FleetConfig {
+  std::size_t agents = 3;
+  FleetSplit split = FleetSplit::kFlow;
+  double window_s = 60.0;       ///< measurement window (= aggregation epoch)
+  double sampling_rate = 1.0;   ///< per-agent Bernoulli rate, in (0, 1]
+  std::uint64_t seed = 7;
+  packet::FlowDefinition definition = packet::FlowDefinition::kFiveTuple;
+  std::size_t num_shards = 1;   ///< per-agent ingest shards (0 = hw threads)
+  std::size_t top_t = 10;
+  /// Wall-clock deadline the out-of-process demo enforces per window; the
+  /// in-process driver's logical equivalent is the window boundary.
+  std::uint32_t deadline_ms = 250;
+  std::size_t quarantine_after = 3;
+  std::size_t readmit_after = 1;
+  SummaryKind summary_kind = SummaryKind::kFlowTable;
+  std::size_t summary_slots = 1024;  ///< sketch capacity (kSpaceSaving)
+  /// Folded-union slot budget at the aggregator; 0 = exact.
+  std::size_t union_capacity = 0;
+  SummaryFaultSpec chan;        ///< summary-channel fault plan
+  std::size_t batch_packets = 4096;
+};
+
+/// End-of-run accounting: what the channel injected and what the
+/// aggregator observed (tests assert they match).
+struct FleetReport {
+  AggregatorCounters counters;
+  ChannelCounters injected;
+  std::uint64_t windows = 0;
+  std::uint64_t packets_total = 0;  ///< packets streamed (before sampling)
+};
+
+/// Invoked once per closed window, in epoch order.
+using WindowCallback = std::function<void(const MergedWindow&)>;
+
+/// Runs the fleet over `trace`. Throws std::invalid_argument on a bad
+/// config. `on_window` may be empty.
+[[nodiscard]] FleetReport run_fleet(const trace::FlowTrace& trace,
+                                    const FleetConfig& config,
+                                    const WindowCallback& on_window);
+
+}  // namespace flowrank::agg

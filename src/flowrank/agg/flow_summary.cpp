@@ -1,0 +1,272 @@
+#include "flowrank/agg/flow_summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "flowrank/util/bytes.hpp"
+#include "flowrank/util/error.hpp"
+
+namespace flowrank::agg {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'F', 'S', 'M', '1'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 80;
+constexpr std::size_t kChecksumBytes = 8;
+constexpr std::size_t kTableEntryBytes = 57;
+constexpr std::size_t kSketchEntryBytes = 32;
+constexpr const char* kContext = "agg";
+
+[[noreturn]] void corrupt(const std::string& message) {
+  throw Error(ErrorCategory::kCorruptSummary, kContext, message);
+}
+
+void check_rate(double rate) {
+  if (!(std::isfinite(rate) && rate > 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument("FlowSummary: effective_rate in (0, 1]");
+  }
+}
+
+std::size_t entry_bytes(SummaryKind kind) {
+  return kind == SummaryKind::kFlowTable ? kTableEntryBytes : kSketchEntryBytes;
+}
+
+}  // namespace
+
+FlowSummary summarize_table(const flowtable::FlowTable& table,
+                            std::uint32_t agent_id, std::uint64_t epoch,
+                            double effective_rate) {
+  check_rate(effective_rate);
+  // Fold completed subflows back into their keys: the summary carries one
+  // entry per key, and std::map gives the canonical (sorted) order.
+  std::map<packet::FlowKey, flowtable::FlowCounter> by_key;
+  table.for_each_all([&by_key](const flowtable::FlowCounter& counter) {
+    auto [it, inserted] = by_key.emplace(counter.key, counter);
+    if (!inserted) flowtable::merge_counter(it->second, counter);
+  });
+
+  FlowSummary summary;
+  summary.agent_id = agent_id;
+  summary.epoch = epoch;
+  summary.kind = SummaryKind::kFlowTable;
+  summary.effective_rate = effective_rate;
+  summary.entries.reserve(by_key.size());
+  for (const auto& [key, counter] : by_key) {
+    SummaryEntry entry;
+    entry.key = key;
+    entry.packets = counter.packets;
+    entry.bytes = counter.bytes;
+    entry.first_ns = counter.first_ns;
+    entry.last_ns = counter.last_ns;
+    entry.min_tcp_seq = counter.min_tcp_seq;
+    entry.max_tcp_seq = counter.max_tcp_seq;
+    entry.has_tcp_seq = counter.has_tcp_seq;
+    summary.entries.push_back(entry);
+  }
+  return summary;
+}
+
+FlowSummary summarize_sketch(const estimators::SpaceSavingTracker& tracker,
+                             std::uint32_t agent_id, std::uint64_t epoch,
+                             double effective_rate) {
+  check_rate(effective_rate);
+  FlowSummary summary;
+  summary.agent_id = agent_id;
+  summary.epoch = epoch;
+  summary.kind = SummaryKind::kSpaceSaving;
+  summary.effective_rate = effective_rate;
+  summary.sketch_capacity = tracker.capacity();
+  auto flows = tracker.flows();
+  std::sort(flows.begin(), flows.end(),
+            [](const estimators::TrackedFlow& a, const estimators::TrackedFlow& b) {
+              return a.key < b.key;
+            });
+  summary.entries.reserve(flows.size());
+  for (const estimators::TrackedFlow& flow : flows) {
+    SummaryEntry entry;
+    entry.key = flow.key;
+    // Space-Saving counts and error bounds are integral by construction.
+    entry.packets = static_cast<std::uint64_t>(std::llround(flow.estimated_packets));
+    entry.error = static_cast<std::uint64_t>(std::llround(flow.error_bound));
+    summary.entries.push_back(entry);
+  }
+  return summary;
+}
+
+std::vector<std::uint8_t> serialize(const FlowSummary& summary) {
+  check_rate(summary.effective_rate);
+  const std::size_t total = kHeaderBytes +
+                            summary.entries.size() * entry_bytes(summary.kind) +
+                            kChecksumBytes;
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  for (std::uint8_t byte : kMagic) util::put_u8(out, byte);
+  util::put_u32(out, static_cast<std::uint32_t>(total));
+  util::put_u16(out, kVersion);
+  util::put_u16(out, static_cast<std::uint16_t>(summary.kind));
+  util::put_u32(out, summary.agent_id);
+  util::put_u64(out, summary.epoch);
+  util::put_f64(out, summary.effective_rate);
+  util::put_u64(out, summary.packets_offered);
+  util::put_u64(out, summary.packets_sampled);
+  util::put_u64(out, summary.shed_packets);
+  util::put_u64(out, summary.fault_records);
+  util::put_u64(out, summary.sketch_capacity);
+  util::put_u32(out, static_cast<std::uint32_t>(summary.entries.size()));
+  util::put_u32(out, 0);  // reserved
+  for (const SummaryEntry& entry : summary.entries) {
+    util::put_u64(out, entry.key.hi);
+    util::put_u64(out, entry.key.lo);
+    util::put_u64(out, entry.packets);
+    if (summary.kind == SummaryKind::kFlowTable) {
+      util::put_u64(out, entry.bytes);
+      util::put_i64(out, entry.first_ns);
+      util::put_i64(out, entry.last_ns);
+      util::put_u32(out, entry.min_tcp_seq);
+      util::put_u32(out, entry.max_tcp_seq);
+      util::put_u8(out, entry.has_tcp_seq ? 1 : 0);
+    } else {
+      util::put_u64(out, entry.error);
+    }
+  }
+  util::put_u64(out, util::fnv1a64(out));
+  return out;
+}
+
+FlowSummary parse_summary(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes + kChecksumBytes) {
+    corrupt("truncated summary: " + std::to_string(bytes.size()) + " bytes, need " +
+            std::to_string(kHeaderBytes + kChecksumBytes) + " minimum");
+  }
+  util::ByteReader reader(bytes, ErrorCategory::kCorruptSummary, kContext);
+  for (std::uint8_t expected : kMagic) {
+    if (reader.get_u8() != expected) corrupt("bad magic");
+  }
+  const std::uint32_t total = reader.get_u32();
+  if (total != bytes.size()) {
+    corrupt("length mismatch: header says " + std::to_string(total) +
+            " bytes, buffer has " + std::to_string(bytes.size()));
+  }
+  // Verify the checksum before trusting any further field: the trailing
+  // FNV-1a 64 covers every preceding byte, and its per-byte step is a
+  // bijection of the hash state, so any single-bit flip is detected with
+  // certainty.
+  const std::span<const std::uint8_t> covered =
+      bytes.first(bytes.size() - kChecksumBytes);
+  util::ByteReader trailer(bytes.subspan(bytes.size() - kChecksumBytes),
+                           ErrorCategory::kCorruptSummary, kContext);
+  if (trailer.get_u64() != util::fnv1a64(covered)) corrupt("checksum mismatch");
+
+  const std::uint16_t version = reader.get_u16();
+  if (version != kVersion) {
+    corrupt("unsupported version " + std::to_string(version));
+  }
+  const std::uint16_t kind_raw = reader.get_u16();
+  if (kind_raw > static_cast<std::uint16_t>(SummaryKind::kSpaceSaving)) {
+    corrupt("unknown summary kind " + std::to_string(kind_raw));
+  }
+  FlowSummary summary;
+  summary.kind = static_cast<SummaryKind>(kind_raw);
+  summary.agent_id = reader.get_u32();
+  summary.epoch = reader.get_u64();
+  summary.effective_rate = reader.get_f64();
+  if (!(std::isfinite(summary.effective_rate) && summary.effective_rate > 0.0 &&
+        summary.effective_rate <= 1.0)) {
+    corrupt("sampling rate out of (0, 1]");
+  }
+  summary.packets_offered = reader.get_u64();
+  summary.packets_sampled = reader.get_u64();
+  summary.shed_packets = reader.get_u64();
+  summary.fault_records = reader.get_u64();
+  summary.sketch_capacity = reader.get_u64();
+  const std::uint32_t entry_count = reader.get_u32();
+  if (reader.get_u32() != 0) corrupt("nonzero reserved field");
+  const std::size_t expected = kHeaderBytes +
+                               static_cast<std::size_t>(entry_count) *
+                                   entry_bytes(summary.kind) +
+                               kChecksumBytes;
+  if (expected != bytes.size()) {
+    corrupt("entry count mismatch: " + std::to_string(entry_count) +
+            " entries imply " + std::to_string(expected) + " bytes, buffer has " +
+            std::to_string(bytes.size()));
+  }
+  summary.entries.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    SummaryEntry entry;
+    entry.key.hi = reader.get_u64();
+    entry.key.lo = reader.get_u64();
+    entry.packets = reader.get_u64();
+    if (summary.kind == SummaryKind::kFlowTable) {
+      entry.bytes = reader.get_u64();
+      entry.first_ns = reader.get_i64();
+      entry.last_ns = reader.get_i64();
+      entry.min_tcp_seq = reader.get_u32();
+      entry.max_tcp_seq = reader.get_u32();
+      const std::uint8_t has_seq = reader.get_u8();
+      if (has_seq > 1) corrupt("bad has_tcp_seq flag");
+      entry.has_tcp_seq = has_seq == 1;
+    } else {
+      entry.error = reader.get_u64();
+    }
+    summary.entries.push_back(entry);
+  }
+  return summary;
+}
+
+estimators::MergedSketch inverted_view(const FlowSummary& summary) {
+  const double rate = summary.effective_rate;
+  estimators::MergedSketch view;
+  view.flows.reserve(summary.entries.size());
+  std::uint64_t min_packets = 0;
+  bool first = true;
+  for (const SummaryEntry& entry : summary.entries) {
+    estimators::TrackedFlow flow;
+    flow.key = entry.key;
+    flow.estimated_packets = static_cast<double>(entry.packets) / rate;
+    flow.error_bound = summary.kind == SummaryKind::kSpaceSaving
+                           ? static_cast<double>(entry.error) / rate
+                           : 0.0;
+    view.flows.push_back(flow);
+    if (first || entry.packets < min_packets) min_packets = entry.packets;
+    first = false;
+  }
+  if (summary.kind == SummaryKind::kSpaceSaving && summary.sketch_capacity > 0 &&
+      summary.entries.size() >= summary.sketch_capacity) {
+    // The sketch ran full: an absent key may have been counted up to the
+    // minimum estimate before eviction.
+    view.absent_bound = static_cast<double>(min_packets) / rate;
+  }
+  std::sort(view.flows.begin(), view.flows.end(),
+            [](const estimators::TrackedFlow& a, const estimators::TrackedFlow& b) {
+              if (a.estimated_packets != b.estimated_packets) {
+                return a.estimated_packets > b.estimated_packets;
+              }
+              return a.key < b.key;
+            });
+  return view;
+}
+
+void apply_to_table(const FlowSummary& summary, flowtable::FlowTable& table) {
+  if (summary.kind != SummaryKind::kFlowTable) {
+    throw std::invalid_argument(
+        "apply_to_table: summary does not carry flow-table entries");
+  }
+  for (const SummaryEntry& entry : summary.entries) {
+    flowtable::FlowCounter counter;
+    counter.key = entry.key;
+    counter.packets = entry.packets;
+    counter.bytes = entry.bytes;
+    counter.first_ns = entry.first_ns;
+    counter.last_ns = entry.last_ns;
+    counter.min_tcp_seq = entry.min_tcp_seq;
+    counter.max_tcp_seq = entry.max_tcp_seq;
+    counter.has_tcp_seq = entry.has_tcp_seq;
+    table.insert_counter(counter);
+  }
+}
+
+}  // namespace flowrank::agg

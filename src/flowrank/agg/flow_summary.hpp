@@ -1,0 +1,125 @@
+// FlowSummary: the unit of multi-vantage aggregation.
+//
+// Each vantage agent compresses its per-window sampled view — either a
+// full FlowTable snapshot or a Space-Saving sketch — into a compact,
+// versioned, length-prefixed, checksummed byte message and ships it to
+// the aggregator. The wire format is an explicit little-endian field
+// sequence written/parsed via util/bytes.hpp (never struct memcpy), so a
+// truncated, reordered, or bit-flipped summary is rejected
+// deterministically with flowrank::Error{kCorruptSummary} — it can never
+// be ingested as a plausible-but-wrong summary. The trailing FNV-1a 64
+// checksum covers every preceding byte; its per-byte step is a bijection
+// of the hash state, so every single-bit flip in the covered bytes is
+// detected with certainty (tests sweep all of them).
+//
+// Layout (offsets in bytes; all integers little-endian):
+//   0   magic 'F' 'S' 'M' '1'
+//   4   u32  total_size        entire message including the checksum
+//   8   u16  version           (= 1)
+//   10  u16  kind              0 = flow-table, 1 = space-saving
+//   12  u32  agent_id
+//   16  u64  epoch             window index this summary describes
+//   24  f64  effective_rate    this agent's sampling rate, in (0, 1]
+//   32  u64  packets_offered   packets routed to the agent this window
+//   40  u64  packets_sampled   packets its sampler selected
+//   48  u64  shed_packets      packets dropped by overload shedding
+//   56  u64  fault_records     agent-local fault events this window
+//   64  u64  sketch_capacity   slot count (space-saving kind; 0 for tables)
+//   72  u32  entry_count
+//   76  u32  reserved          (= 0)
+//   80  entries, sorted by key ascending (canonical: equal views serialize
+//       to equal bytes) — 57 bytes each for flow-table entries, 32 for
+//       space-saving entries
+//   end-8  u64 fnv1a64 over bytes [0, end-8)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flowrank/estimators/heavy_hitter_trackers.hpp"
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/packet/flow_key.hpp"
+
+namespace flowrank::agg {
+
+/// What kind of per-agent view a summary carries.
+enum class SummaryKind : std::uint16_t {
+  kFlowTable = 0,    ///< exact per-flow counters (table snapshot)
+  kSpaceSaving = 1,  ///< bounded-memory sketch with per-entry error bounds
+};
+
+/// One summarized flow. Table entries carry the full counter; sketch
+/// entries use `packets` as the estimated count and `error` as the
+/// Space-Saving overestimation bound (other fields stay at defaults).
+struct SummaryEntry {
+  packet::FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t first_ns = 0;
+  std::int64_t last_ns = 0;
+  std::uint32_t min_tcp_seq = 0;
+  std::uint32_t max_tcp_seq = 0;
+  bool has_tcp_seq = false;
+  std::uint64_t error = 0;  ///< sketch kind only
+
+  friend bool operator==(const SummaryEntry&, const SummaryEntry&) = default;
+};
+
+/// A decoded per-agent window summary.
+struct FlowSummary {
+  std::uint32_t agent_id = 0;
+  std::uint64_t epoch = 0;
+  SummaryKind kind = SummaryKind::kFlowTable;
+  double effective_rate = 1.0;
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_sampled = 0;
+  std::uint64_t shed_packets = 0;
+  std::uint64_t fault_records = 0;
+  std::uint64_t sketch_capacity = 0;  ///< space-saving slot count; 0 for tables
+  std::vector<SummaryEntry> entries;  ///< sorted by key ascending
+
+  friend bool operator==(const FlowSummary&, const FlowSummary&) = default;
+};
+
+/// Snapshots a flow table (completed subflows folded into their keys) as a
+/// kFlowTable summary. Entries are sorted by key, so equal tables always
+/// serialize to identical bytes. Throws std::invalid_argument unless
+/// effective_rate is in (0, 1].
+[[nodiscard]] FlowSummary summarize_table(const flowtable::FlowTable& table,
+                                          std::uint32_t agent_id,
+                                          std::uint64_t epoch,
+                                          double effective_rate);
+
+/// Snapshots a Space-Saving tracker as a kSpaceSaving summary (counts and
+/// error bounds are integral by construction). Same canonical ordering
+/// and rate validation as summarize_table().
+[[nodiscard]] FlowSummary summarize_sketch(
+    const estimators::SpaceSavingTracker& tracker, std::uint32_t agent_id,
+    std::uint64_t epoch, double effective_rate);
+
+/// Encodes a summary into the wire format documented above.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const FlowSummary& summary);
+
+/// Decodes a wire message. Every framing violation — short buffer, bad
+/// magic, total_size mismatch, unsupported version, unknown kind, nonzero
+/// reserved field, entry-count/size mismatch, out-of-range sampling rate,
+/// checksum mismatch — throws flowrank::Error{kCorruptSummary}; a summary
+/// is either accepted exactly as serialized or rejected, never mangled.
+[[nodiscard]] FlowSummary parse_summary(std::span<const std::uint8_t> bytes);
+
+/// The summary as a mergeable sketch view, *inverted at its own sampling
+/// rate*: estimates, error bounds, and the absent-key bound are divided by
+/// effective_rate, so summaries taken at heterogeneous per-agent rates
+/// merge on a common (estimated true count) scale. Table summaries invert
+/// to exact views (error 0, absent bound 0); space-saving summaries
+/// carry their per-entry bounds and, when the sketch ran full, the
+/// minimum-estimate absent bound.
+[[nodiscard]] estimators::MergedSketch inverted_view(const FlowSummary& summary);
+
+/// Reconstructs table-kind entries into a flow table via insert_counter()
+/// (exact; conservation independent of insertion order). Throws
+/// std::invalid_argument for sketch-kind summaries.
+void apply_to_table(const FlowSummary& summary, flowtable::FlowTable& table);
+
+}  // namespace flowrank::agg

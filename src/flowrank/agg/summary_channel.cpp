@@ -1,0 +1,153 @@
+#include "flowrank/agg/summary_channel.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::agg {
+
+namespace {
+
+void check_fraction(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string("summary channel: ") + name +
+                                " in [0, 1]");
+  }
+}
+
+bool in_outage(const SummaryFaultSpec& spec, std::uint32_t agent,
+               std::uint64_t epoch) {
+  if (spec.outage_agent != agent) return false;
+  if (epoch < spec.outage_from) return false;
+  return spec.outage_windows == 0 ||
+         epoch < spec.outage_from + spec.outage_windows;
+}
+
+}  // namespace
+
+FaultInjectingSummaryChannel::FaultInjectingSummaryChannel(SummaryFaultSpec spec,
+                                                           std::size_t agents)
+    : spec_(spec), per_agent_(agents) {
+  check_fraction(spec.drop_fraction, "drop fraction");
+  check_fraction(spec.corrupt_fraction, "corrupt fraction");
+  check_fraction(spec.delay_fraction, "delay fraction");
+  check_fraction(spec.duplicate_fraction, "duplicate fraction");
+  if (spec.drop_fraction + spec.corrupt_fraction + spec.delay_fraction +
+          spec.duplicate_fraction >
+      1.0) {
+    throw std::invalid_argument(
+        "summary channel: fault fractions sum to more than 1");
+  }
+  if (spec.delay_windows == 0) {
+    throw std::invalid_argument("summary channel: delay-windows >= 1");
+  }
+  if (agents == 0) {
+    throw std::invalid_argument("summary channel: agents >= 1");
+  }
+  if (spec.outage_agent != SummaryFaultSpec::kNoAgent &&
+      spec.outage_agent >= agents) {
+    throw std::invalid_argument("summary channel: outage agent out of range");
+  }
+}
+
+void FaultInjectingSummaryChannel::submit(std::uint32_t agent_id,
+                                          std::uint64_t epoch,
+                                          std::vector<std::uint8_t> bytes) {
+  if (agent_id >= per_agent_.size()) {
+    throw std::out_of_range("summary channel: agent id out of range");
+  }
+  ++counters_.submitted;
+  ++per_agent_[agent_id].submitted;
+
+  if (in_outage(spec_, agent_id, epoch)) {
+    ++counters_.outage_dropped;
+    ++per_agent_[agent_id].outage_dropped;
+    return;
+  }
+
+  // One fault decision per (agent, epoch), a pure function of the seed —
+  // the schedule replays identically across runs. Mutually exclusive
+  // ladder so aggregator-side counters match these counts one-to-one.
+  util::Engine engine = util::make_engine(
+      spec_.seed, util::mix_streams(agent_id, epoch, 0xC4A17ull));
+  const double coin = util::uniform_unit_open(engine);
+
+  std::uint64_t deliver_epoch = epoch;
+  bool duplicate = false;
+  double edge = spec_.drop_fraction;
+  if (coin < edge) {
+    ++counters_.dropped;
+    ++per_agent_[agent_id].dropped;
+    return;
+  }
+  edge += spec_.corrupt_fraction;
+  if (coin < edge) {
+    if (!bytes.empty()) {
+      const std::size_t pos = static_cast<std::size_t>(engine() % bytes.size());
+      const unsigned bit = static_cast<unsigned>(engine() % 8);
+      bytes[pos] = static_cast<std::uint8_t>(bytes[pos] ^ (1u << bit));
+    }
+    ++counters_.corrupted;
+    ++per_agent_[agent_id].corrupted;
+  } else {
+    edge += spec_.delay_fraction;
+    if (coin < edge) {
+      deliver_epoch = epoch + spec_.delay_windows;
+      ++counters_.delayed;
+      ++per_agent_[agent_id].delayed;
+    } else {
+      edge += spec_.duplicate_fraction;
+      if (coin < edge) {
+        duplicate = true;
+        ++counters_.duplicated;
+        ++per_agent_[agent_id].duplicated;
+      }
+    }
+  }
+
+  SummaryDelivery delivery{agent_id, epoch, std::move(bytes)};
+  if (duplicate) {
+    in_flight_.push_back(InFlight{deliver_epoch, delivery});
+    ++counters_.delivered;
+    ++per_agent_[agent_id].delivered;
+  }
+  in_flight_.push_back(InFlight{deliver_epoch, std::move(delivery)});
+  ++counters_.delivered;
+  ++per_agent_[agent_id].delivered;
+}
+
+std::vector<SummaryDelivery> FaultInjectingSummaryChannel::drain_ready(
+    std::uint64_t epoch) {
+  std::vector<SummaryDelivery> due;
+  std::vector<InFlight> keep;
+  keep.reserve(in_flight_.size());
+  for (InFlight& item : in_flight_) {
+    if (item.deliver_epoch <= epoch) {
+      due.push_back(std::move(item.delivery));
+    } else {
+      keep.push_back(std::move(item));
+    }
+  }
+  in_flight_ = std::move(keep);
+  return due;
+}
+
+std::vector<SummaryDelivery> FaultInjectingSummaryChannel::drain_all() {
+  std::vector<SummaryDelivery> due;
+  due.reserve(in_flight_.size());
+  for (InFlight& item : in_flight_) due.push_back(std::move(item.delivery));
+  in_flight_.clear();
+  return due;
+}
+
+const ChannelCounters& FaultInjectingSummaryChannel::agent_counters(
+    std::uint32_t agent) const {
+  if (agent >= per_agent_.size()) {
+    throw std::out_of_range("summary channel: agent id out of range");
+  }
+  return per_agent_[agent];
+}
+
+}  // namespace flowrank::agg

@@ -1,0 +1,109 @@
+// Deterministic fault injection on the agent → aggregator summary path.
+//
+// The channel sits between the vantage agents and the Aggregator and
+// misbehaves on purpose: it drops, delays, corrupts (single bit flip —
+// always checksum-detected, see util/bytes.hpp), or duplicates summaries
+// according to per-(agent, window) coin flips drawn from a seeded
+// counter-style RNG, plus an optional deterministic full outage for one
+// agent. Every decision is a pure function of (seed, agent, epoch), so a
+// rerun injects the identical fault schedule and tests can assert the
+// aggregator's counters match the injected counts exactly. To keep that
+// correspondence one-to-one, at most ONE fault applies per summary
+// (drop, else corrupt, else delay, else duplicate).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace flowrank::agg {
+
+/// Fault plan for the summary channel. All fractions are probabilities in
+/// [0, 1]; their sum must not exceed 1 (the ladder is mutually exclusive).
+struct SummaryFaultSpec {
+  static constexpr std::uint32_t kNoAgent =
+      std::numeric_limits<std::uint32_t>::max();
+
+  double drop_fraction = 0.0;       ///< summary silently lost
+  double corrupt_fraction = 0.0;    ///< one bit flipped, delivered on time
+  double delay_fraction = 0.0;      ///< delivered delay_windows late
+  double duplicate_fraction = 0.0;  ///< delivered twice in the same window
+  std::size_t delay_windows = 1;    ///< lateness of delayed summaries (>= 1)
+  /// Deterministic outage: this agent's summaries for epochs in
+  /// [outage_from, outage_from + outage_windows) are dropped (the whole
+  /// rest of the run when outage_windows == 0). kNoAgent disables.
+  std::uint32_t outage_agent = kNoAgent;
+  std::uint64_t outage_from = 0;
+  std::size_t outage_windows = 0;
+  std::uint64_t seed = 0x5EEDu;
+
+  /// True when any fault can ever fire.
+  [[nodiscard]] bool any() const noexcept {
+    return drop_fraction > 0.0 || corrupt_fraction > 0.0 ||
+           delay_fraction > 0.0 || duplicate_fraction > 0.0 ||
+           outage_agent != kNoAgent;
+  }
+};
+
+/// What the channel did, in aggregate and per agent. Counters map onto
+/// Aggregator outcomes: corrupted -> corrupt, delayed -> late (once the
+/// window has closed), duplicated -> duplicate, dropped + outage_dropped
+/// -> missed.
+struct ChannelCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered = 0;  ///< deliveries emitted (duplicates count twice)
+  std::uint64_t dropped = 0;    ///< random drops
+  std::uint64_t outage_dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+};
+
+/// One summary handed to the aggregator.
+struct SummaryDelivery {
+  std::uint32_t agent_id = 0;
+  std::uint64_t submitted_epoch = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Seeded, deterministic fault-injecting transport for serialized
+/// FlowSummary messages. Single-threaded by design: the fleet driver
+/// submits every agent's summary for window w, then drains what is due.
+class FaultInjectingSummaryChannel {
+ public:
+  /// Throws std::invalid_argument on out-of-range fractions (each in
+  /// [0, 1], summing to at most 1) or delay_windows == 0.
+  FaultInjectingSummaryChannel(SummaryFaultSpec spec, std::size_t agents);
+
+  /// Accepts one serialized summary from `agent_id` for window `epoch`
+  /// and applies this (agent, epoch)'s fault decision.
+  void submit(std::uint32_t agent_id, std::uint64_t epoch,
+              std::vector<std::uint8_t> bytes);
+
+  /// Removes and returns every delivery due by the close of window
+  /// `epoch` (deliver_epoch <= epoch), in submission order.
+  [[nodiscard]] std::vector<SummaryDelivery> drain_ready(std::uint64_t epoch);
+
+  /// Removes and returns everything still in flight (end of run; the
+  /// aggregator counts these as late).
+  [[nodiscard]] std::vector<SummaryDelivery> drain_all();
+
+  [[nodiscard]] const ChannelCounters& counters() const noexcept {
+    return counters_;
+  }
+  /// Per-agent view of the same counters. `agent` < agents.
+  [[nodiscard]] const ChannelCounters& agent_counters(std::uint32_t agent) const;
+
+ private:
+  struct InFlight {
+    std::uint64_t deliver_epoch = 0;
+    SummaryDelivery delivery;
+  };
+
+  SummaryFaultSpec spec_;
+  std::vector<InFlight> in_flight_;  ///< submission order
+  ChannelCounters counters_;
+  std::vector<ChannelCounters> per_agent_;
+};
+
+}  // namespace flowrank::agg

@@ -1,6 +1,7 @@
 #include "flowrank/estimators/heavy_hitter_trackers.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <random>
 #include <stdexcept>
 
@@ -89,6 +90,70 @@ std::vector<TrackedFlow> SpaceSavingTracker::top(std::size_t t) const {
   });
   if (t < all.size()) all.resize(t);
   return all;
+}
+
+double sketch_absent_bound(std::span<const TrackedFlow> flows,
+                           std::size_t capacity) {
+  if (capacity == 0 || flows.size() < capacity) return 0.0;
+  double min_estimate = std::numeric_limits<double>::infinity();
+  for (const TrackedFlow& flow : flows) {
+    min_estimate = std::min(min_estimate, flow.estimated_packets);
+  }
+  return flows.empty() ? 0.0 : min_estimate;
+}
+
+MergedSketch space_saving_union(const SketchView& a, const SketchView& b,
+                                std::size_t capacity) {
+  // Index b for key lookups; entries consumed while walking a are erased,
+  // so the leftover set is exactly the b-only keys. Lookup/erase only —
+  // no iteration order dependence.
+  std::unordered_map<packet::FlowKey, TrackedFlow, packet::FlowKeyHash> b_index;
+  b_index.reserve(b.flows.size());
+  for (const TrackedFlow& flow : b.flows) b_index.emplace(flow.key, flow);
+
+  MergedSketch merged;
+  merged.flows.reserve(a.flows.size() + b.flows.size());
+  for (const TrackedFlow& flow : a.flows) {
+    TrackedFlow out = flow;
+    const auto it = b_index.find(flow.key);
+    if (it != b_index.end()) {
+      out.estimated_packets += it->second.estimated_packets;
+      out.error_bound += it->second.error_bound;
+      b_index.erase(it);
+    } else {
+      // b never tracked this key; it may still have counted it up to b's
+      // minimum before eviction — the min-error offset.
+      out.estimated_packets += b.absent_bound;
+      out.error_bound += b.absent_bound;
+    }
+    merged.flows.push_back(out);
+  }
+  for (const TrackedFlow& flow : b.flows) {
+    const auto it = b_index.find(flow.key);
+    if (it == b_index.end()) continue;  // consumed: present in a too
+    TrackedFlow out = flow;
+    out.estimated_packets += a.absent_bound;
+    out.error_bound += a.absent_bound;
+    merged.flows.push_back(out);
+    b_index.erase(it);
+  }
+
+  std::sort(merged.flows.begin(), merged.flows.end(),
+            [](const TrackedFlow& x, const TrackedFlow& y) {
+              if (x.estimated_packets != y.estimated_packets) {
+                return x.estimated_packets > y.estimated_packets;
+              }
+              return x.key < y.key;
+            });
+  merged.absent_bound = a.absent_bound + b.absent_bound;
+  if (capacity > 0 && merged.flows.size() > capacity) {
+    // A dropped key's true count is at most its (over-)estimate; future
+    // folds must treat it as potentially that large.
+    merged.absent_bound =
+        std::max(merged.absent_bound, merged.flows[capacity].estimated_packets);
+    merged.flows.resize(capacity);
+  }
+  return merged;
 }
 
 }  // namespace flowrank::estimators

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,7 @@ class SpaceSavingTracker {
   [[nodiscard]] std::vector<TrackedFlow> top(std::size_t t) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   struct Entry {
@@ -80,5 +82,49 @@ class SpaceSavingTracker {
   std::size_t capacity_;
   std::unordered_map<packet::FlowKey, Entry, packet::FlowKeyHash> entries_;
 };
+
+// ---- Mergeable-summaries union (Agarwal et al.'s mergeable Space-Saving)
+
+/// A sketch as a mergeable view: the tracked flows plus an upper bound on
+/// the true count of any key *absent* from it. For a Space-Saving sketch
+/// that ran full, an untracked key's true count cannot exceed the sketch's
+/// minimum estimate (otherwise it would have evicted its way in); a sketch
+/// that never filled tracked everything it saw, so the bound is 0. An
+/// exact table (every key present) also has bound 0.
+struct SketchView {
+  std::span<const TrackedFlow> flows;
+  double absent_bound = 0.0;
+};
+
+/// The absent-key bound of a sketch with `capacity` slots (0 = unbounded,
+/// always exact): its minimum estimate when full, 0 otherwise.
+[[nodiscard]] double sketch_absent_bound(std::span<const TrackedFlow> flows,
+                                         std::size_t capacity);
+
+/// A union result, ready to fold with further sketches (k-way merges are
+/// left folds of the pairwise union).
+struct MergedSketch {
+  std::vector<TrackedFlow> flows;  ///< estimate desc, key asc
+  double absent_bound = 0.0;
+
+  [[nodiscard]] SketchView view() const noexcept {
+    return SketchView{flows, absent_bound};
+  }
+};
+
+/// Classic Space-Saving union with min-error offsets: keys present in both
+/// views sum their estimates and error bounds; a key present in only one
+/// view adds the other view's absent bound to both (the other sketch may
+/// have counted it up to that much before eviction). Every merged estimate
+/// therefore still overestimates its true combined count by at most its
+/// merged error bound, and that bound is at most the sum of the per-view
+/// bounds (per-key error or absent bound). `capacity` > 0 truncates the
+/// result to the top `capacity` estimates, widening absent_bound to the
+/// largest dropped estimate; 0 keeps everything. Output is sorted
+/// estimate-descending with key tie-breaks, so merges are deterministic
+/// regardless of input order.
+[[nodiscard]] MergedSketch space_saving_union(const SketchView& a,
+                                              const SketchView& b,
+                                              std::size_t capacity);
 
 }  // namespace flowrank::estimators

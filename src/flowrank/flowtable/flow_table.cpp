@@ -149,18 +149,27 @@ std::vector<FlowCounter> FlowTable::all() const {
   return out;
 }
 
+void FlowTable::insert_counter(const FlowCounter& counter) {
+  const std::uint64_t hash = hash_key(counter.key);
+  // Freshness is decided by whether find_or_insert actually inserted
+  // (size_ advanced), never by counters_[idx].packets == 0 — a merged-in
+  // zero-packet counter is a legitimate entry (e.g. a summary of an idle
+  // flow) and must merge, not be clobbered by a later counter for the
+  // same key.
+  const std::size_t size_before = size_;
+  const std::size_t idx = find_or_insert(counter.key, hash);
+  if (size_ != size_before) {
+    counters_[idx] = counter;  // fresh slot: take the counter whole
+  } else {
+    merge_counter(counters_[idx], counter);
+  }
+}
+
 void FlowTable::merge_from(const FlowTable& other) {
   completed_.insert(completed_.end(), other.completed_.begin(),
                     other.completed_.end());
-  other.for_each_active([this](const FlowCounter& counter) {
-    const std::uint64_t hash = hash_key(counter.key);
-    const std::size_t idx = find_or_insert(counter.key, hash);
-    if (counters_[idx].packets == 0) {
-      counters_[idx] = counter;  // fresh slot: take the counter whole
-    } else {
-      merge_counter(counters_[idx], counter);
-    }
-  });
+  other.for_each_active(
+      [this](const FlowCounter& counter) { insert_counter(counter); });
 }
 
 void FlowTable::clear() {

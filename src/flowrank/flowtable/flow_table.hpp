@@ -103,13 +103,25 @@ class FlowTable {
   /// Current slot count (power of two).
   [[nodiscard]] std::size_t capacity() const noexcept { return hashes_.size(); }
 
+  /// Folds one flow counter into the table: a fresh key takes the counter
+  /// whole, an existing key merges via merge_counter(). This is the
+  /// primitive cross-agent aggregation builds per-window tables from
+  /// (reconstructing a table from FlowSummary entries or shard flushes),
+  /// and the per-key step of merge_from(). Conservation holds exactly:
+  /// per-key packet/byte sums and time/seq spans are independent of
+  /// insertion order.
+  void insert_counter(const FlowCounter& counter);
+
   /// Merges another table's flows into this one (the shard-merge step of
-  /// the sharded ingest pipeline): `other`'s completed subflows are
-  /// appended to completed(), its active entries are unioned in by key
-  /// (merge_counter() on key collision). When the two tables hold
-  /// disjoint key sets — the invariant of hash-sharded ingest — the
-  /// merged table is element-wise identical to one classified serially;
-  /// only iteration order may differ.
+  /// the sharded ingest pipeline, and the overlapping-key case of
+  /// cross-agent aggregation): `other`'s completed subflows are appended
+  /// to completed(), its active entries are unioned in by key
+  /// (insert_counter() per entry). When the two tables hold disjoint key
+  /// sets — the invariant of hash-sharded ingest — the merged table is
+  /// element-wise identical to one classified serially; only iteration
+  /// order may differ. Overlapping keys merge conservatively, including
+  /// legitimate zero-packet entries (freshness is decided by slot
+  /// occupancy, not a packets == 0 heuristic that would clobber them).
   void merge_from(const FlowTable& other);
 
   /// Clears all state (end of measurement interval, "memory is cleared").

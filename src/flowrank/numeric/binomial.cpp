@@ -1,5 +1,6 @@
 #include "flowrank/numeric/binomial.hpp"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -73,9 +74,7 @@ std::shared_ptr<BinomialSweep> BinomialSweep::shared(std::int64_t n, double p) {
   struct KeyHash {
     std::size_t operator()(const std::pair<std::int64_t, double>& key) const noexcept {
       std::uint64_t z = static_cast<std::uint64_t>(key.first);
-      std::uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(key.second));
-      __builtin_memcpy(&bits, &key.second, sizeof(bits));
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(key.second);
       z ^= bits * 0x9e3779b97f4a7c15ULL;
       z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
       return static_cast<std::size_t>(z ^ (z >> 31));

@@ -163,6 +163,21 @@ void check_axes(const ExperimentSpec& spec) {
           "stages are batch-only");
     }
   }
+  if (spec.aggregate.enabled) {
+    if (spec.model != ExperimentModel::kPacket) {
+      throw std::invalid_argument("experiment: mode=aggregate needs model=packet");
+    }
+    if (!spec.sweeps.empty()) {
+      throw std::invalid_argument(
+          "experiment: mode=aggregate is a single fleet run, not a sweep; "
+          "drop the sweep axes");
+    }
+    if (spec.estimator.kind != EstimatorStage::Kind::kNone) {
+      throw std::invalid_argument(
+          "experiment: mode=aggregate merges per-agent summaries; estimator "
+          "stages are batch-only");
+    }
+  }
 }
 
 /// The grid axes that index rows (mc/packet fold a rate sweep into the
@@ -637,6 +652,42 @@ std::vector<std::pair<std::string, std::string>> experiment_echo(
       }
       if (fault.any()) add("fault.seed", std::to_string(fault.seed));
     }
+    if (spec.aggregate.enabled) {
+      const AggregateOptions& agg_opts = spec.aggregate;
+      add("mode", "aggregate");
+      add("agents", std::to_string(agg_opts.agents));
+      add("split", agg_opts.split == agg::FleetSplit::kFlow ? "flow" : "packet");
+      add("deadline-ms", std::to_string(agg_opts.deadline_ms));
+      add("quarantine-after", std::to_string(agg_opts.quarantine_after));
+      add("readmit-after", std::to_string(agg_opts.readmit_after));
+      add("summary", agg_opts.summary == agg::SummaryKind::kFlowTable
+                         ? "table"
+                         : "spacesaving");
+      if (agg_opts.summary == agg::SummaryKind::kSpaceSaving) {
+        add("summary-slots", std::to_string(agg_opts.summary_slots));
+      }
+      if (agg_opts.union_capacity > 0) {
+        add("union-capacity", std::to_string(agg_opts.union_capacity));
+      }
+      const agg::SummaryFaultSpec& chan = agg_opts.chan;
+      if (chan.drop_fraction > 0.0) add("chan.drop", format_value(chan.drop_fraction));
+      if (chan.corrupt_fraction > 0.0) {
+        add("chan.corrupt", format_value(chan.corrupt_fraction));
+      }
+      if (chan.delay_fraction > 0.0) {
+        add("chan.delay", format_value(chan.delay_fraction));
+        add("chan.delay-windows", std::to_string(chan.delay_windows));
+      }
+      if (chan.duplicate_fraction > 0.0) {
+        add("chan.duplicate", format_value(chan.duplicate_fraction));
+      }
+      if (chan.outage_agent != agg::SummaryFaultSpec::kNoAgent) {
+        add("chan.outage-agent", std::to_string(chan.outage_agent));
+        add("chan.outage-from", std::to_string(chan.outage_from));
+        add("chan.outage-windows", std::to_string(chan.outage_windows));
+      }
+      if (chan.any()) add("chan.seed", std::to_string(chan.seed));
+    }
   }
   add("seed", std::to_string(spec.seed));
   for (const auto& axis : spec.sweeps) {
@@ -646,6 +697,7 @@ std::vector<std::pair<std::string, std::string>> experiment_echo(
 }
 
 std::vector<std::string> experiment_columns(const ExperimentSpec& spec) {
+  if (spec.aggregate.enabled) return agg::window_columns();
   if (spec.monitor.enabled) return monitor::snapshot_columns();
   std::vector<std::string> columns;
   for (const auto& axis : grid_axes(spec)) columns.push_back(axis.param);
@@ -680,6 +732,27 @@ std::vector<std::string> experiment_columns(const ExperimentSpec& spec) {
 
 std::size_t run_experiment(const ExperimentSpec& spec, report::ResultSink& sink) {
   check_axes(spec);
+
+  if (spec.aggregate.enabled) {
+    // Multi-vantage mode: one fleet run, one row per aggregation window.
+    // Windows close in epoch order, so rows stream already ordered; the
+    // fleet's own determinism (canonical summaries, order-insensitive
+    // merges, seeded channel faults) keeps the output reproducible at
+    // any shard count.
+    report::RunMetadata meta;
+    meta.experiment = spec.name;
+    meta.seed = spec.seed;
+    meta.spec_echo = experiment_echo(spec);
+    sink.open(agg::window_columns(), meta);
+    const trace::FlowTrace trace = make_trace_source(spec)->flows();
+    std::size_t rows = 0;
+    (void)agg::run_fleet(trace, make_fleet_config(spec),
+                         [&sink, &rows](const agg::MergedWindow& window) {
+                           sink.emit(rows++, agg::window_row(window));
+                         });
+    sink.close(rows);
+    return rows;
+  }
 
   if (spec.monitor.enabled) {
     // Continuous-monitor mode: one MonitorLoop run, one row per emitted

@@ -125,6 +125,44 @@ void apply_fault_entry(trace::FaultSpec& fault, const std::string& key,
   }
 }
 
+/// The dotted chan.* sub-keys, mapping onto agg::SummaryFaultSpec.
+void apply_chan_entry(agg::SummaryFaultSpec& chan, const std::string& key,
+                      const std::string& value) {
+  const auto parse_fraction = [&](const std::string& k, const std::string& v) {
+    const double fraction = parse_double(k, v);
+    if (!(fraction >= 0.0 && fraction <= 1.0)) {
+      throw std::invalid_argument("scenario: key '" + k +
+                                  "' must be a fraction in [0, 1]");
+    }
+    return fraction;
+  };
+  const std::string knob = key.substr(std::string("chan.").size());
+  if (knob == "drop") {
+    chan.drop_fraction = parse_fraction(key, value);
+  } else if (knob == "corrupt") {
+    chan.corrupt_fraction = parse_fraction(key, value);
+  } else if (knob == "delay") {
+    chan.delay_fraction = parse_fraction(key, value);
+  } else if (knob == "delay-windows") {
+    chan.delay_windows = parse_uint(key, value);
+    if (chan.delay_windows < 1) {
+      throw std::invalid_argument("scenario: chan.delay-windows >= 1");
+    }
+  } else if (knob == "duplicate") {
+    chan.duplicate_fraction = parse_fraction(key, value);
+  } else if (knob == "outage-agent") {
+    chan.outage_agent = static_cast<std::uint32_t>(parse_uint(key, value));
+  } else if (knob == "outage-from") {
+    chan.outage_from = parse_uint(key, value);
+  } else if (knob == "outage-windows") {
+    chan.outage_windows = parse_uint(key, value);
+  } else if (knob == "seed") {
+    chan.seed = parse_uint(key, value);
+  } else {
+    throw std::invalid_argument("scenario: unknown chan knob '" + key + "'");
+  }
+}
+
 trace::OnOffArrivals parse_onoff(const std::string& clause) {
   auto args = parse_clause("onoff", clause);
   trace::OnOffArrivals on_off;
@@ -135,6 +173,74 @@ trace::OnOffArrivals parse_onoff(const std::string& clause) {
   on_off.off_factor = take(args, "off-factor", on_off.off_factor);
   expect_empty(args, "onoff");
   return on_off;
+}
+
+// --- per-mode key whitelists (the monitor/aggregate analogue of the
+// experiment layer's per-model axis whitelists): every key is parsed in
+// every mode, but an unknown-key error names only the keys meaningful
+// for the spec's active mode, so a typo points at the right family.
+
+const std::vector<std::string>& base_mode_keys() {
+  static const std::vector<std::string> keys = {
+      "beta",      "bin",         "definition",      "dist",
+      "duration",  "epoch-gap",   "epochs",          "flow-rate",
+      "flow-rate-scale", "mode",  "name",            "onoff",
+      "packet-size", "path",      "preset",          "rates",
+      "runs",      "seed",        "shards",          "t",
+      "threads",   "ties",        "trace",           "trace-seed"};
+  return keys;
+}
+
+const std::vector<std::string>& monitor_mode_keys() {
+  static const std::vector<std::string> keys = {
+      "budget",          "ewma",
+      "fault.burst-duration", "fault.burst-every",
+      "fault.burst-flows", "fault.corrupt",
+      "fault.seed",      "fault.stall-every",
+      "fault.stall-ms",  "fault.truncate",
+      "on-stall",        "overload",
+      "snapshot-every",  "watchdog-ms",
+      "window"};
+  return keys;
+}
+
+const std::vector<std::string>& aggregate_mode_keys() {
+  static const std::vector<std::string> keys = {
+      "agents",          "chan.corrupt",
+      "chan.delay",      "chan.delay-windows",
+      "chan.drop",       "chan.duplicate",
+      "chan.outage-agent", "chan.outage-from",
+      "chan.outage-windows", "chan.seed",
+      "deadline-ms",     "quarantine-after",
+      "readmit-after",   "split",
+      "summary",         "summary-slots",
+      "union-capacity"};
+  return keys;
+}
+
+/// "unknown key 'x' (valid keys for mode=monitor: ...)" — the key list
+/// is the base set plus the active mode's family, sorted.
+std::string unknown_key_message(const ScenarioSpec& spec, const std::string& key) {
+  const char* mode = spec.aggregate.enabled ? "aggregate"
+                     : spec.monitor.enabled ? "monitor"
+                                            : "batch";
+  std::vector<std::string> keys = base_mode_keys();
+  if (spec.monitor.enabled) {
+    const auto& extra = monitor_mode_keys();
+    keys.insert(keys.end(), extra.begin(), extra.end());
+  } else if (spec.aggregate.enabled) {
+    const auto& extra = aggregate_mode_keys();
+    keys.insert(keys.end(), extra.begin(), extra.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  std::string message =
+      "scenario: unknown key '" + key + "' (valid keys for mode=" + mode + ": ";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) message += ", ";
+    message += keys[i];
+  }
+  message += ")";
+  return message;
 }
 
 /// Applies one key=value entry onto the spec. The single source of truth
@@ -221,12 +327,61 @@ void apply_entry(ScenarioSpec& spec, const std::string& key, const std::string& 
   } else if (key == "mode") {
     if (value == "batch") {
       spec.monitor.enabled = false;
+      spec.aggregate.enabled = false;
     } else if (value == "monitor") {
       spec.monitor.enabled = true;
+      spec.aggregate.enabled = false;
+    } else if (value == "aggregate") {
+      spec.monitor.enabled = false;
+      spec.aggregate.enabled = true;
     } else {
-      throw std::invalid_argument("scenario: mode must be batch|monitor, got '" +
+      throw std::invalid_argument(
+          "scenario: mode must be batch|monitor|aggregate, got '" + value + "'");
+    }
+  } else if (key == "agents") {
+    spec.aggregate.agents = parse_uint(key, value);
+    if (spec.aggregate.agents < 1) {
+      throw std::invalid_argument("scenario: agents >= 1");
+    }
+  } else if (key == "split") {
+    if (value == "flow") {
+      spec.aggregate.split = agg::FleetSplit::kFlow;
+    } else if (value == "packet") {
+      spec.aggregate.split = agg::FleetSplit::kPacket;
+    } else {
+      throw std::invalid_argument("scenario: split must be flow|packet, got '" +
                                   value + "'");
     }
+  } else if (key == "deadline-ms") {
+    spec.aggregate.deadline_ms = static_cast<std::uint32_t>(parse_uint(key, value));
+  } else if (key == "quarantine-after") {
+    spec.aggregate.quarantine_after = parse_uint(key, value);
+    if (spec.aggregate.quarantine_after < 1) {
+      throw std::invalid_argument("scenario: quarantine-after >= 1");
+    }
+  } else if (key == "readmit-after") {
+    spec.aggregate.readmit_after = parse_uint(key, value);
+    if (spec.aggregate.readmit_after < 1) {
+      throw std::invalid_argument("scenario: readmit-after >= 1");
+    }
+  } else if (key == "summary") {
+    if (value == "table") {
+      spec.aggregate.summary = agg::SummaryKind::kFlowTable;
+    } else if (value == "spacesaving") {
+      spec.aggregate.summary = agg::SummaryKind::kSpaceSaving;
+    } else {
+      throw std::invalid_argument(
+          "scenario: summary must be table|spacesaving, got '" + value + "'");
+    }
+  } else if (key == "summary-slots") {
+    spec.aggregate.summary_slots = parse_uint(key, value);
+    if (spec.aggregate.summary_slots < 1) {
+      throw std::invalid_argument("scenario: summary-slots >= 1");
+    }
+  } else if (key == "union-capacity") {
+    spec.aggregate.union_capacity = parse_uint(key, value);
+  } else if (key.rfind("chan.", 0) == 0) {
+    apply_chan_entry(spec.aggregate.chan, key, value);
   } else if (key == "window") {
     spec.monitor.window_s = parse_double(key, value);
     if (spec.monitor.window_s < 0.0) {
@@ -267,34 +422,22 @@ void apply_entry(ScenarioSpec& spec, const std::string& key, const std::string& 
   } else if (key.rfind("fault.", 0) == 0) {
     apply_fault_entry(spec.monitor.fault, key, value);
   } else {
-    throw std::invalid_argument("scenario: unknown key '" + key + "'");
+    throw std::invalid_argument(unknown_key_message(spec, key));
   }
 }
 
 }  // namespace
 
 const std::vector<std::string>& scenario_keys() {
-  static const std::vector<std::string> keys = {
-      "beta",           "bin",
-      "budget",         "definition",
-      "dist",           "duration",
-      "epoch-gap",      "epochs",
-      "ewma",           "fault.burst-duration",
-      "fault.burst-every", "fault.burst-flows",
-      "fault.corrupt",  "fault.seed",
-      "fault.stall-every", "fault.stall-ms",
-      "fault.truncate", "flow-rate",
-      "flow-rate-scale", "mode",
-      "name",           "on-stall",
-      "onoff",          "overload",
-      "packet-size",    "path",
-      "preset",         "rates",
-      "runs",           "seed",
-      "shards",         "snapshot-every",
-      "t",              "threads",
-      "ties",           "trace",
-      "trace-seed",     "watchdog-ms",
-      "window"};
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> all = base_mode_keys();
+    const auto& monitor = monitor_mode_keys();
+    const auto& aggregate = aggregate_mode_keys();
+    all.insert(all.end(), monitor.begin(), monitor.end());
+    all.insert(all.end(), aggregate.begin(), aggregate.end());
+    std::sort(all.begin(), all.end());
+    return all;
+  }();
   return keys;
 }
 
@@ -517,11 +660,44 @@ monitor::MonitorConfig make_monitor_config(const ScenarioSpec& spec) {
   return config;
 }
 
+agg::FleetConfig make_fleet_config(const ScenarioSpec& spec) {
+  if (!spec.aggregate.enabled) {
+    throw std::invalid_argument("scenario: make_fleet_config requires mode=aggregate");
+  }
+  if (spec.sampling_rates.size() != 1) {
+    throw std::invalid_argument(
+        "scenario: mode=aggregate needs exactly one sampling rate (rates=...), got " +
+        std::to_string(spec.sampling_rates.size()));
+  }
+  agg::FleetConfig config;
+  config.agents = spec.aggregate.agents;
+  config.split = spec.aggregate.split;
+  config.window_s = spec.bin_seconds;
+  config.sampling_rate = spec.sampling_rates.front();
+  config.seed = spec.seed;
+  config.definition = spec.definition;
+  config.num_shards = spec.num_shards;
+  config.top_t = spec.top_t;
+  config.deadline_ms = spec.aggregate.deadline_ms;
+  config.quarantine_after = spec.aggregate.quarantine_after;
+  config.readmit_after = spec.aggregate.readmit_after;
+  config.summary_kind = spec.aggregate.summary;
+  config.summary_slots = spec.aggregate.summary_slots;
+  config.union_capacity = spec.aggregate.union_capacity;
+  config.chan = spec.aggregate.chan;
+  return config;
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (spec.monitor.enabled) {
     throw std::invalid_argument(
         "scenario: mode=monitor runs through the experiment engine "
         "(flowrank_experiments) or monitor::MonitorLoop, not run_scenario");
+  }
+  if (spec.aggregate.enabled) {
+    throw std::invalid_argument(
+        "scenario: mode=aggregate runs through the experiment engine "
+        "(flowrank_experiments) or agg::run_fleet, not run_scenario");
   }
   const auto source = make_trace_source(spec);
   const auto trace = source->flows();

@@ -56,6 +56,29 @@
 //   fault.burst-every = 5              # burst cadence, trace seconds
 //   fault.burst-duration = 0.25        # burst width, seconds
 //   fault.seed        = 99             # injection seed
+//
+// Multi-vantage aggregation keys (mode=aggregate runs the spec through
+// agg::run_fleet via the experiment engine; requires path=packet
+// semantics and exactly one sampling rate; bin = the aggregation window):
+//
+//   mode        = aggregate            # batch|monitor|aggregate
+//   agents      = 3                    # vantage agents
+//   split       = flow                 # flow (disjoint) | packet (overlapping)
+//   deadline-ms = 250                  # per-window summary deadline
+//   quarantine-after = 3               # consecutive bad windows -> quarantine
+//   readmit-after    = 1               # clean probes -> readmission
+//   summary     = table                # table|spacesaving per-agent summary
+//   summary-slots    = 1024            # sketch capacity (summary=spacesaving)
+//   union-capacity   = 0               # merged-union slot budget (0 = exact)
+//   chan.drop        = 0.1             # summary-channel fault fractions
+//   chan.corrupt     = 0.05
+//   chan.delay       = 0.05
+//   chan.delay-windows = 1
+//   chan.duplicate   = 0.05
+//   chan.outage-agent = 2              # deterministic full outage for one agent
+//   chan.outage-from  = 4              # ...starting at this window
+//   chan.outage-windows = 0            # ...for this many windows (0 = to end)
+//   chan.seed        = 99
 #pragma once
 
 #include <cstdint>
@@ -65,6 +88,7 @@
 #include <string>
 #include <vector>
 
+#include "flowrank/agg/fleet_run.hpp"
 #include "flowrank/dist/flow_size_distribution.hpp"
 #include "flowrank/monitor/monitor_loop.hpp"
 #include "flowrank/sim/binned_sim.hpp"
@@ -91,6 +115,22 @@ struct MonitorOptions {
   std::uint32_t watchdog_ms = 0;  ///< source-stall deadline (0 = off)
   bool fail_on_stall = false;     ///< on-stall = fail (vs rotate)
   trace::FaultSpec fault;         ///< fault.* injection knobs
+};
+
+/// Multi-vantage aggregation knobs (the `mode = aggregate` key family).
+/// Executed by agg::run_fleet through the experiment engine; the spec's
+/// bin is the aggregation window.
+struct AggregateOptions {
+  bool enabled = false;  ///< mode = aggregate
+  std::size_t agents = 3;
+  agg::FleetSplit split = agg::FleetSplit::kFlow;
+  std::uint32_t deadline_ms = 250;
+  std::size_t quarantine_after = 3;
+  std::size_t readmit_after = 1;
+  agg::SummaryKind summary = agg::SummaryKind::kFlowTable;
+  std::size_t summary_slots = 1024;
+  std::size_t union_capacity = 0;
+  agg::SummaryFaultSpec chan;  ///< chan.* summary-channel fault knobs
 };
 
 /// One workload, as data. Defaults reproduce a laptop-scale Sprint
@@ -128,6 +168,7 @@ struct ScenarioSpec {
   std::size_t num_threads = 0;  ///< count-path grid workers, 0 = all hw
   std::size_t num_shards = 0;   ///< packet-path shards, 0 = all hw
   MonitorOptions monitor;       ///< continuous-monitor keys (mode=monitor)
+  AggregateOptions aggregate;   ///< multi-vantage keys (mode=aggregate)
 };
 
 /// Parses a dist grammar string into a distribution:
@@ -186,6 +227,12 @@ make_size_distribution(const ScenarioSpec& spec);
 /// exactly one sampling rate (the monitor has one live stream, not a
 /// rate grid); throws std::invalid_argument otherwise.
 [[nodiscard]] monitor::MonitorConfig make_monitor_config(const ScenarioSpec& spec);
+
+/// The FleetConfig the spec describes. Requires mode=aggregate and
+/// exactly one sampling rate (each agent samples one live stream);
+/// throws std::invalid_argument otherwise. The spec's bin is the
+/// aggregation window.
+[[nodiscard]] agg::FleetConfig make_fleet_config(const ScenarioSpec& spec);
 
 /// A scenario's outputs: the count path fills `count`, the packet path
 /// fills `packet` (one metrics series per sampling rate).

@@ -1,70 +1,75 @@
 #include "flowrank/trace/trace_io.hpp"
 
 #include <algorithm>
-#include <cstring>
+#include <array>
 #include <fstream>
 #include <ostream>
-#include <stdexcept>
 
+#include "flowrank/util/bytes.hpp"
 #include "flowrank/util/error.hpp"
 
 namespace flowrank::trace {
 
 namespace {
-constexpr char kMagic[4] = {'F', 'R', 'T', '1'};
+constexpr std::array<std::uint8_t, 4> kMagic = {'F', 'R', 'T', '1'};
 
-struct PackedFlow {
-  double start_s;
-  double duration_s;
-  std::uint64_t packets;
-  std::uint64_t bytes;
-  std::uint32_t src_ip;
-  std::uint32_t dst_ip;
-  std::uint16_t src_port;
-  std::uint16_t dst_port;
-  std::uint8_t protocol;
-  std::uint8_t pad[3];
-};
-static_assert(sizeof(PackedFlow) == 48, "unexpected PackedFlow layout");
+// One FRT1 record is an explicit little-endian field sequence (48 bytes):
+// f64 start_s, f64 duration_s, u64 packets, u64 bytes, u32 src_ip,
+// u32 dst_ip, u16 src_port, u16 dst_port, u8 protocol, 3 zero pad bytes.
+// This is byte-identical to the historical packed-struct layout on
+// little-endian hosts, so existing .frt1 files (including the checked-in
+// scenarios/tiny_sprint.frt1) replay unchanged — but the format is now
+// defined by the field sequence, not by a compiler's struct layout.
+constexpr std::size_t kRecordBytes = 48;
 
-PackedFlow pack(const packet::FlowRecord& f) {
-  PackedFlow p{};
-  p.start_s = f.start_s;
-  p.duration_s = f.duration_s;
-  p.packets = f.packets;
-  p.bytes = f.bytes;
-  p.src_ip = f.tuple.src_ip;
-  p.dst_ip = f.tuple.dst_ip;
-  p.src_port = f.tuple.src_port;
-  p.dst_port = f.tuple.dst_port;
-  p.protocol = static_cast<std::uint8_t>(f.tuple.protocol);
-  return p;
+void pack(const packet::FlowRecord& f, std::vector<std::uint8_t>& out) {
+  util::put_f64(out, f.start_s);
+  util::put_f64(out, f.duration_s);
+  util::put_u64(out, f.packets);
+  util::put_u64(out, f.bytes);
+  util::put_u32(out, f.tuple.src_ip);
+  util::put_u32(out, f.tuple.dst_ip);
+  util::put_u16(out, f.tuple.src_port);
+  util::put_u16(out, f.tuple.dst_port);
+  util::put_u8(out, static_cast<std::uint8_t>(f.tuple.protocol));
+  util::put_u8(out, 0);
+  util::put_u8(out, 0);
+  util::put_u8(out, 0);
 }
 
-packet::FlowRecord unpack(const PackedFlow& p) {
+packet::FlowRecord unpack(std::span<const std::uint8_t> record) {
+  util::ByteReader reader(record, ErrorCategory::kCorruptInput, "trace_io");
   packet::FlowRecord f;
-  f.start_s = p.start_s;
-  f.duration_s = p.duration_s;
-  f.packets = p.packets;
-  f.bytes = p.bytes;
-  f.tuple.src_ip = p.src_ip;
-  f.tuple.dst_ip = p.dst_ip;
-  f.tuple.src_port = p.src_port;
-  f.tuple.dst_port = p.dst_port;
-  f.tuple.protocol = static_cast<packet::Protocol>(p.protocol);
+  f.start_s = reader.get_f64();
+  f.duration_s = reader.get_f64();
+  f.packets = reader.get_u64();
+  f.bytes = reader.get_u64();
+  f.tuple.src_ip = reader.get_u32();
+  f.tuple.dst_ip = reader.get_u32();
+  f.tuple.src_port = reader.get_u16();
+  f.tuple.dst_port = reader.get_u16();
+  f.tuple.protocol = static_cast<packet::Protocol>(reader.get_u8());
   return f;
 }
 }  // namespace
 
 void write_flow_records(std::ostream& os,
                         const std::vector<packet::FlowRecord>& flows) {
-  os.write(kMagic, sizeof(kMagic));
-  const auto count = static_cast<std::uint64_t>(flows.size());
-  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(kMagic.size() + 8 + kRecordBytes * std::min<std::size_t>(
+                                          flows.size(), std::size_t{1} << 16));
+  buffer.insert(buffer.end(), kMagic.begin(), kMagic.end());
+  util::put_u64(buffer, static_cast<std::uint64_t>(flows.size()));
   for (const auto& f : flows) {
-    const PackedFlow p = pack(f);
-    os.write(reinterpret_cast<const char*>(&p), sizeof(p));
+    pack(f, buffer);
+    // Flush in chunks so a multi-million-flow export does not hold the
+    // whole file image in memory.
+    if (buffer.size() >= (std::size_t{1} << 20)) {
+      util::write_bytes(os, buffer);
+      buffer.clear();
+    }
   }
+  util::write_bytes(os, buffer);
   if (!os) {
     throw Error(ErrorCategory::kIo, "trace_io",
                 "write_flow_records: stream failure");
@@ -72,30 +77,31 @@ void write_flow_records(std::ostream& os,
 }
 
 std::vector<packet::FlowRecord> read_flow_records(std::istream& is) {
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::array<std::uint8_t, kMagic.size()> magic{};
+  if (!util::read_bytes(is, magic) || magic != kMagic) {
     throw Error(ErrorCategory::kCorruptInput, "trace_io",
                 "read_flow_records: bad magic");
   }
-  std::uint64_t count = 0;
-  is.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!is) {
+  std::array<std::uint8_t, 8> count_bytes{};
+  if (!util::read_bytes(is, count_bytes)) {
     throw Error(ErrorCategory::kCorruptInput, "trace_io",
                 "read_flow_records: truncated header");
   }
+  util::ByteReader count_reader(count_bytes, ErrorCategory::kCorruptInput,
+                                "trace_io");
+  const std::uint64_t count = count_reader.get_u64();
+
   std::vector<packet::FlowRecord> flows;
   // Cap the up-front reservation: a corrupt header claiming 2^60 records
   // must fail with the truncation error below, not an allocation failure.
   flows.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 1u << 20)));
+  std::array<std::uint8_t, kRecordBytes> record{};
   for (std::uint64_t i = 0; i < count; ++i) {
-    PackedFlow p;
-    is.read(reinterpret_cast<char*>(&p), sizeof(p));
-    if (!is) {
+    if (!util::read_bytes(is, record)) {
       throw Error(ErrorCategory::kCorruptInput, "trace_io",
                   "read_flow_records: truncated records");
     }
-    flows.push_back(unpack(p));
+    flows.push_back(unpack(record));
   }
   return flows;
 }

@@ -1,0 +1,182 @@
+// Fixed-width little-endian byte helpers: the one place in the library
+// where typed values become bytes and bytes become typed values.
+//
+// Everything that serializes — the FRT1 trace format (trace/trace_io) and
+// the per-agent FlowSummary wire format (agg/flow_summary) — goes through
+// these helpers instead of reinterpret_cast / memcpy over structs, so the
+// on-disk and on-wire layouts are explicit field sequences: endianness-
+// and padding-independent, and a truncated buffer is a checked error, not
+// undefined behavior. The repo linter (scripts/lint_flowrank.py, rule
+// raw-byte-cast) bans raw byte reinterpretation everywhere else in
+// src/flowrank/.
+//
+// Writers append to a std::vector<std::uint8_t>; readers wrap a span with
+// ByteReader, which throws flowrank::Error in the caller's category on
+// any out-of-bounds read. fnv1a64() is the checksum both formats' callers
+// use: its per-byte step (h ^= byte; h *= prime) is a bijection of the
+// 64-bit state for fixed input, so any single corrupted bit in the
+// covered bytes changes the final hash with certainty, not just with
+// high probability.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flowrank/util/error.hpp"
+
+namespace flowrank::util {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) {
+  out.push_back(value);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+inline void put_i64(std::vector<std::uint8_t>& out, std::int64_t value) {
+  put_u64(out, static_cast<std::uint64_t>(value));
+}
+
+/// IEEE-754 bit pattern, little-endian — doubles round-trip exactly.
+inline void put_f64(std::vector<std::uint8_t>& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Overwrites 4 bytes at `offset` (for length fields patched after the
+/// payload is built). The destination range must already exist.
+inline void patch_u32(std::vector<std::uint8_t>& out, std::size_t offset,
+                      std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+/// Bounds-checked sequential reader over a byte buffer. Every get_* that
+/// would run past the end throws flowrank::Error in the category/context
+/// the reader was constructed with (kCorruptSummary for agent summaries,
+/// kCorruptInput for trace files), so callers never consume garbage.
+class ByteReader {
+ public:
+  ByteReader(std::span<const std::uint8_t> data, ErrorCategory category,
+             std::string context)
+      : data_(data), category_(category), context_(std::move(context)) {}
+
+  [[nodiscard]] std::uint8_t get_u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t get_u16() {
+    need(2);
+    std::uint16_t value = 0;
+    for (int i = 0; i < 2; ++i) {
+      value = static_cast<std::uint16_t>(
+          value | static_cast<std::uint16_t>(data_[pos_ + static_cast<std::size_t>(i)])
+                      << (8 * i));
+    }
+    pos_ += 2;
+    return value;
+  }
+
+  [[nodiscard]] std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  [[nodiscard]] std::int64_t get_i64() {
+    return static_cast<std::int64_t>(get_u64());
+  }
+
+  [[nodiscard]] double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw Error(category_, context_,
+                  "truncated buffer: need " + std::to_string(n) + " bytes at offset " +
+                      std::to_string(pos_) + ", have " + std::to_string(remaining()));
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  ErrorCategory category_;
+  std::string context_;
+};
+
+/// FNV-1a 64-bit hash over `data`, continuing from `state` (pass the
+/// default offset basis for a fresh hash; pass a previous return value to
+/// hash split buffers as one).
+[[nodiscard]] inline std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> data,
+    std::uint64_t state = 0xcbf29ce484222325ULL) noexcept {
+  for (const std::uint8_t byte : data) {
+    state ^= byte;
+    state *= 0x100000001b3ULL;
+  }
+  return state;
+}
+
+/// Stream adapters: the only sanctioned byte<->char reinterpretation in
+/// the library (iostreams traffic in char).
+inline void write_bytes(std::ostream& os, std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Fills `into` from the stream; false on a short read or stream failure.
+[[nodiscard]] inline bool read_bytes(std::istream& is,
+                                     std::span<std::uint8_t> into) {
+  if (into.empty()) return static_cast<bool>(is);
+  is.read(reinterpret_cast<char*>(into.data()),
+          static_cast<std::streamsize>(into.size()));
+  return static_cast<std::size_t>(is.gcount()) == into.size();
+}
+
+}  // namespace flowrank::util

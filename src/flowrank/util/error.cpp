@@ -12,6 +12,7 @@ const char* error_category_name(ErrorCategory category) noexcept {
     case ErrorCategory::kOverload: return "overload";
     case ErrorCategory::kStalled: return "stalled";
     case ErrorCategory::kInternal: return "internal";
+    case ErrorCategory::kCorruptSummary: return "corrupt-summary";
   }
   return "?";
 }

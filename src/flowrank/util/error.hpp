@@ -22,6 +22,7 @@ enum class ErrorCategory {
   kOverload,      ///< declared capacity exceeded under a non-degrading policy
   kStalled,       ///< watchdog: a source or shard missed its deadline
   kInternal,      ///< a library invariant broke (always a bug)
+  kCorruptSummary,  ///< a per-agent FlowSummary failed framing/checksum validation
 };
 
 /// Stable lower-case name for a category ("corrupt-input", "io", ...).

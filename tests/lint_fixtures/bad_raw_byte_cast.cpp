@@ -1,0 +1,22 @@
+// Fixture: serializing a struct by reinterpreting / memcpy-ing its
+// object representation instead of writing explicit little-endian
+// fields through util/bytes.hpp. Must fire raw-byte-cast (and only it).
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+struct Header {
+  std::uint32_t magic = 0;
+  std::uint64_t epoch = 0;
+};
+
+inline void serialize_header(const Header& header, std::vector<std::uint8_t>& out) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&header);
+  out.insert(out.end(), bytes, bytes + sizeof(Header));
+}
+
+inline Header parse_header(const std::vector<std::uint8_t>& bytes) {
+  Header header;
+  std::memcpy(&header, bytes.data(), sizeof(Header));
+  return header;
+}

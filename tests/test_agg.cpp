@@ -1,0 +1,988 @@
+// Tests for the multi-vantage aggregation layer: FlowSummary wire
+// round-trips and rejection semantics (including the exhaustive
+// single-bit-flip sweep), merge conservation across insertion orders,
+// the mergeable Space-Saving union error bound, Aggregator failure
+// policy (deadlines, staleness, duplicates, quarantine/readmission),
+// and the in-process fleet driver's contracts: single-agent runs
+// bit-identical to the direct pipeline, disjoint-split full-rate runs
+// exactly reproducing the combined-trace ranking, and fault-injected
+// runs whose aggregator counters match the injected schedule.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/agg/aggregator.hpp"
+#include "flowrank/agg/fleet_run.hpp"
+#include "flowrank/agg/flow_summary.hpp"
+#include "flowrank/agg/summary_channel.hpp"
+#include "flowrank/estimators/heavy_hitter_trackers.hpp"
+#include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/sampler/packet_sampler.hpp"
+#include "flowrank/trace/bin_counts.hpp"
+#include "flowrank/trace/flow_trace_generator.hpp"
+#include "flowrank/trace/packet_stream.hpp"
+#include "flowrank/util/bytes.hpp"
+#include "flowrank/util/error.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace fa = flowrank::agg;
+namespace fe = flowrank::estimators;
+namespace ffl = flowrank::flowtable;
+namespace fp = flowrank::packet;
+namespace fs = flowrank::sampler;
+namespace ft = flowrank::trace;
+namespace fu = flowrank::util;
+
+namespace {
+
+fp::FlowKey key_of(std::uint64_t hi, std::uint64_t lo) {
+  return fp::FlowKey{hi, lo};
+}
+
+ffl::FlowCounter counter_of(std::uint64_t hi, std::uint64_t lo,
+                            std::uint64_t packets, std::uint64_t bytes,
+                            std::int64_t first_ns, std::int64_t last_ns) {
+  ffl::FlowCounter c;
+  c.key = key_of(hi, lo);
+  c.packets = packets;
+  c.bytes = bytes;
+  c.first_ns = first_ns;
+  c.last_ns = last_ns;
+  return c;
+}
+
+/// A representative table summary with several entries, TCP-seq state,
+/// and non-default counters.
+fa::FlowSummary sample_table_summary() {
+  fa::FlowSummary summary;
+  summary.agent_id = 3;
+  summary.epoch = 17;
+  summary.kind = fa::SummaryKind::kFlowTable;
+  summary.effective_rate = 0.25;
+  summary.packets_offered = 4000;
+  summary.packets_sampled = 1010;
+  summary.shed_packets = 5;
+  summary.fault_records = 2;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    fa::SummaryEntry entry;
+    entry.key = key_of(i, i * 31 + 1);
+    entry.packets = 100 + i;
+    entry.bytes = 50000 + i;
+    entry.first_ns = static_cast<std::int64_t>(1000 * i);
+    entry.last_ns = static_cast<std::int64_t>(1000 * i + 999);
+    entry.min_tcp_seq = static_cast<std::uint32_t>(10 * i);
+    entry.max_tcp_seq = static_cast<std::uint32_t>(10 * i + 5);
+    entry.has_tcp_seq = (i % 2) == 0;
+    summary.entries.push_back(entry);
+  }
+  return summary;
+}
+
+fa::FlowSummary sample_sketch_summary() {
+  fa::FlowSummary summary;
+  summary.agent_id = 1;
+  summary.epoch = 4;
+  summary.kind = fa::SummaryKind::kSpaceSaving;
+  summary.effective_rate = 0.1;
+  summary.packets_offered = 900;
+  summary.packets_sampled = 90;
+  summary.sketch_capacity = 8;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    fa::SummaryEntry entry;
+    entry.key = key_of(7, i);
+    entry.packets = 40 - i;
+    entry.error = i / 2;
+    summary.entries.push_back(entry);
+  }
+  return summary;
+}
+
+/// Rewrites the trailing FNV checksum after a test tampers with the body
+/// (so the tampered field itself, not the checksum, trips the parser).
+void refresh_checksum(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), 8u);
+  const std::uint64_t sum = fu::fnv1a64(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() - 8));
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + i] =
+        static_cast<std::uint8_t>((sum >> (8 * i)) & 0xFF);
+  }
+}
+
+void expect_corrupt(const std::vector<std::uint8_t>& bytes,
+                    const std::string& what) {
+  try {
+    (void)fa::parse_summary(bytes);
+    FAIL() << "expected kCorruptSummary for " << what;
+  } catch (const flowrank::Error& e) {
+    EXPECT_EQ(e.category(), flowrank::ErrorCategory::kCorruptSummary) << what;
+  }
+}
+
+/// Direct single-pipeline replay: same stream, same sampler seed, one
+/// flow table per window. The reference for the fleet parity tests.
+std::map<std::uint64_t, std::vector<ffl::FlowCounter>> replay_direct(
+    const ft::FlowTrace& trace, double rate, std::uint64_t seed,
+    double window_s, fp::FlowDefinition definition) {
+  const std::int64_t window_ns = ft::bin_length_ns(window_s);
+  ft::PacketStream stream(trace);
+  fs::BernoulliSampler sampler(rate, seed);
+  std::map<std::uint64_t, ffl::FlowTable> tables;
+  std::vector<fp::PacketRecord> batch;
+  std::vector<fp::PacketRecord> selected;
+  while (stream.next_batch(batch, 4096) > 0) {
+    sampler.select_into(batch, selected);
+    for (const fp::PacketRecord& pkt : selected) {
+      const std::uint64_t w =
+          static_cast<std::uint64_t>(pkt.timestamp_ns / window_ns);
+      auto it = tables.find(w);
+      if (it == tables.end()) {
+        ffl::FlowTable::Options options;
+        options.definition = definition;
+        it = tables.emplace(w, ffl::FlowTable(options)).first;
+      }
+      it->second.add(pkt);
+    }
+  }
+  std::map<std::uint64_t, std::vector<ffl::FlowCounter>> out;
+  for (const auto& [w, table] : tables) out.emplace(w, table.all());
+  return out;
+}
+
+ft::FlowTrace small_trace(double duration_s, double flow_rate,
+                          std::uint64_t seed) {
+  auto cfg = ft::FlowTraceConfig::sprint_5tuple(1.5, seed);
+  cfg.duration_s = duration_s;
+  cfg.flow_rate_per_s = flow_rate;
+  return ft::generate_flow_trace(cfg);
+}
+
+/// Serializes every window row to its cell text for bit-identity
+/// comparisons across configurations.
+std::vector<std::vector<std::string>> row_texts(
+    const std::vector<fa::MergedWindow>& windows) {
+  std::vector<std::vector<std::string>> out;
+  for (const fa::MergedWindow& window : windows) {
+    std::vector<std::string> cells;
+    for (const auto& value : fa::window_row(window)) cells.push_back(value.text());
+    out.push_back(std::move(cells));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FlowSummary wire format
+// ---------------------------------------------------------------------------
+
+TEST(FlowSummaryWire, RoundTripsBothKinds) {
+  for (const fa::FlowSummary& summary :
+       {sample_table_summary(), sample_sketch_summary()}) {
+    const std::vector<std::uint8_t> bytes = fa::serialize(summary);
+    const fa::FlowSummary parsed = fa::parse_summary(bytes);
+    EXPECT_EQ(parsed, summary);
+    // Re-serializing the parse reproduces the exact bytes (canonical form).
+    EXPECT_EQ(fa::serialize(parsed), bytes);
+  }
+
+  // An empty summary (agent saw nothing this window) round-trips too.
+  fa::FlowSummary empty;
+  empty.agent_id = 2;
+  empty.epoch = 9;
+  EXPECT_EQ(fa::parse_summary(fa::serialize(empty)), empty);
+}
+
+TEST(FlowSummaryWire, SerializationIsCanonicalAcrossInsertionOrders) {
+  const auto c1 = counter_of(4, 9, 10, 5000, 100, 200);
+  const auto c2 = counter_of(1, 2, 20, 9000, 50, 400);
+  const auto c3 = counter_of(4, 1, 5, 2500, 10, 90);
+
+  ffl::FlowTable::Options options;
+  ffl::FlowTable forward(options);
+  ffl::FlowTable backward(options);
+  for (const auto& c : {c1, c2, c3}) forward.insert_counter(c);
+  for (const auto& c : {c3, c2, c1}) backward.insert_counter(c);
+
+  const auto a = fa::serialize(fa::summarize_table(forward, 0, 1, 1.0));
+  const auto b = fa::serialize(fa::summarize_table(backward, 0, 1, 1.0));
+  EXPECT_EQ(a, b);
+}
+
+TEST(FlowSummaryWire, RejectsFramingViolations) {
+  const std::vector<std::uint8_t> good = fa::serialize(sample_table_summary());
+
+  expect_corrupt({}, "empty buffer");
+  expect_corrupt(std::vector<std::uint8_t>(good.begin(), good.begin() + 20),
+                 "truncated header");
+
+  {
+    auto bad = good;
+    bad[0] = 'X';
+    refresh_checksum(bad);
+    expect_corrupt(bad, "bad magic");
+  }
+  {
+    auto bad = good;
+    bad.pop_back();
+    expect_corrupt(bad, "truncated by one byte");
+  }
+  {
+    auto bad = good;
+    bad.push_back(0);
+    expect_corrupt(bad, "trailing garbage byte");
+  }
+  {
+    auto bad = good;
+    bad[8] = 2;  // version
+    refresh_checksum(bad);
+    expect_corrupt(bad, "unsupported version");
+  }
+  {
+    auto bad = good;
+    bad[10] = 7;  // kind
+    refresh_checksum(bad);
+    expect_corrupt(bad, "unknown kind");
+  }
+  {
+    auto bad = good;
+    bad[76] = 1;  // reserved
+    refresh_checksum(bad);
+    expect_corrupt(bad, "nonzero reserved field");
+  }
+  {
+    auto bad = good;
+    bad[72] = static_cast<std::uint8_t>(bad[72] + 1);  // entry_count
+    refresh_checksum(bad);
+    expect_corrupt(bad, "entry count / size mismatch");
+  }
+  {
+    // has_tcp_seq is the last byte of the first 57-byte entry.
+    auto bad = good;
+    bad[80 + 56] = 2;
+    refresh_checksum(bad);
+    expect_corrupt(bad, "has_tcp_seq out of {0,1}");
+  }
+
+  // Out-of-range sampling rates cannot even be serialized locally...
+  for (const double rate : {0.0, -0.5, 1.5,
+                            std::numeric_limits<double>::quiet_NaN()}) {
+    fa::FlowSummary summary = sample_table_summary();
+    summary.effective_rate = rate;
+    EXPECT_THROW((void)fa::serialize(summary), std::invalid_argument);
+    // ...and a message whose rate field (offset 24) was rewritten in
+    // flight is rejected at parse time.
+    auto bad = good;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(rate);
+    for (std::size_t i = 0; i < 8; ++i) {
+      bad[24 + i] = static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFF);
+    }
+    refresh_checksum(bad);
+    expect_corrupt(bad, "out-of-range sampling rate");
+  }
+}
+
+// Satellite (c): the FNV-1a per-byte step is a bijection of the hash
+// state, so EVERY single-bit flip anywhere in the message — header,
+// entries, or the checksum itself — must be rejected. A corrupted
+// summary is never parsed into a plausible-but-wrong one.
+TEST(FlowSummaryWire, EverySingleBitFlipIsDetected) {
+  for (const fa::FlowSummary& summary :
+       {sample_table_summary(), sample_sketch_summary()}) {
+    std::vector<std::uint8_t> bytes = fa::serialize(summary);
+    for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        try {
+          (void)fa::parse_summary(bytes);
+          FAIL() << "bit flip at byte " << byte << " bit " << bit
+                 << " parsed successfully";
+        } catch (const flowrank::Error& e) {
+          ASSERT_EQ(e.category(), flowrank::ErrorCategory::kCorruptSummary)
+              << "byte " << byte << " bit " << bit;
+        }
+        bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      }
+    }
+    // Restored buffer still parses: the sweep proved rejection, not decay.
+    EXPECT_EQ(fa::parse_summary(bytes), summary);
+  }
+}
+
+TEST(FlowSummaryWire, EveryTruncationIsDetected) {
+  const std::vector<std::uint8_t> bytes = fa::serialize(sample_table_summary());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    expect_corrupt(std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + len),
+                   "truncation to " + std::to_string(len) + " bytes");
+  }
+}
+
+TEST(FlowSummaryWire, InvertedViewScalesByTheSummaryRate) {
+  const fa::FlowSummary table = sample_table_summary();  // rate 0.25
+  const fe::MergedSketch inverted = fa::inverted_view(table);
+  ASSERT_EQ(inverted.flows.size(), table.entries.size());
+  EXPECT_DOUBLE_EQ(inverted.absent_bound, 0.0);
+  for (const fe::TrackedFlow& flow : inverted.flows) {
+    const auto it = std::find_if(
+        table.entries.begin(), table.entries.end(),
+        [&](const fa::SummaryEntry& e) { return e.key == flow.key; });
+    ASSERT_NE(it, table.entries.end());
+    EXPECT_EQ(flow.estimated_packets,
+              static_cast<double>(it->packets) / table.effective_rate);
+    EXPECT_EQ(flow.error_bound, 0.0);
+  }
+  // Sorted estimate-descending with key tie-breaks (mergeable view order).
+  for (std::size_t i = 1; i < inverted.flows.size(); ++i) {
+    const auto& prev = inverted.flows[i - 1];
+    const auto& cur = inverted.flows[i];
+    EXPECT_TRUE(prev.estimated_packets > cur.estimated_packets ||
+                (prev.estimated_packets == cur.estimated_packets &&
+                 prev.key < cur.key));
+  }
+
+  // A full sketch carries its min-estimate absent bound, rate-inverted.
+  const fa::FlowSummary sketch = sample_sketch_summary();  // 8 entries, cap 8
+  const fe::MergedSketch sk = fa::inverted_view(sketch);
+  double min_est = std::numeric_limits<double>::infinity();
+  std::uint64_t min_packets = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& entry : sketch.entries) {
+    min_packets = std::min(min_packets, entry.packets);
+  }
+  for (const auto& flow : sk.flows) {
+    min_est = std::min(min_est, flow.estimated_packets);
+  }
+  EXPECT_EQ(sk.absent_bound,
+            static_cast<double>(min_packets) / sketch.effective_rate);
+  EXPECT_EQ(sk.absent_bound, min_est);
+}
+
+TEST(FlowSummaryWire, ApplyToTableReconstructsAndRejectsSketches) {
+  const fa::FlowSummary summary = sample_table_summary();
+  ffl::FlowTable::Options options;
+  ffl::FlowTable table(options);
+  fa::apply_to_table(summary, table);
+  fa::FlowSummary rebuilt = fa::summarize_table(
+      table, summary.agent_id, summary.epoch, summary.effective_rate);
+  rebuilt.packets_offered = summary.packets_offered;
+  rebuilt.packets_sampled = summary.packets_sampled;
+  rebuilt.shed_packets = summary.shed_packets;
+  rebuilt.fault_records = summary.fault_records;
+  EXPECT_EQ(rebuilt, summary);
+
+  ffl::FlowTable other(options);
+  EXPECT_THROW(fa::apply_to_table(sample_sketch_summary(), other),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (a): merge conservation across merge orders
+// ---------------------------------------------------------------------------
+
+TEST(MergeFrom, OverlappingKeysConserveAcrossAllMergeOrders) {
+  // Three tables with overlapping keys, including a legitimate
+  // zero-packet counter (a flow observed only through control state).
+  std::vector<std::vector<ffl::FlowCounter>> tables_flows = {
+      {counter_of(1, 1, 10, 5000, 100, 900),
+       counter_of(2, 2, 0, 0, 400, 400),  // zero-packet entry
+       counter_of(3, 3, 7, 3500, 50, 60)},
+      {counter_of(1, 1, 4, 2000, 30, 1200),
+       counter_of(2, 2, 5, 2500, 200, 600)},
+      {counter_of(2, 2, 3, 1500, 700, 800),
+       counter_of(3, 3, 0, 0, 10, 10),  // zero-packet overlap
+       counter_of(4, 4, 1, 500, 999, 999)},
+  };
+
+  // Reference per-key totals, computed arithmetically.
+  std::map<fp::FlowKey, ffl::FlowCounter> expected;
+  for (const auto& flows : tables_flows) {
+    for (const auto& c : flows) {
+      auto [it, fresh] = expected.emplace(c.key, c);
+      if (!fresh) ffl::merge_counter(it->second, c);
+    }
+  }
+
+  std::vector<std::size_t> order = {0, 1, 2};
+  do {
+    ffl::FlowTable::Options options;
+    ffl::FlowTable merged(options);
+    for (const std::size_t i : order) {
+      ffl::FlowTable part(options);
+      for (const auto& c : tables_flows[i]) part.insert_counter(c);
+      merged.merge_from(part);
+    }
+    std::map<fp::FlowKey, ffl::FlowCounter> got;
+    merged.for_each_all([&](const ffl::FlowCounter& c) {
+      auto [it, fresh] = got.emplace(c.key, c);
+      if (!fresh) ffl::merge_counter(it->second, c);
+    });
+    ASSERT_EQ(got.size(), expected.size());
+    for (const auto& [key, want] : expected) {
+      const auto it = got.find(key);
+      ASSERT_NE(it, got.end());
+      EXPECT_EQ(it->second.packets, want.packets);
+      EXPECT_EQ(it->second.bytes, want.bytes);
+      EXPECT_EQ(it->second.first_ns, want.first_ns);
+      EXPECT_EQ(it->second.last_ns, want.last_ns);
+      EXPECT_EQ(it->second.has_tcp_seq, want.has_tcp_seq);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (c): Space-Saving union error-bound property
+// ---------------------------------------------------------------------------
+
+TEST(SpaceSavingUnion, MergedEstimatesBracketTruthWithinSummedBounds) {
+  for (const std::uint64_t seed : {11ull, 29ull, 47ull}) {
+    for (const std::size_t capacity : {8ul, 16ul, 64ul}) {
+      // Three skewed key streams (min of two draws concentrates mass).
+      constexpr std::size_t kSketches = 3;
+      constexpr std::size_t kPacketsPerStream = 2000;
+      std::map<fp::FlowKey, std::uint64_t> truth;
+      std::vector<fa::FlowSummary> summaries;
+      for (std::size_t s = 0; s < kSketches; ++s) {
+        fu::Engine engine = fu::make_engine(seed, s);
+        fe::SpaceSavingTracker tracker(capacity);
+        for (std::size_t i = 0; i < kPacketsPerStream; ++i) {
+          const std::uint64_t id =
+              std::min(engine() % 50, engine() % 50);
+          const fp::FlowKey key = key_of(0, id);
+          tracker.offer(key);
+          ++truth[key];
+        }
+        summaries.push_back(fa::summarize_sketch(
+            tracker, static_cast<std::uint32_t>(s), 0, 1.0));
+      }
+
+      // Per-key sum of the per-summary bounds (tracked error, or the
+      // sketch's absent bound when the key is not tracked).
+      const auto summed_bound = [&](const fp::FlowKey& key) {
+        double bound = 0.0;
+        for (const fa::FlowSummary& summary : summaries) {
+          const fe::MergedSketch view = fa::inverted_view(summary);
+          const auto it = std::find_if(
+              view.flows.begin(), view.flows.end(),
+              [&](const fe::TrackedFlow& f) { return f.key == key; });
+          bound += it != view.flows.end() ? it->error_bound : view.absent_bound;
+        }
+        return bound;
+      };
+
+      fe::MergedSketch merged;
+      for (const fa::FlowSummary& summary : summaries) {
+        merged = fe::space_saving_union(merged.view(),
+                                        fa::inverted_view(summary).view(), 0);
+      }
+
+      for (const fe::TrackedFlow& flow : merged.flows) {
+        const auto it = truth.find(flow.key);
+        const double true_count =
+            it == truth.end() ? 0.0 : static_cast<double>(it->second);
+        // Soundness: estimate overestimates, by at most its own bound.
+        EXPECT_GE(flow.estimated_packets + 1e-9, true_count);
+        EXPECT_LE(flow.estimated_packets - flow.error_bound,
+                  true_count + 1e-9);
+        // Merged bound never exceeds the sum of the per-summary bounds.
+        EXPECT_LE(flow.error_bound, summed_bound(flow.key) + 1e-9);
+      }
+      // Keys the merge lost entirely are bounded by its absent bound.
+      for (const auto& [key, count] : truth) {
+        const bool present = std::any_of(
+            merged.flows.begin(), merged.flows.end(),
+            [&](const fe::TrackedFlow& f) { return f.key == key; });
+        if (!present) {
+          EXPECT_LE(static_cast<double>(count), merged.absent_bound + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator policy
+// ---------------------------------------------------------------------------
+
+namespace {
+
+fa::FlowSummary plain_summary(std::uint32_t agent, std::uint64_t epoch) {
+  fa::FlowSummary summary;
+  summary.agent_id = agent;
+  summary.epoch = epoch;
+  fa::SummaryEntry entry;
+  entry.key = key_of(agent, epoch);
+  entry.packets = 10;
+  summary.entries.push_back(entry);
+  return summary;
+}
+
+fa::AggregatorConfig two_agent_config() {
+  fa::AggregatorConfig config;
+  config.agents_expected = 2;
+  config.window_s = 1.0;
+  config.quarantine_after = 100;  // policy off unless a test wants it
+  return config;
+}
+
+}  // namespace
+
+TEST(Aggregator, OfferOutcomesAndWindowAccounting) {
+  fa::Aggregator agg{two_agent_config()};
+
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 0)), fa::OfferOutcome::kAccepted);
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 0)), fa::OfferOutcome::kDuplicate);
+  EXPECT_EQ(agg.offer_summary(plain_summary(5, 0)),
+            fa::OfferOutcome::kUnknownAgent);
+  // Accepting a future epoch fences everything at or below it stale.
+  EXPECT_EQ(agg.offer_summary(plain_summary(1, 3)), fa::OfferOutcome::kAccepted);
+  EXPECT_EQ(agg.offer_summary(plain_summary(1, 2)), fa::OfferOutcome::kStale);
+
+  // Corrupt bytes are charged to the transport lane; so is a
+  // checksum-valid summary whose embedded id does not match the lane.
+  const std::vector<std::uint8_t> garbage = {1, 2, 3};
+  EXPECT_EQ(agg.offer(0, garbage), fa::OfferOutcome::kCorrupt);
+  EXPECT_EQ(agg.offer(1, fa::serialize(plain_summary(0, 5))),
+            fa::OfferOutcome::kCorrupt);
+
+  EXPECT_THROW((void)agg.close_window(1), std::invalid_argument);
+  const fa::MergedWindow w0 = agg.close_window(0);
+  EXPECT_EQ(w0.epoch, 0u);
+  EXPECT_DOUBLE_EQ(w0.time_s, 1.0);
+  EXPECT_EQ(w0.agents_expected, 2u);
+  EXPECT_EQ(w0.agents_merged, 1u);   // agent 0 reported, agent 1 buffered 3
+  EXPECT_EQ(w0.missed, 1u);          // agent 1 had nothing for epoch 0
+  EXPECT_DOUBLE_EQ(w0.coverage_fraction, 0.5);
+  EXPECT_EQ(w0.duplicates, 1u);
+  EXPECT_EQ(w0.stale, 1u);
+  EXPECT_EQ(w0.corrupt, 2u);
+  EXPECT_EQ(w0.late, 0u);
+  ASSERT_EQ(w0.top.size(), 1u);
+  EXPECT_EQ(w0.top[0].key, key_of(0, 0));
+  EXPECT_DOUBLE_EQ(w0.top[0].estimated_packets, 10.0);
+
+  // The row went out: epoch-0 input is now late, and the per-window
+  // fault counts were reset at close.
+  EXPECT_EQ(agg.offer_summary(plain_summary(1, 0)), fa::OfferOutcome::kLate);
+  const fa::MergedWindow w1 = agg.close_window(1);
+  EXPECT_EQ(w1.late, 1u);
+  EXPECT_EQ(w1.corrupt, 0u);
+  EXPECT_EQ(w1.duplicates, 0u);
+
+  const fa::AggregatorCounters& c = agg.counters();
+  EXPECT_EQ(c.summaries_offered, 8u);
+  EXPECT_EQ(c.summaries_merged, 1u);
+  EXPECT_EQ(c.corrupt_summaries, 2u);
+  EXPECT_EQ(c.stale_summaries, 1u);
+  EXPECT_EQ(c.late_summaries, 1u);
+  EXPECT_EQ(c.duplicate_summaries, 1u);
+  EXPECT_EQ(c.unknown_agent_summaries, 1u);
+  EXPECT_EQ(c.windows_closed, 2u);
+}
+
+TEST(Aggregator, WindowRowMatchesColumnsAndStaysNumeric) {
+  fa::Aggregator agg{two_agent_config()};
+  (void)agg.offer_summary(plain_summary(0, 0));
+  const fa::MergedWindow window = agg.close_window(0);
+  const auto columns = fa::window_columns();
+  const auto row = fa::window_row(window);
+  ASSERT_EQ(row.size(), columns.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_TRUE(row[i].numeric()) << columns[i];
+    EXPECT_TRUE(row[i].finite()) << columns[i];
+  }
+}
+
+TEST(Aggregator, QuarantineAfterConsecutiveMissesThenReadmission) {
+  fa::AggregatorConfig config;
+  config.agents_expected = 1;
+  config.window_s = 1.0;
+  config.quarantine_after = 2;
+  config.readmit_after = 2;
+  fa::Aggregator agg(config);
+
+  // Two consecutive silent windows quarantine the agent.
+  EXPECT_EQ(agg.close_window(0).missed, 1u);
+  const fa::MergedWindow w1 = agg.close_window(1);
+  EXPECT_EQ(w1.missed, 1u);
+  EXPECT_EQ(w1.quarantined, 1u);
+  EXPECT_TRUE(agg.quarantined(0));
+  EXPECT_EQ(agg.counters().quarantines, 1u);
+
+  // Quarantined windows charge no misses and merge nothing.
+  const fa::MergedWindow w2 = agg.close_window(2);
+  EXPECT_EQ(w2.missed, 0u);
+  EXPECT_EQ(w2.agents_merged, 0u);
+
+  // First clean probe: consumed, not merged, not yet readmitted. A
+  // duplicated probe for the same epoch counts once.
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 3)),
+            fa::OfferOutcome::kQuarantinedProbe);
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 3)),
+            fa::OfferOutcome::kDuplicate);
+  const fa::MergedWindow w3 = agg.close_window(3);
+  EXPECT_EQ(w3.agents_merged, 0u);
+  EXPECT_TRUE(agg.quarantined(0));
+
+  // Second clean probe readmits; its own window charges no miss.
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 4)),
+            fa::OfferOutcome::kQuarantinedProbe);
+  EXPECT_FALSE(agg.quarantined(0));
+  EXPECT_EQ(agg.counters().readmissions, 1u);
+  const fa::MergedWindow w4 = agg.close_window(4);
+  EXPECT_EQ(w4.missed, 0u);
+  EXPECT_EQ(w4.agents_merged, 0u);
+  EXPECT_EQ(w4.quarantined, 0u);
+
+  // Fully back: the next summary merges again.
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 5)), fa::OfferOutcome::kAccepted);
+  const fa::MergedWindow w5 = agg.close_window(5);
+  EXPECT_EQ(w5.agents_merged, 1u);
+  EXPECT_DOUBLE_EQ(w5.coverage_fraction, 1.0);
+  EXPECT_EQ(agg.counters().quarantined_probes, 2u);
+}
+
+TEST(Aggregator, CorruptProbeRestartsReadmissionCount) {
+  fa::AggregatorConfig config;
+  config.agents_expected = 1;
+  config.window_s = 1.0;
+  config.quarantine_after = 1;
+  config.readmit_after = 2;
+  fa::Aggregator agg(config);
+
+  (void)agg.close_window(0);  // miss -> quarantine
+  EXPECT_TRUE(agg.quarantined(0));
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 1)),
+            fa::OfferOutcome::kQuarantinedProbe);
+  // A corrupt message from the lane wipes the clean-probe streak.
+  EXPECT_EQ(agg.offer(0, std::vector<std::uint8_t>{0xFF}),
+            fa::OfferOutcome::kCorrupt);
+  (void)agg.close_window(1);
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 2)),
+            fa::OfferOutcome::kQuarantinedProbe);
+  EXPECT_TRUE(agg.quarantined(0));  // streak restarted: still one short
+  EXPECT_EQ(agg.offer_summary(plain_summary(0, 3)),
+            fa::OfferOutcome::kQuarantinedProbe);
+  EXPECT_FALSE(agg.quarantined(0));
+}
+
+// ---------------------------------------------------------------------------
+// Fleet contracts
+// ---------------------------------------------------------------------------
+
+// Contract 1: a one-agent fleet is the direct single-pipeline path in
+// disguise — same sampler seed, same stream order — so its merged
+// windows are bit-identical to the direct replay at any shard count.
+TEST(FleetRun, SingleAgentBitIdenticalToDirectPipelineAtAnyShardCount) {
+  const ft::FlowTrace trace = small_trace(8.0, 120.0, 11);
+  const double rate = 0.5;
+  const double window_s = 2.0;
+  const std::uint64_t seed = 9;
+
+  const auto direct = replay_direct(trace, rate, seed, window_s,
+                                    fp::FlowDefinition::kFiveTuple);
+
+  std::vector<std::vector<std::vector<std::string>>> runs;
+  for (const std::size_t shards : {1ul, 4ul}) {
+    fa::FleetConfig config;
+    config.agents = 1;
+    config.window_s = window_s;
+    config.sampling_rate = rate;
+    config.seed = seed;
+    config.num_shards = shards;
+    config.top_t = 10;
+    std::vector<fa::MergedWindow> windows;
+    const fa::FleetReport report = fa::run_fleet(
+        trace, config,
+        [&](const fa::MergedWindow& w) { windows.push_back(w); });
+
+    EXPECT_EQ(report.windows, ft::bin_count(trace.config.duration_s, window_s));
+    ASSERT_EQ(windows.size(), report.windows);
+    EXPECT_EQ(report.counters.missed_summaries, 0u);
+    EXPECT_EQ(report.counters.corrupt_summaries, 0u);
+    EXPECT_EQ(report.counters.late_summaries, 0u);
+    EXPECT_EQ(report.packets_total, trace.total_packets());
+
+    for (const fa::MergedWindow& window : windows) {
+      const auto it = direct.find(window.epoch);
+      const std::vector<ffl::FlowCounter> flows =
+          it == direct.end() ? std::vector<ffl::FlowCounter>{} : it->second;
+      EXPECT_DOUBLE_EQ(window.coverage_fraction, 1.0);
+      EXPECT_EQ(window.merged_flows, flows.size());
+      const auto expected_top = ffl::top_k(flows, config.top_t);
+      ASSERT_EQ(window.top.size(), expected_top.size()) << window.epoch;
+      for (std::size_t i = 0; i < expected_top.size(); ++i) {
+        EXPECT_EQ(window.top[i].key, expected_top[i].key) << window.epoch;
+        // Identical division, so identical doubles — not just close.
+        EXPECT_EQ(window.top[i].estimated_packets,
+                  static_cast<double>(expected_top[i].packets) / rate)
+            << window.epoch;
+        EXPECT_EQ(window.top[i].error_bound, 0.0);
+      }
+    }
+    runs.push_back(row_texts(windows));
+  }
+  // Bit-identical rows across shard counts.
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+// Contract 2: K agents over a disjoint flow split at full rate exactly
+// reproduce the combined-trace per-window ranking; the per-packet split
+// reproduces it too (every packet is counted exactly once).
+TEST(FleetRun, FullRateSplitsReproduceCombinedTraceRanking) {
+  const ft::FlowTrace trace = small_trace(8.0, 120.0, 23);
+  const double window_s = 2.0;
+  const auto direct = replay_direct(trace, 1.0, 1, window_s,
+                                    fp::FlowDefinition::kFiveTuple);
+
+  for (const fa::FleetSplit split :
+       {fa::FleetSplit::kFlow, fa::FleetSplit::kPacket}) {
+    fa::FleetConfig config;
+    config.agents = 3;
+    config.split = split;
+    config.window_s = window_s;
+    config.sampling_rate = 1.0;
+    config.seed = 5;
+    config.top_t = 10;
+    std::vector<fa::MergedWindow> windows;
+    (void)fa::run_fleet(trace, config, [&](const fa::MergedWindow& w) {
+      windows.push_back(w);
+    });
+
+    for (const fa::MergedWindow& window : windows) {
+      const auto it = direct.find(window.epoch);
+      const std::vector<ffl::FlowCounter> flows =
+          it == direct.end() ? std::vector<ffl::FlowCounter>{} : it->second;
+      EXPECT_EQ(window.merged_flows, flows.size());
+      EXPECT_EQ(window.packets_offered + 0u,
+                [&] {
+                  std::uint64_t sum = 0;
+                  for (const auto& f : flows) sum += f.packets;
+                  return sum;
+                }());
+      const auto expected_top = ffl::top_k(flows, config.top_t);
+      ASSERT_EQ(window.top.size(), expected_top.size());
+      for (std::size_t i = 0; i < expected_top.size(); ++i) {
+        EXPECT_EQ(window.top[i].key, expected_top[i].key)
+            << "split=" << static_cast<int>(split) << " w=" << window.epoch;
+        EXPECT_EQ(window.top[i].estimated_packets,
+                  static_cast<double>(expected_top[i].packets));
+        EXPECT_EQ(window.top[i].error_bound, 0.0);
+      }
+    }
+  }
+}
+
+// Sketch summaries trade exactness for bounded memory; the merged
+// estimates must still bracket the true combined counts.
+TEST(FleetRun, SketchSummariesBracketTruth) {
+  const ft::FlowTrace trace = small_trace(8.0, 120.0, 31);
+  const double window_s = 2.0;
+  const auto direct = replay_direct(trace, 1.0, 1, window_s,
+                                    fp::FlowDefinition::kFiveTuple);
+
+  fa::FleetConfig config;
+  config.agents = 2;
+  config.split = fa::FleetSplit::kFlow;
+  config.window_s = window_s;
+  config.sampling_rate = 1.0;
+  config.seed = 3;
+  config.summary_kind = fa::SummaryKind::kSpaceSaving;
+  config.summary_slots = 32;
+  config.top_t = 5;
+  std::vector<fa::MergedWindow> windows;
+  (void)fa::run_fleet(trace, config, [&](const fa::MergedWindow& w) {
+    windows.push_back(w);
+  });
+
+  for (const fa::MergedWindow& window : windows) {
+    const auto it = direct.find(window.epoch);
+    if (it == direct.end()) continue;
+    std::map<fp::FlowKey, std::uint64_t> truth;
+    for (const auto& f : it->second) truth[f.key] = f.packets;
+    for (const fa::MergedFlow& flow : window.top) {
+      const auto t = truth.find(flow.key);
+      const double true_count =
+          t == truth.end() ? 0.0 : static_cast<double>(t->second);
+      EXPECT_GE(flow.estimated_packets + 1e-9, true_count);
+      EXPECT_LE(flow.estimated_packets - flow.error_bound, true_count + 1e-9);
+    }
+  }
+}
+
+// Contract 3: a fault-injected run terminates, closes every window, and
+// the aggregator's counters match the injected schedule exactly.
+TEST(FleetRun, InjectedFaultScheduleMatchesAggregatorCounters) {
+  const ft::FlowTrace trace = small_trace(40.0, 80.0, 13);
+
+  fa::FleetConfig config;
+  config.agents = 3;
+  config.window_s = 2.0;
+  config.sampling_rate = 1.0;
+  config.seed = 17;
+  config.quarantine_after = 1000;  // isolate transport accounting
+  config.chan.drop_fraction = 0.15;
+  config.chan.corrupt_fraction = 0.15;
+  config.chan.delay_fraction = 0.10;
+  config.chan.duplicate_fraction = 0.10;
+  config.chan.seed = 0xFA117;
+
+  std::uint64_t rows = 0;
+  const fa::FleetReport report = fa::run_fleet(
+      trace, config, [&](const fa::MergedWindow&) { ++rows; });
+
+  // Every window closed despite the faults.
+  EXPECT_EQ(report.windows, ft::bin_count(40.0, 2.0));
+  EXPECT_EQ(rows, report.windows);
+  EXPECT_EQ(report.counters.windows_closed, report.windows);
+
+  const fa::ChannelCounters& injected = report.injected;
+  const fa::AggregatorCounters& seen = report.counters;
+  EXPECT_EQ(injected.submitted, report.windows * config.agents);
+  // The schedule actually exercised every fault class.
+  EXPECT_GT(injected.dropped, 0u);
+  EXPECT_GT(injected.corrupted, 0u);
+  EXPECT_GT(injected.delayed, 0u);
+  EXPECT_GT(injected.duplicated, 0u);
+  // One fault per summary, so the mapping is exact.
+  EXPECT_EQ(seen.summaries_offered, injected.delivered);
+  EXPECT_EQ(seen.corrupt_summaries, injected.corrupted);
+  EXPECT_EQ(seen.late_summaries, injected.delayed);
+  EXPECT_EQ(seen.duplicate_summaries, injected.duplicated);
+  EXPECT_EQ(seen.missed_summaries,
+            injected.dropped + injected.corrupted + injected.delayed);
+  EXPECT_EQ(seen.summaries_merged,
+            injected.submitted - injected.dropped - injected.corrupted -
+                injected.delayed);
+  EXPECT_EQ(seen.stale_summaries, 0u);
+  EXPECT_EQ(seen.unknown_agent_summaries, 0u);
+  EXPECT_EQ(seen.quarantines, 0u);
+}
+
+// Deterministic replay: identical config => identical schedule, rows,
+// and counters.
+TEST(FleetRun, FaultInjectedRunsAreReproducible) {
+  const ft::FlowTrace trace = small_trace(12.0, 80.0, 19);
+  fa::FleetConfig config;
+  config.agents = 2;
+  config.window_s = 2.0;
+  config.sampling_rate = 0.5;
+  config.seed = 21;
+  config.chan.drop_fraction = 0.2;
+  config.chan.corrupt_fraction = 0.2;
+
+  const auto run = [&] {
+    std::vector<fa::MergedWindow> windows;
+    (void)fa::run_fleet(trace, config, [&](const fa::MergedWindow& w) {
+      windows.push_back(w);
+    });
+    return row_texts(windows);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// End-to-end degraded-coverage contract: an outage starves one agent,
+// quarantine kicks in, a clean probe readmits it, and every window's
+// row still goes out with honest coverage.
+TEST(FleetRun, OutageQuarantineAndReadmissionEndToEnd) {
+  const ft::FlowTrace trace = small_trace(16.0, 80.0, 37);
+
+  fa::FleetConfig config;
+  config.agents = 3;
+  config.window_s = 2.0;
+  config.sampling_rate = 1.0;
+  config.seed = 29;
+  config.quarantine_after = 2;
+  config.readmit_after = 1;
+  config.chan.outage_agent = 1;
+  config.chan.outage_from = 2;
+  config.chan.outage_windows = 3;  // epochs 2, 3, 4 lost
+
+  std::vector<fa::MergedWindow> windows;
+  const fa::FleetReport report = fa::run_fleet(
+      trace, config, [&](const fa::MergedWindow& w) { windows.push_back(w); });
+
+  ASSERT_EQ(windows.size(), 8u);
+  EXPECT_EQ(report.windows, 8u);
+  EXPECT_EQ(report.injected.outage_dropped, 3u);
+
+  const double degraded = 2.0 / 3.0;
+  const std::vector<double> expected_coverage = {
+      1.0, 1.0, degraded, degraded, degraded, degraded, 1.0, 1.0};
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_DOUBLE_EQ(windows[w].coverage_fraction, expected_coverage[w])
+        << "window " << w;
+  }
+  // Misses charged for epochs 2 and 3 only; epoch 4 was quarantined and
+  // epoch 5 was the excused readmission probe.
+  EXPECT_EQ(windows[2].missed, 1u);
+  EXPECT_EQ(windows[3].missed, 1u);
+  EXPECT_EQ(windows[3].quarantined, 1u);
+  EXPECT_EQ(windows[4].missed, 0u);
+  EXPECT_EQ(windows[4].quarantined, 1u);
+  EXPECT_EQ(windows[5].missed, 0u);
+  EXPECT_EQ(windows[5].quarantined, 0u);  // readmitted at the probe offer
+  EXPECT_EQ(windows[6].missed, 0u);
+  EXPECT_EQ(windows[6].agents_merged, 3u);
+
+  EXPECT_EQ(report.counters.quarantines, 1u);
+  EXPECT_EQ(report.counters.readmissions, 1u);
+  EXPECT_EQ(report.counters.quarantined_probes, 1u);
+  EXPECT_EQ(report.counters.missed_summaries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injecting channel
+// ---------------------------------------------------------------------------
+
+TEST(SummaryChannel, ValidatesSpecAndStaysFaultFreeByDefault) {
+  fa::SummaryFaultSpec bad;
+  bad.drop_fraction = 0.7;
+  bad.corrupt_fraction = 0.7;  // sums above 1
+  EXPECT_THROW(fa::FaultInjectingSummaryChannel(bad, 2), std::invalid_argument);
+  fa::SummaryFaultSpec bad2;
+  bad2.delay_fraction = 0.1;
+  bad2.delay_windows = 0;
+  EXPECT_THROW(fa::FaultInjectingSummaryChannel(bad2, 2), std::invalid_argument);
+  fa::SummaryFaultSpec bad3;
+  bad3.outage_agent = 5;  // out of range for a 2-agent fleet
+  EXPECT_THROW(fa::FaultInjectingSummaryChannel(bad3, 2), std::invalid_argument);
+
+  // A clean channel delivers everything on time, in submission order.
+  fa::FaultInjectingSummaryChannel channel({}, 2);
+  channel.submit(0, 0, fa::serialize(plain_summary(0, 0)));
+  channel.submit(1, 0, fa::serialize(plain_summary(1, 0)));
+  const auto ready = channel.drain_ready(0);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].agent_id, 0u);
+  EXPECT_EQ(ready[1].agent_id, 1u);
+  EXPECT_EQ(channel.counters().submitted, 2u);
+  EXPECT_EQ(channel.counters().delivered, 2u);
+  EXPECT_EQ(channel.counters().dropped, 0u);
+  EXPECT_TRUE(channel.drain_all().empty());
+}
+
+TEST(SummaryChannel, CorruptionIsASingleBitFlip) {
+  fa::SummaryFaultSpec spec;
+  spec.corrupt_fraction = 1.0;
+  fa::FaultInjectingSummaryChannel channel(spec, 1);
+  const std::vector<std::uint8_t> original = fa::serialize(plain_summary(0, 0));
+  channel.submit(0, 0, original);
+  const auto ready = channel.drain_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  ASSERT_EQ(ready[0].bytes.size(), original.size());
+  std::size_t flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    flipped_bits += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(ready[0].bytes[i] ^ original[i])));
+  }
+  EXPECT_EQ(flipped_bits, 1u);
+  // And the flip is always detected downstream.
+  expect_corrupt(ready[0].bytes, "channel-corrupted summary");
+}

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "flowrank/agg/fleet_run.hpp"
 #include "flowrank/core/detection_model.hpp"
 #include "flowrank/core/ranking_model.hpp"
 #include "flowrank/estimators/heavy_hitter_trackers.hpp"
@@ -466,4 +467,85 @@ TEST(ScenarioShim, ExportTraceRoundTrips) {
   EXPECT_EQ(replayed.flows.size(), synthetic.flows.size());
   EXPECT_EQ(replayed.total_packets(), synthetic.total_packets());
   std::remove(path.c_str());
+}
+
+// --- mode = aggregate through the experiment engine -------------------------
+
+TEST(AggregateExperiment, EmitsOneDegradedCoverageRowPerWindow) {
+  fsim::ExperimentSpec spec;
+  spec.name = "aggregate_test";
+  fsim::apply_experiment_entry(spec, "model", "packet");
+  fsim::apply_experiment_entry(spec, "mode", "aggregate");
+  fsim::apply_experiment_entry(spec, "agents", "3");
+  fsim::apply_experiment_entry(spec, "preset", "sprint_5tuple");
+  fsim::apply_experiment_entry(spec, "duration", "20");
+  fsim::apply_experiment_entry(spec, "flow-rate", "100");
+  fsim::apply_experiment_entry(spec, "trace-seed", "33");
+  fsim::apply_experiment_entry(spec, "bin", "5");
+  fsim::apply_experiment_entry(spec, "t", "5");
+  fsim::apply_experiment_entry(spec, "rates", "1.0");
+  fsim::apply_experiment_entry(spec, "seed", "4");
+  fsim::apply_experiment_entry(spec, "shards", "1");
+
+  CaptureSink sink;
+  const std::size_t rows = fsim::run_experiment(spec, sink);
+
+  EXPECT_EQ(sink.columns, flowrank::agg::window_columns());
+  EXPECT_EQ(sink.columns, fsim::experiment_columns(spec));
+  ASSERT_EQ(rows, 4u);  // 20 s / 5 s windows
+  ASSERT_EQ(sink.rows.size(), rows);
+
+  // The engine ran the same fleet make_fleet_config() describes.
+  const auto trace = fsim::make_trace_source(spec)->flows();
+  std::vector<fr::Row> direct_rows;
+  (void)flowrank::agg::run_fleet(
+      trace, fsim::make_fleet_config(spec),
+      [&](const flowrank::agg::MergedWindow& window) {
+        direct_rows.push_back(flowrank::agg::window_row(window));
+      });
+  ASSERT_EQ(direct_rows.size(), sink.rows.size());
+  for (std::size_t r = 0; r < direct_rows.size(); ++r) {
+    ASSERT_EQ(direct_rows[r].size(), sink.rows[r].size());
+    for (std::size_t c = 0; c < direct_rows[r].size(); ++c) {
+      EXPECT_EQ(sink.rows[r][c], direct_rows[r][c].text());
+    }
+  }
+
+  // Fault-free full-rate fleet: full coverage on every row.
+  const auto coverage_col = column_index(sink, "coverage_fraction");
+  const auto window_col = column_index(sink, "window");
+  for (std::size_t r = 0; r < sink.rows.size(); ++r) {
+    EXPECT_EQ(sink.rows[r][window_col], fr::Value(std::uint64_t(r)).text());
+    EXPECT_EQ(sink.rows[r][coverage_col], fr::Value(1.0).text());
+  }
+}
+
+TEST(AggregateExperiment, RejectsIncompatibleAxes) {
+  const auto base = [] {
+    fsim::ExperimentSpec spec;
+    fsim::apply_experiment_entry(spec, "model", "packet");
+    fsim::apply_experiment_entry(spec, "mode", "aggregate");
+    fsim::apply_experiment_entry(spec, "rates", "0.5");
+    return spec;
+  };
+
+  CaptureSink sink;
+  {
+    auto spec = base();
+    fsim::apply_experiment_entry(spec, "model", "exact");
+    EXPECT_THROW((void)fsim::run_experiment(spec, sink), std::invalid_argument);
+  }
+  {
+    auto spec = base();
+    fsim::SweepAxis axis;
+    axis.param = "beta";
+    axis.values = {1.2, 1.5};
+    spec.sweeps.push_back(axis);
+    EXPECT_THROW((void)fsim::run_experiment(spec, sink), std::invalid_argument);
+  }
+  {
+    auto spec = base();
+    fsim::apply_experiment_entry(spec, "estimator", "inversion");
+    EXPECT_THROW((void)fsim::run_experiment(spec, sink), std::invalid_argument);
+  }
 }

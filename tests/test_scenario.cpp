@@ -442,3 +442,157 @@ TEST(ScenarioSpec, FileReplayScenarioRunsEndToEnd) {
   std::remove(frt1.c_str());
   std::remove(scn.c_str());
 }
+
+// ---------------------------------------------------------------------------
+// mode = aggregate (multi-vantage keys)
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpec, AggregateKeysParseIntoAggregateOptions) {
+  const std::string path = write_temp("scenario_aggregate.scn",
+                                      "mode = aggregate\n"
+                                      "agents = 4\n"
+                                      "split = packet\n"
+                                      "deadline-ms = 100\n"
+                                      "quarantine-after = 2\n"
+                                      "readmit-after = 3\n"
+                                      "summary = spacesaving\n"
+                                      "summary-slots = 256\n"
+                                      "union-capacity = 128\n"
+                                      "chan.drop = 0.1\n"
+                                      "chan.corrupt = 0.05\n"
+                                      "chan.delay = 0.02\n"
+                                      "chan.delay-windows = 2\n"
+                                      "chan.duplicate = 0.01\n"
+                                      "chan.outage-agent = 1\n"
+                                      "chan.outage-from = 5\n"
+                                      "chan.outage-windows = 3\n"
+                                      "chan.seed = 99\n");
+  const fsim::ScenarioSpec spec = fsim::parse_scenario_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(spec.aggregate.enabled);
+  EXPECT_FALSE(spec.monitor.enabled);
+  EXPECT_EQ(spec.aggregate.agents, 4u);
+  EXPECT_EQ(spec.aggregate.split, flowrank::agg::FleetSplit::kPacket);
+  EXPECT_EQ(spec.aggregate.deadline_ms, 100u);
+  EXPECT_EQ(spec.aggregate.quarantine_after, 2u);
+  EXPECT_EQ(spec.aggregate.readmit_after, 3u);
+  EXPECT_EQ(spec.aggregate.summary, flowrank::agg::SummaryKind::kSpaceSaving);
+  EXPECT_EQ(spec.aggregate.summary_slots, 256u);
+  EXPECT_EQ(spec.aggregate.union_capacity, 128u);
+  EXPECT_DOUBLE_EQ(spec.aggregate.chan.drop_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(spec.aggregate.chan.corrupt_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(spec.aggregate.chan.delay_fraction, 0.02);
+  EXPECT_EQ(spec.aggregate.chan.delay_windows, 2u);
+  EXPECT_DOUBLE_EQ(spec.aggregate.chan.duplicate_fraction, 0.01);
+  EXPECT_EQ(spec.aggregate.chan.outage_agent, 1u);
+  EXPECT_EQ(spec.aggregate.chan.outage_from, 5u);
+  EXPECT_EQ(spec.aggregate.chan.outage_windows, 3u);
+  EXPECT_EQ(spec.aggregate.chan.seed, 99u);
+  EXPECT_TRUE(spec.aggregate.chan.any());
+
+  // Aggregate keys validate like every other scenario key.
+  fsim::ScenarioSpec s;
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "agents", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "split", "striped"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "summary", "countmin"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "quarantine-after", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "readmit-after", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "summary-slots", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "chan.drop", "1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "chan.delay-windows", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_scenario_entry(s, "chan.unknown", "1"),
+               std::invalid_argument);
+
+  // Modes are mutually exclusive flags: the last mode key wins and
+  // clears the others (a CLI override can re-mode a spec file).
+  fsim::ScenarioSpec agg_spec;
+  fsim::apply_scenario_entry(agg_spec, "mode", "aggregate");
+  fsim::apply_scenario_entry(agg_spec, "mode", "monitor");
+  EXPECT_TRUE(agg_spec.monitor.enabled);
+  EXPECT_FALSE(agg_spec.aggregate.enabled);
+  // Aggregate runs go through the experiment engine / agg::run_fleet,
+  // not the batch driver.
+  fsim::apply_scenario_entry(agg_spec, "mode", "aggregate");
+  EXPECT_FALSE(agg_spec.monitor.enabled);
+  agg_spec.sampling_rates = {0.1};
+  EXPECT_THROW((void)fsim::run_scenario(agg_spec), std::invalid_argument);
+}
+
+// Satellite: an unknown key names the valid keys for the ACTIVE mode,
+// so a typo in an aggregate spec is not answered with monitor keys.
+TEST(ScenarioSpec, UnknownKeyHintNamesActiveModeKeys) {
+  const auto message_for = [](const char* mode) {
+    fsim::ScenarioSpec spec;
+    if (mode != nullptr) fsim::apply_scenario_entry(spec, "mode", mode);
+    try {
+      fsim::apply_scenario_entry(spec, "bogus-key", "1");
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    ADD_FAILURE() << "unknown key accepted";
+    return std::string();
+  };
+
+  const std::string batch = message_for(nullptr);
+  EXPECT_NE(batch.find("unknown key 'bogus-key'"), std::string::npos) << batch;
+  EXPECT_NE(batch.find("mode=batch"), std::string::npos) << batch;
+  EXPECT_NE(batch.find("rates"), std::string::npos) << batch;
+  EXPECT_EQ(batch.find("chan.drop"), std::string::npos) << batch;
+  EXPECT_EQ(batch.find("fault.corrupt"), std::string::npos) << batch;
+
+  const std::string monitor = message_for("monitor");
+  EXPECT_NE(monitor.find("mode=monitor"), std::string::npos) << monitor;
+  EXPECT_NE(monitor.find("fault.corrupt"), std::string::npos) << monitor;
+  EXPECT_NE(monitor.find("watchdog-ms"), std::string::npos) << monitor;
+  EXPECT_EQ(monitor.find("chan.drop"), std::string::npos) << monitor;
+
+  const std::string aggregate = message_for("aggregate");
+  EXPECT_NE(aggregate.find("mode=aggregate"), std::string::npos) << aggregate;
+  EXPECT_NE(aggregate.find("chan.drop"), std::string::npos) << aggregate;
+  EXPECT_NE(aggregate.find("quarantine-after"), std::string::npos) << aggregate;
+  EXPECT_EQ(aggregate.find("fault.corrupt"), std::string::npos) << aggregate;
+  EXPECT_EQ(aggregate.find("watchdog-ms"), std::string::npos) << aggregate;
+}
+
+TEST(ScenarioSpec, MakeFleetConfigMapsSpecOntoFleet) {
+  fsim::ScenarioSpec spec;
+  fsim::apply_scenario_entry(spec, "mode", "aggregate");
+  fsim::apply_scenario_entry(spec, "agents", "5");
+  fsim::apply_scenario_entry(spec, "bin", "30");
+  fsim::apply_scenario_entry(spec, "t", "7");
+  fsim::apply_scenario_entry(spec, "shards", "2");
+  fsim::apply_scenario_entry(spec, "seed", "42");
+  fsim::apply_scenario_entry(spec, "rates", "0.25");
+  fsim::apply_scenario_entry(spec, "summary", "table");
+  fsim::apply_scenario_entry(spec, "union-capacity", "64");
+  fsim::apply_scenario_entry(spec, "chan.drop", "0.2");
+
+  const flowrank::agg::FleetConfig config = fsim::make_fleet_config(spec);
+  EXPECT_EQ(config.agents, 5u);
+  EXPECT_DOUBLE_EQ(config.window_s, 30.0);
+  EXPECT_DOUBLE_EQ(config.sampling_rate, 0.25);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_EQ(config.top_t, 7u);
+  EXPECT_EQ(config.num_shards, 2u);
+  EXPECT_EQ(config.union_capacity, 64u);
+  EXPECT_DOUBLE_EQ(config.chan.drop_fraction, 0.2);
+
+  // Not an aggregate spec -> no fleet config.
+  fsim::ScenarioSpec batch;
+  batch.sampling_rates = {0.1};
+  EXPECT_THROW((void)fsim::make_fleet_config(batch), std::invalid_argument);
+  // The fleet runs one rate; a rate sweep is a batch concept.
+  fsim::ScenarioSpec multi;
+  fsim::apply_scenario_entry(multi, "mode", "aggregate");
+  multi.sampling_rates = {0.1, 0.5};
+  EXPECT_THROW((void)fsim::make_fleet_config(multi), std::invalid_argument);
+}
