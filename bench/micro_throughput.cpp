@@ -13,6 +13,7 @@
 #include <memory>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -27,6 +28,7 @@
 #include "flowrank/estimators/heavy_hitter_trackers.hpp"
 #include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/flowtable/hash_batch.hpp"
 #include "flowrank/ingest/sharded_pipeline.hpp"
 #include "flowrank/metrics/rank_metrics.hpp"
 #include "flowrank/monitor/monitor_loop.hpp"
@@ -444,6 +446,52 @@ void BM_ShortPipelinesSpawn(benchmark::State& state) {
 }
 BENCHMARK(BM_ShortPipelinesSpawn)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- partition-at-source batch hashing --------------------------------------
+
+// The hash-once kernel behind the ring pipeline: one FlowKeyHash per
+// packet, reused for shard selection, table probing and hash-threshold
+// sampling. One row per compiled-in kernel (registered from main below,
+// since availability is a runtime question) — all rows are bit-identical
+// in output, so the deltas are pure kernel speed. This measurement is
+// what sets the dispatch default in hash_batch.cpp: on x86-64 the SSE2
+// kernel's emulated 64-bit lane multiplies lose to scalar imul, so
+// hash_batch() runs the scalar loop and the vector rows document why.
+void BM_HashBatch(benchmark::State& state,
+                  flowrank::flowtable::HashBatchImpl impl) {
+  constexpr std::size_t kKeys = 1 << 16;
+  std::vector<flowrank::packet::FlowKey> keys(kKeys);
+  auto engine = flowrank::util::make_engine(11);
+  std::uniform_int_distribution<std::uint64_t> rand64;
+  for (auto& key : keys) {
+    key.hi = rand64(engine);
+    key.lo = rand64(engine);
+  }
+  std::vector<std::uint64_t> hashes(kKeys);
+  for (auto _ : state) {
+    flowrank::flowtable::hash_batch_with(impl, keys, /*salt=*/0, hashes);
+    benchmark::DoNotOptimize(hashes.data());
+  }
+  state.SetLabel(std::string(flowrank::flowtable::hash_batch_impl_name(impl)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKeys));
+}
+
+// One BM_HashBatch row per kernel this binary can run, e.g.
+// BM_HashBatch/scalar and BM_HashBatch/sse2 on x86-64. The row whose
+// label matches hash_batch_impl_name(hash_batch_impl()) is the one the
+// ingest path actually uses.
+void register_hash_batch_benchmarks() {
+  using flowrank::flowtable::HashBatchImpl;
+  for (const auto impl :
+       {HashBatchImpl::kScalar, HashBatchImpl::kSse2, HashBatchImpl::kNeon}) {
+    if (!flowrank::flowtable::hash_batch_impl_available(impl)) continue;
+    const std::string name =
+        "BM_HashBatch/" +
+        std::string(flowrank::flowtable::hash_batch_impl_name(impl));
+    benchmark::RegisterBenchmark(name.c_str(), &BM_HashBatch, impl);
+  }
+}
+
 void BM_SamplerSelectBatch(benchmark::State& state) {
   const auto packets = make_ingest_batch(1 << 16);
   flowrank::sampler::BernoulliSampler sampler(kIngestRate, 1);
@@ -659,4 +707,23 @@ BENCHMARK(BM_MonitorLoop)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main (vs BENCHMARK_MAIN) so the JSON context carries OUR
+// binary's build type. Google Benchmark's own `library_build_type` field
+// describes how the *system libbenchmark* was compiled (debug on some
+// boxes) and says nothing about this binary's optimization level —
+// keying a perf baseline on it produced a "debug" BENCH_micro.json from
+// a perfectly good Release build. bench/run_bench.sh and
+// scripts/check_bench_counters.py gate on flowrank_build_type instead.
+#ifndef FLOWRANK_BUILD_TYPE
+#define FLOWRANK_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("flowrank_build_type", FLOWRANK_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_hash_batch_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_micro.json's multi-threaded ingest rows.
+
+The sharded-ingest benchmark is only honest if its overload accounting
+rides along: a queue-bound run that silently shed half its packets would
+read as a speedup. This script fails if
+
+ * the JSON was produced by a debug build (context.library_build_type),
+ * any expected BM_ShardedIngest shard count is missing, or
+ * a BM_ShardedIngest row lost one of its accounting counters
+   (shards, queue_full_events, shed_chunks, shed_packets) or its
+   items_per_second throughput.
+
+Used by CI's bench smoke step on a fresh short run, and runnable against
+the committed baseline:
+
+  scripts/check_bench_counters.py [BENCH_micro.json] [--shards 1,2,4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_COUNTERS = ("shards", "queue_full_events", "shed_chunks", "shed_packets")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "json_path",
+        nargs="?",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_micro.json",
+    )
+    parser.add_argument(
+        "--shards",
+        default="1,2,4",
+        help="comma-separated shard counts that must appear (default 1,2,4)",
+    )
+    args = parser.parse_args()
+
+    try:
+        doc = json.loads(args.json_path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{args.json_path}: unreadable benchmark JSON: {err}", file=sys.stderr)
+        return 1
+
+    errors = []
+
+    # flowrank_build_type is stamped by micro_throughput's main() from
+    # CMAKE_BUILD_TYPE — deliberately NOT library_build_type, which
+    # describes the system libbenchmark, not our binary.
+    build_type = doc.get("context", {}).get("flowrank_build_type", "missing")
+    if build_type != "Release":
+        errors.append(
+            f"context.flowrank_build_type is '{build_type}', not 'Release': "
+            "regenerate with bench/run_bench.sh"
+        )
+
+    expected = {s.strip() for s in args.shards.split(",") if s.strip()}
+    seen = set()
+    for row in doc.get("benchmarks", []):
+        name = row.get("name", "")
+        if not name.startswith("BM_ShardedIngest/"):
+            continue
+        # "BM_ShardedIngest/4/real_time" -> shard arg "4".
+        shard_arg = name.split("/")[1]
+        seen.add(shard_arg)
+        for counter in REQUIRED_COUNTERS:
+            if counter not in row:
+                errors.append(f"{name}: missing counter '{counter}'")
+        if "items_per_second" not in row:
+            errors.append(f"{name}: missing items_per_second throughput")
+
+    missing = sorted(expected - seen)
+    if missing:
+        errors.append(
+            f"no BM_ShardedIngest row for shard count(s) {', '.join(missing)}"
+        )
+
+    if errors:
+        for err in errors:
+            print(f"bench counters check: {err}", file=sys.stderr)
+        return 1
+    print(
+        f"bench counters check passed: BM_ShardedIngest shards {sorted(seen)}, "
+        "Release build, accounting counters present"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,7 +131,13 @@ ALLOWLIST = {
     "lgamma-signgam": ("src/flowrank/numeric/special.cpp",),
     # bytes.hpp IS the sanctioned byte layer: its stream read/write pair
     # holds the only reinterpret_casts, over byte spans it sized itself.
-    "raw-byte-cast": ("src/flowrank/util/bytes.hpp",),
+    # hash_batch.cpp's casts feed SIMD lane loads/stores of FlowKey
+    # (standard-layout, two uint64_t) and never touch a wire format; the
+    # scalar-equivalence tests pin the results bit for bit.
+    "raw-byte-cast": (
+        "src/flowrank/util/bytes.hpp",
+        "src/flowrank/flowtable/hash_batch.cpp",
+    ),
 }
 
 HEADER_SUFFIXES = (".hpp", ".h")
@@ -148,6 +154,17 @@ RANGE_FOR_RE = re.compile(
 UNORDERED_OK_RE = re.compile(r"//\s*unordered-ok:\s*\S")
 MUTEX_DECL_RE = re.compile(r"\butil::Mutex\s+\w+")
 GUARD_ANNOTATION_RE = re.compile(r"\bFR_(?:PT_)?GUARDED_BY|\bFR_REQUIRES")
+
+# Concurrency hot-path layers where an un-padded std::atomic member is a
+# false-sharing bug waiting to happen (two counters on one cache line turn
+# independent producer/consumer traffic into ping-pong). Every atomic
+# declared here must either sit on its own line with alignas(...) or carry
+# a reviewed `// shared-cacheline-ok: <why>` comment (same line or the two
+# above).
+ATOMIC_SCOPES = ("src/flowrank/ingest/", "src/flowrank/exec/", "tests/lint_fixtures/")
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic\s*<")
+ALIGNAS_RE = re.compile(r"\balignas\s*\(")
+CACHELINE_OK_RE = re.compile(r"//\s*shared-cacheline-ok:\s*\S")
 
 
 class Finding:
@@ -330,6 +347,25 @@ def lint_file(path: Path, root: Path) -> list:
             "loop '// unordered-ok: <why order cannot matter>'",
         )
 
+    # False-sharing guard: atomics in the concurrency hot-path layers must
+    # be cache-line padded or explicitly waived.
+    if any(rel.startswith(prefix) for prefix in ATOMIC_SCOPES):
+        for m in ATOMIC_DECL_RE.finditer(stripped):
+            line = stripped.count("\n", 0, m.start()) + 1
+            stripped_line = stripped.splitlines()[line - 1]
+            if ALIGNAS_RE.search(stripped_line):
+                continue
+            context = raw_lines[max(0, line - 3) : line]  # decl line and two above
+            if any(CACHELINE_OK_RE.search(ln) for ln in context):
+                continue
+            add(
+                line,
+                "unpadded-atomic",
+                "std::atomic member without alignas(...) padding shares cache lines "
+                "with its neighbours; pad it or mark the line "
+                "'// shared-cacheline-ok: <why false sharing cannot matter>'",
+            )
+
     # Annotation presence: a util::Mutex must name what it guards.
     if MUTEX_DECL_RE.search(stripped) and not GUARD_ANNOTATION_RE.search(stripped):
         decl = MUTEX_DECL_RE.search(stripped)
@@ -356,6 +392,7 @@ ALL_RULES = [rule for rule, _, _ in BANNED] + [
     "iostream-in-header",
     "unordered-iter",
     "guarded-by-missing",
+    "unpadded-atomic",
 ]
 
 

@@ -15,10 +15,14 @@
 //    sim::SweepEngine uses it.
 //
 //  * submit() is the streaming primitive (ingest shards): fire-and-forget
-//    tasks that drain a shard's queue and return. Tasks must be
+//    tasks that drain a shard's SPSC ring and return. Tasks must be
 //    cooperative — they run to completion and never block waiting for
 //    another pool task — so any worker count (including one) makes
-//    progress and a pipeline never deadlocks on its own substrate.
+//    progress and a pipeline never deadlocks on its own substrate. The
+//    ingest drain task is the canonical shape: pop until the ring is
+//    empty, retire its exclusive-ownership flag, re-check, and resubmit
+//    a successor instead of looping forever (see
+//    ingest/sharded_pipeline.cpp for the retire protocol).
 //
 // The process-wide shared() pool persists across engine instances and
 // pipeline runs: repeated short pipelines and sweeps reuse parked workers

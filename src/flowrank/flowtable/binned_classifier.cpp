@@ -58,6 +58,25 @@ void BinnedClassifier::add_batch(std::span<const packet::PacketRecord> batch) {
   if (!batch.empty()) saw_packet_ = true;
 }
 
+void BinnedClassifier::add_batch(std::span<const packet::PacketRecord> batch,
+                                 std::span<const std::uint64_t> hashes) {
+  std::size_t start = 0;
+  while (start < batch.size()) {
+    const auto bin =
+        static_cast<std::size_t>(batch[start].timestamp_ns / bin_ns_);
+    std::size_t end = start + 1;
+    while (end < batch.size() &&
+           static_cast<std::size_t>(batch[end].timestamp_ns / bin_ns_) == bin) {
+      ++end;
+    }
+    advance_to_bin(bin);
+    table_.add_batch(batch.subspan(start, end - start),
+                     hashes.subspan(start, end - start));
+    start = end;
+  }
+  if (!batch.empty()) saw_packet_ = true;
+}
+
 void BinnedClassifier::finish() {
   if (saw_packet_) flush_bin();
   saw_packet_ = false;

@@ -45,6 +45,12 @@ class BinnedClassifier {
   /// flushes only at the (rare) boundaries inside the batch.
   void add_batch(std::span<const packet::PacketRecord> batch);
 
+  /// add_batch() with carried table-ready key hashes (parallel to
+  /// `batch`; see FlowTable::add_batch's hashed overload). Bin-run
+  /// segmentation is identical — both spans are subdivided together.
+  void add_batch(std::span<const packet::PacketRecord> batch,
+                 std::span<const std::uint64_t> hashes);
+
   /// Flushes the final (possibly partial) bin. Call once at end of trace.
   void finish();
 

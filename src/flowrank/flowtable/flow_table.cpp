@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
+
+#include "flowrank/flowtable/hash_batch.hpp"
 
 namespace flowrank::flowtable {
 
@@ -36,10 +39,14 @@ FlowTable::FlowTable(Options options) : options_(options) {
 }
 
 std::uint64_t FlowTable::hash_key(const packet::FlowKey& key) noexcept {
-  const std::uint64_t h = packet::FlowKeyHash{}(key);
-  // 0 marks an empty slot; remap the (1-in-2^64) real hash that collides
-  // with it. Key equality is always checked, so any constant works.
-  return h == kEmptyHash ? 0x9e3779b97f4a7c15ULL : h;
+  static_assert(kEmptyHash == 0 && table_ready_hash(kEmptyHash) != kEmptyHash,
+                "table_ready_hash must remap the empty-slot sentinel");
+  // 0 marks an empty slot; table_ready_hash remaps the (1-in-2^64) real
+  // hash that collides with it. Key equality is always checked, so the
+  // remap constant is arbitrary. The same remap is applied by
+  // hash_batch_table_ready(), so carried (precomputed) hashes and this
+  // per-key path agree bit for bit.
+  return table_ready_hash(packet::FlowKeyHash{}(key));
 }
 
 std::size_t FlowTable::find_or_insert(const packet::FlowKey& key,
@@ -112,25 +119,45 @@ void FlowTable::add_batch(std::span<const packet::PacketRecord> batch) {
   const std::size_t n = batch.size();
   batch_keys_.resize(n);
   batch_hashes_.resize(n);
-  // Pass 1 (sequential, vectorizable): collapse tuples to keys and hash
-  // them, so pass 2 is pure table work.
+  // Pass 1: collapse tuples to keys (sequential bit-packing), then hash
+  // the whole batch through the SIMD kernel, so pass 2 is pure table
+  // work. hash_batch_table_ready == hash_key per element.
   for (std::size_t i = 0; i < n; ++i) {
     batch_keys_[i] = packet::make_flow_key(batch[i].tuple, options_.definition);
-    batch_hashes_[i] = hash_key(batch_keys_[i]);
   }
-  // Pass 2: probe + accumulate, prefetching the slot a fixed distance
-  // ahead. Random flow-table slots rarely sit in cache at production table
-  // sizes; the prefetch overlaps that DRAM fetch with the current packet's
-  // work instead of stalling on it.
+  hash_batch_table_ready(batch_keys_, batch_hashes_);
+  probe_batch(batch, batch_hashes_);
+}
+
+void FlowTable::add_batch(std::span<const packet::PacketRecord> batch,
+                          std::span<const std::uint64_t> hashes) {
+  assert(hashes.size() == batch.size());
+  const std::size_t n = batch.size();
+  batch_keys_.resize(n);
+  // Only the keys are rebuilt here; the carried hashes were computed
+  // once at the ingest driver (partition at source).
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_keys_[i] = packet::make_flow_key(batch[i].tuple, options_.definition);
+  }
+  probe_batch(batch, hashes);
+}
+
+void FlowTable::probe_batch(std::span<const packet::PacketRecord> batch,
+                            std::span<const std::uint64_t> hashes) {
+  // Probe + accumulate, prefetching the slot a fixed distance ahead.
+  // Random flow-table slots rarely sit in cache at production table
+  // sizes; the prefetch overlaps that DRAM fetch with the current
+  // packet's work instead of stalling on it.
   constexpr std::size_t kPrefetchDistance = 16;
+  const std::size_t n = batch.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (i + kPrefetchDistance < n) {
       const std::size_t pidx =
-          static_cast<std::size_t>(batch_hashes_[i + kPrefetchDistance]) & mask_;
+          static_cast<std::size_t>(hashes[i + kPrefetchDistance]) & mask_;
       __builtin_prefetch(hashes_.data() + pidx, /*rw=*/0);
       __builtin_prefetch(counters_.data() + pidx, /*rw=*/1);
     }
-    accumulate(counters_[find_or_insert(batch_keys_[i], batch_hashes_[i])],
+    accumulate(counters_[find_or_insert(batch_keys_[i], hashes[i])],
                batch_keys_[i], batch[i]);
   }
 }

@@ -67,6 +67,16 @@ class FlowTable {
   /// calling add() on each packet in order.
   void add_batch(std::span<const packet::PacketRecord> batch);
 
+  /// add_batch() with the key hashes already computed (the
+  /// partition-at-source path: ingest::ShardedPipeline hashes each
+  /// packet once at the driver and carries the hash with the record).
+  /// `hashes[i]` must be the table-ready hash of batch[i]'s key —
+  /// flowtable::hash_batch_table_ready() output — so pass 1 here only
+  /// rebuilds keys (cheap bit-packing) and never re-hashes. Bit-
+  /// identical to add_batch(batch).
+  void add_batch(std::span<const packet::PacketRecord> batch,
+                 std::span<const std::uint64_t> hashes);
+
   /// Invokes `fn(const FlowCounter&)` for every live table entry, in slot
   /// order, without copying. Subflows closed by timeout splitting are in
   /// completed().
@@ -138,6 +148,10 @@ class FlowTable {
   /// Finds the slot for `key`, inserting an empty counter if absent.
   [[nodiscard]] std::size_t find_or_insert(const packet::FlowKey& key,
                                            std::uint64_t hash);
+  /// Pass 2 of both add_batch overloads: probe + accumulate over
+  /// batch_keys_ (already filled) using the given table-ready hashes.
+  void probe_batch(std::span<const packet::PacketRecord> batch,
+                   std::span<const std::uint64_t> hashes);
   void accumulate(FlowCounter& counter, const packet::FlowKey& key,
                   const packet::PacketRecord& pkt);
   void grow();

@@ -1,15 +1,25 @@
 #include "flowrank/ingest/sharded_pipeline.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "flowrank/flowtable/hash_batch.hpp"
 #include "flowrank/packet/flow_key.hpp"
 #include "flowrank/util/error.hpp"
 #include "flowrank/util/sync.hpp"
 
 namespace flowrank::ingest {
+
+namespace {
+/// Insurance against a theoretically lost condvar wakeup: parked drivers
+/// re-check their predicate at least this often. The notify protocols
+/// below argue no wakeup is actually lost; the timed wait turns any gap
+/// in that argument into a bounded stall instead of a deadlock.
+constexpr std::chrono::milliseconds kParkRecheck{50};
+}  // namespace
 
 ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
     : config_(std::move(config)) {
@@ -28,6 +38,17 @@ ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
   if (config_.chunk_packets < 1) {
     throw std::invalid_argument("ShardedPipeline: chunk_packets >= 1");
   }
+  if (config_.split_sampler.enabled) {
+    const SplitSamplerConfig& sp = config_.split_sampler;
+    if (sp.source_stream >= config_.num_streams ||
+        sp.sampled_stream >= config_.num_streams ||
+        sp.source_stream == sp.sampled_stream) {
+      throw std::invalid_argument(
+          "ShardedPipeline: split_sampler streams must be distinct and "
+          "< num_streams");
+    }
+    split_sampler_.emplace(sp.rate, sp.seed);  // validates rate in [0, 1]
+  }
   if (config_.pool == nullptr) config_.pool = &exec::TaskPool::shared();
   // Grow the pool once so every shard can drain concurrently; workers are
   // parked between pipelines, so repeated short runs spawn nothing.
@@ -36,9 +57,13 @@ ShardedPipeline::ShardedPipeline(ShardedPipelineConfig config)
   merged_.resize(config_.num_streams);
   pending_.resize(config_.num_streams);
   for (auto& per_shard : pending_) per_shard.resize(config_.num_shards);
+  stream_packet_counts_.assign(config_.num_streams, 0);
   shards_.reserve(config_.num_shards);
   for (std::size_t s = 0; s < config_.num_shards; ++s) {
-    auto shard = std::make_unique<Shard>();
+    // The free ring holds a couple more buffers than the chunk ring so a
+    // worker finishing a burst can park every buffer it popped.
+    auto shard = std::make_unique<Shard>(config_.max_queue_chunks,
+                                         config_.max_queue_chunks + 2);
     shard->classifiers.reserve(config_.num_streams);
     for (std::size_t stream = 0; stream < config_.num_streams; ++stream) {
       shard->classifiers.push_back(flowtable::BinnedClassifier::with_table_view(
@@ -62,99 +87,160 @@ ShardedPipeline::~ShardedPipeline() {
   }
 }
 
+void ShardedPipeline::classify_chunk(Shard& shard, const Chunk& chunk) {
+  try {
+    shard.classifiers[chunk.stream].add_batch(chunk.data.packets,
+                                              chunk.data.hashes);
+    const SplitSamplerConfig& sp = config_.split_sampler;
+    if (split_sampler_ && chunk.stream == sp.source_stream) {
+      // Gated per-shard sampling: thin this shard's slice of the source
+      // stream by the carried global indices (a pure per-index decision,
+      // so the union over shards is the same set at any shard count) and
+      // classify the survivors — hashes ride along, no re-hash.
+      Batch& sampled = shard.sampled_scratch;
+      sampled.clear();
+      const Batch& data = chunk.data;
+      for (std::size_t i = 0; i < data.packets.size(); ++i) {
+        if (split_sampler_->selects(data.indices[i])) {
+          sampled.packets.push_back(data.packets[i]);
+          sampled.hashes.push_back(data.hashes[i]);
+        }
+      }
+      shard.classifiers[sp.sampled_stream].add_batch(sampled.packets,
+                                                     sampled.hashes);
+    }
+  } catch (...) {
+    util::MutexLock lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
 void ShardedPipeline::drain_shard(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   while (true) {
     Chunk chunk;
-    {
-      util::MutexLock lock(shard.mutex);
-      if (shard.queue.empty()) {
-        // Retire: the next enqueue (or none) schedules a fresh task. The
-        // driver may be waiting in finish() for exactly this transition.
-        shard.task_scheduled = false;
-        shard.can_push.notify_all();
-        return;
+    while (shard.ring.try_pop(chunk)) {
+      // The pop freed a slot; wake a driver blocked on the full ring (or
+      // parked in drain_all). Checking the waiter flag first keeps the
+      // no-waiter hot path free of the mutex. The fence pairs with the
+      // driver's fetch_add+fence in block_until_pushed/drain_all: one of
+      // the two sides is guaranteed to see the other's write.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (shard.driver_waiting.load(std::memory_order_seq_cst) != 0) {
+        util::MutexLock lock(shard.mutex);
+        shard.wakeup.notify_all();
       }
-      chunk = std::move(shard.queue.front());
-      shard.queue.pop_front();
-      shard.can_push.notify_one();
+      classify_chunk(shard, chunk);
+      chunk.data.clear();
+      // Recycle the buffer to the driver; if the free ring is full the
+      // buffer simply dies (allocation is off the hot path).
+      (void)shard.free_ring.try_push(chunk.data);
     }
-    try {
-      shard.classifiers[chunk.stream].add_batch(chunk.packets);
-    } catch (...) {
-      util::MutexLock lock(error_mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+    // Retire: drop the task flag, then re-check the ring. A driver that
+    // pushed before our store sees task_active == true and does not
+    // schedule — the re-check guarantees we (or a replacement task we
+    // yield to) still drain that chunk. The fence pairs with the
+    // driver's push-then-fence-then-exchange sequence in enqueue().
+    shard.task_active.store(false, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!shard.ring.empty()) {
+      if (shard.task_active.exchange(true, std::memory_order_seq_cst)) {
+        return;  // a replacement task is already scheduled; it drains
+      }
+      continue;  // reclaimed the flag: keep draining ourselves
     }
-    chunk.packets.clear();
-    {
+    // Fully retired; a driver in drain_all() may be waiting for exactly
+    // this transition.
+    if (shard.driver_waiting.load(std::memory_order_seq_cst) != 0) {
       util::MutexLock lock(shard.mutex);
-      shard.spare_buffers.push_back(std::move(chunk.packets));
+      shard.wakeup.notify_all();
     }
+    return;
   }
 }
 
-std::vector<packet::PacketRecord> ShardedPipeline::take_buffer(Shard& shard) {
-  util::MutexLock lock(shard.mutex);
-  if (shard.spare_buffers.empty()) return {};
-  auto buffer = std::move(shard.spare_buffers.back());
-  shard.spare_buffers.pop_back();
+ShardedPipeline::Batch ShardedPipeline::take_buffer(Shard& shard) {
+  if (!driver_spares_.empty()) {
+    Batch buffer = std::move(driver_spares_.back());
+    driver_spares_.pop_back();
+    buffer.clear();
+    return buffer;
+  }
+  Batch buffer;
+  if (shard.free_ring.try_pop(buffer)) buffer.clear();
   return buffer;
 }
 
-void ShardedPipeline::enqueue(std::size_t shard_index, std::size_t stream,
-                              std::vector<packet::PacketRecord>&& packets) {
+void ShardedPipeline::block_until_pushed(std::size_t shard_index,
+                                         Chunk& chunk) {
   Shard& shard = *shards_[shard_index];
-  bool schedule = false;
-  {
-    util::MutexLock lock(shard.mutex);
-    if (shard.queue.size() >= config_.max_queue_chunks) {
-      queue_full_events_.fetch_add(1, std::memory_order_relaxed);
-      if (config_.overload == OverloadPolicy::kShed) {
-        // A full queue means a drain task is live (tasks retire only on
-        // an empty queue), so dropping here loses no wakeup. Recycle the
-        // buffer; the packets are gone and the counters say so.
-        shed_chunks_.fetch_add(1, std::memory_order_relaxed);
-        shed_packets_.fetch_add(packets.size(), std::memory_order_relaxed);
-        packets.clear();
-        shard.spare_buffers.push_back(std::move(packets));
-        return;
-      }
-      if (config_.block_deadline_ms > 0) {
-        const auto deadline =
-            std::chrono::steady_clock::now() +
-            std::chrono::milliseconds(config_.block_deadline_ms);
-        while (shard.queue.size() >= config_.max_queue_chunks) {
-          if (shard.can_push.wait_until(shard.mutex, deadline) ==
-                  std::cv_status::timeout &&
-              shard.queue.size() >= config_.max_queue_chunks) {
-            throw Error(ErrorCategory::kStalled, "ingest",
-                        "shard " + std::to_string(shard_index) +
-                            " wedged: queue full for " +
-                            std::to_string(config_.block_deadline_ms) + " ms");
-          }
+  // A full ring means a drain task is live (tasks retire only on an empty
+  // ring), so there is a worker making progress and a wakeup coming.
+  const bool bounded = config_.block_deadline_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.block_deadline_ms);
+  util::MutexLock lock(shard.mutex);
+  shard.driver_waiting.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  try {
+    // try_push appears exactly once, in the loop head, and the loop exits
+    // the moment it succeeds — the chunk can never be pushed twice.
+    while (!shard.ring.try_push(chunk)) {
+      auto wake = std::chrono::steady_clock::now() + kParkRecheck;
+      if (bounded) {
+        if (deadline <= std::chrono::steady_clock::now()) {
+          throw Error(ErrorCategory::kStalled, "ingest",
+                      "shard " + std::to_string(shard_index) +
+                          " wedged: queue full for " +
+                          std::to_string(config_.block_deadline_ms) + " ms");
         }
-      } else {
-        while (shard.queue.size() >= config_.max_queue_chunks) {
-          shard.can_push.wait(shard.mutex);
-        }
+        if (deadline < wake) wake = deadline;
       }
+      (void)shard.wakeup.wait_until(shard.mutex, wake);
     }
-    shard.queue.push_back(
-        Chunk{static_cast<std::uint32_t>(stream), std::move(packets)});
-    if (!shard.task_scheduled) {
-      shard.task_scheduled = true;
-      schedule = true;
-    }
+  } catch (...) {
+    shard.driver_waiting.fetch_sub(1, std::memory_order_seq_cst);
+    throw;
   }
-  if (schedule) {
+  shard.driver_waiting.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void ShardedPipeline::enqueue(std::size_t shard_index, std::size_t stream,
+                              Batch&& data) {
+  Shard& shard = *shards_[shard_index];
+  Chunk chunk{static_cast<std::uint32_t>(stream), std::move(data)};
+  if (!shard.ring.try_push(chunk)) {
+    queue_full_events_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.overload == OverloadPolicy::kShed) {
+      // A full ring means a drain task is live (tasks retire only on an
+      // empty ring), so dropping here loses no wakeup. Recycle the
+      // buffer; the packets are gone and the counters say so. (The
+      // driver cannot push to the free ring — that would add a second
+      // producer — so shed buffers land in the driver-local spare pool.)
+      shed_chunks_.fetch_add(1, std::memory_order_relaxed);
+      shed_packets_.fetch_add(chunk.data.packets.size(),
+                              std::memory_order_relaxed);
+      chunk.data.clear();
+      driver_spares_.push_back(std::move(chunk.data));
+      return;
+    }
+    block_until_pushed(shard_index, chunk);
+  }
+  // Schedule a drain task unless one is already queued or running. The
+  // fence orders the ring push before the flag read against the retiring
+  // task's store-flag-then-recheck-ring sequence: either we observe the
+  // retirement (exchange returns false, we schedule), or the retiring
+  // task observes our push (re-check non-empty, it reclaims or yields to
+  // the task we schedule). Either way the chunk is drained.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!shard.task_active.exchange(true, std::memory_order_seq_cst)) {
     config_.pool->submit([this, shard_index] { drain_shard(shard_index); });
   }
 }
 
 void ShardedPipeline::flush_pending(std::size_t stream,
                                     std::size_t shard_index) {
-  auto refill = take_buffer(*shards_[shard_index]);
-  refill.clear();
+  Batch refill = take_buffer(*shards_[shard_index]);
   std::swap(pending_[stream][shard_index], refill);
   enqueue(shard_index, stream, std::move(refill));
 }
@@ -169,35 +255,69 @@ void ShardedPipeline::add_batch(std::size_t stream,
   }
   if (batch.empty()) return;
 
+  // Partition at source: one SIMD batch hash per packet, computed here
+  // and carried with the record. Shard selection below and every
+  // downstream FlowTable probe reuse it; no stage re-hashes a key.
+  const std::size_t n = batch.size();
+  scratch_keys_.resize(n);
+  scratch_hashes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_keys_[i] =
+        packet::make_flow_key(batch[i].tuple, config_.table_options.definition);
+  }
+  flowtable::hash_batch_table_ready(scratch_keys_, scratch_hashes_);
+
+  const bool stamp_indices =
+      split_sampler_.has_value() && stream == config_.split_sampler.source_stream;
+  const std::uint64_t index_base = stream_packet_counts_[stream];
   auto& pending = pending_[stream];
   if (config_.num_shards == 1) {
-    pending[0].insert(pending[0].end(), batch.begin(), batch.end());
+    Batch& dst = pending[0];
+    dst.packets.insert(dst.packets.end(), batch.begin(), batch.end());
+    dst.hashes.insert(dst.hashes.end(), scratch_hashes_.begin(),
+                      scratch_hashes_.end());
+    if (stamp_indices) {
+      for (std::size_t i = 0; i < n; ++i) {
+        dst.indices.push_back(index_base + i);
+      }
+    }
   } else {
-    for (const auto& pkt : batch) {
-      const packet::FlowKey key =
-          packet::make_flow_key(pkt.tuple, config_.table_options.definition);
-      pending[packet::FlowKeyHash{}(key) % config_.num_shards].push_back(pkt);
+    for (std::size_t i = 0; i < n; ++i) {
+      Batch& dst = pending[scratch_hashes_[i] % config_.num_shards];
+      dst.packets.push_back(batch[i]);
+      dst.hashes.push_back(scratch_hashes_[i]);
+      if (stamp_indices) dst.indices.push_back(index_base + i);
     }
   }
+  stream_packet_counts_[stream] += n;
   for (std::size_t s = 0; s < config_.num_shards; ++s) {
-    if (pending[s].size() >= config_.chunk_packets) flush_pending(stream, s);
+    if (pending[s].packets.size() >= config_.chunk_packets) {
+      flush_pending(stream, s);
+    }
   }
 }
 
 void ShardedPipeline::drain_all() {
   for (std::size_t stream = 0; stream < config_.num_streams; ++stream) {
     for (std::size_t s = 0; s < config_.num_shards; ++s) {
-      if (!pending_[stream][s].empty()) flush_pending(stream, s);
+      if (!pending_[stream][s].packets.empty()) flush_pending(stream, s);
     }
   }
   // Wait (on the driver thread, never on a pool worker) for every shard's
-  // drain task to retire with an empty queue; after that no task touches
-  // the shard until the next enqueue.
-  for (auto& shard : shards_) {
-    util::MutexLock lock(shard->mutex);
-    while (shard->task_scheduled || !shard->queue.empty()) {
-      shard->can_push.wait(shard->mutex);
+  // drain task to retire with an empty ring; after that no task touches
+  // the shard until the next enqueue. The waiter flag + fence pair with
+  // the drain task's retire sequence exactly like block_until_pushed.
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    util::MutexLock lock(shard.mutex);
+    shard.driver_waiting.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    while (shard.task_active.load(std::memory_order_seq_cst) ||
+           !shard.ring.empty()) {
+      (void)shard.wakeup.wait_until(
+          shard.mutex, std::chrono::steady_clock::now() + kParkRecheck);
     }
+    shard.driver_waiting.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 

@@ -1,16 +1,35 @@
 // Sharded multi-threaded ingest (the ROADMAP's line-rate scaling step).
 //
-// The inherently sequential stages — pulling the packet stream and running
-// the skip-based sampler, whose state machines must see every packet in
-// order — stay on the driver thread. Everything downstream is
-// embarrassingly parallel per flow: the driver partitions each
-// time-ordered batch by FlowKeyHash % num_shards, so every flow's packets
-// land on exactly one shard, and each shard worker owns a private
-// FlowTable-backed BinnedClassifier. At each bin flush a shard folds its
-// table into the bin's merged view; because shard key sets are disjoint
-// and partitioning preserves per-flow packet order, the merged per-bin
-// flow counters are bit-identical to a single-threaded classification of
-// the same stream, at any shard count.
+// The inherently sequential stages — pulling the packet stream and (in the
+// default configuration) running the skip-based sampler, whose state
+// machine must see every packet in order — stay on the driver thread.
+// Everything downstream is embarrassingly parallel per flow: the driver
+// partitions each time-ordered batch by flow-key hash % num_shards, so
+// every flow's packets land on exactly one shard, and each shard worker
+// owns a private FlowTable-backed BinnedClassifier. At each bin flush a
+// shard folds its table into the bin's merged view; because shard key sets
+// are disjoint and partitioning preserves per-flow packet order, the
+// merged per-bin flow counters are bit-identical to a single-threaded
+// classification of the same stream, at any shard count.
+//
+// Partition at source: the 64-bit key hash is computed exactly once per
+// packet, at the driver, through the SIMD batch kernel
+// (flowtable::hash_batch), and carried alongside the record. Shard
+// selection consumes it here, and the per-shard FlowTable probes with it
+// directly (the hashed add_batch overload), so no stage downstream ever
+// re-hashes a key.
+//
+// Shard hand-off runs over single-producer single-consumer rings
+// (ingest/spsc_ring.hpp): the driver is the only writer and the shard's
+// drain task — at most one live at a time — the only reader, so steady-
+// state pushes and pops are two acquire/release index updates on
+// separate cache lines, no mutex anywhere on the packet path. The
+// OverloadPolicy semantics sit on top of the rings: kShed drops the
+// chunk when a ring is full; kBlock parks the driver on a slow-path
+// condvar that the drain task only signals when a waiter flag says
+// someone is parked. Drain-task scheduling is a seq_cst flag handshake
+// (enqueue-side exchange vs retire-side store + ring re-check) so a
+// chunk pushed while a task is retiring is never stranded.
 //
 // Disjointness is also what makes the merge cheap: no two shards ever
 // contribute the same key to a bin, so the merged view is a plain
@@ -21,11 +40,9 @@
 // Since the exec layer extraction the pipeline spawns no threads of its
 // own: shard work runs as cooperative drain tasks on the shared
 // exec::TaskPool (or a caller-provided pool). A shard schedules at most
-// one drain task at a time, and the task pops its bounded queue in FIFO
-// order, so each shard's packets are still classified sequentially in
-// arrival order — the bit-identity argument is untouched. What changes is
-// the cost model: repeated short pipelines reuse parked pool workers
-// instead of paying a thread spawn/join per shard per run.
+// one drain task at a time, and the task pops its ring in FIFO order, so
+// each shard's packets are still classified sequentially in arrival
+// order — the bit-identity argument is untouched.
 //
 // This is the hash-shard-and-merge shape of multi-core packet pipelines
 // (cf. pktgen's per-core generators and heyp's sharded host agents),
@@ -34,23 +51,25 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "flowrank/exec/task_pool.hpp"
 #include "flowrank/flowtable/binned_classifier.hpp"
 #include "flowrank/flowtable/flow_table.hpp"
+#include "flowrank/ingest/spsc_ring.hpp"
 #include "flowrank/packet/records.hpp"
+#include "flowrank/sampler/packet_sampler.hpp"
 #include "flowrank/util/sync.hpp"
 #include "flowrank/util/thread_annotations.hpp"
 
 namespace flowrank::ingest {
 
-/// What add_batch does when a shard queue is full.
+/// What add_batch does when a shard ring is full.
 enum class OverloadPolicy {
   /// Block the driver until the worker catches up (lossless; the default
   /// and the only mode batch experiments use — results stay bit-identical
@@ -64,9 +83,28 @@ enum class OverloadPolicy {
 
 /// Loss and pressure counters, readable at any time from any thread.
 struct OverloadStats {
-  std::uint64_t queue_full_events = 0;  ///< enqueues that found a full queue
+  std::uint64_t queue_full_events = 0;  ///< enqueues that found a full ring
   std::uint64_t shed_chunks = 0;        ///< chunks dropped under kShed
   std::uint64_t shed_packets = 0;       ///< packets inside those chunks
+};
+
+/// The gated per-shard sampler (ISSUE 9 layer 3): when enabled, the
+/// driver stops running a sequential sampler in front of the partition
+/// point and instead stamps each source-stream packet with its global
+/// stream index; every shard then thins its own substream with
+/// sampler::SplitStreamSampler (a pure per-index decision) and
+/// classifies the survivors into `sampled_stream`. Selection is
+/// independent of the partitioning, so the sampled classification is
+/// bit-identical across shard counts — but it is a DIFFERENT canonical
+/// stream than BernoulliSampler's geometric skips at the same (rate,
+/// seed), so this ships off by default behind the `sampler-split` spec
+/// key (see docs/PERFORMANCE.md "Scale-up ingest").
+struct SplitSamplerConfig {
+  bool enabled = false;
+  double rate = 1.0;        ///< per-packet selection probability, [0, 1]
+  std::uint64_t seed = 0;   ///< master seed (stream derived internally)
+  std::size_t source_stream = 0;   ///< stream whose packets are thinned
+  std::size_t sampled_stream = 1;  ///< stream the survivors classify into
 };
 
 struct ShardedPipelineConfig {
@@ -82,16 +120,16 @@ struct ShardedPipelineConfig {
   /// Options for every per-shard table (initial_capacity is per shard).
   flowtable::FlowTable::Options table_options;
   /// Backpressure: add_batch blocks (kBlock) or drops (kShed) once this
-  /// many chunks queue per shard.
+  /// many chunks sit in a shard's ring.
   std::size_t max_queue_chunks = 8;
-  /// Full-queue behavior; see OverloadPolicy.
+  /// Full-ring behavior; see OverloadPolicy.
   OverloadPolicy overload = OverloadPolicy::kBlock;
-  /// kBlock only: longest time add_batch may wait on one full shard queue
+  /// kBlock only: longest time add_batch may wait on one full shard ring
   /// before declaring the shard wedged and throwing
   /// flowrank::Error(kStalled). 0 = wait forever (batch semantics).
   std::uint32_t block_deadline_ms = 0;
   /// Packets staged per (stream, shard) before a chunk is handed to the
-  /// worker. Staging across add_batch calls amortizes the queue/wakeup
+  /// worker. Staging across add_batch calls amortizes the ring/wakeup
   /// cost per chunk over many packets; correctness is unaffected (each
   /// worker still sees its packets in arrival order), only the latency of
   /// bin flushes relative to add_batch calls changes.
@@ -110,6 +148,9 @@ struct ShardedPipelineConfig {
   std::function<void(std::size_t shard, std::size_t stream, std::size_t bin,
                      const flowtable::FlowTable& table)>
       on_shard_bin;
+  /// Gated per-shard split sampler; disabled (canonical Bernoulli path
+  /// untouched) by default.
+  SplitSamplerConfig split_sampler;
 };
 
 /// Driver-side facade over the shard workers. Not thread-safe itself: one
@@ -129,18 +170,19 @@ class ShardedPipeline {
   ShardedPipeline(const ShardedPipeline&) = delete;
   ShardedPipeline& operator=(const ShardedPipeline&) = delete;
 
-  /// Partitions a time-ordered batch of `stream` by flow-key hash and
-  /// enqueues the per-shard slices. Blocks when a shard's queue is full.
+  /// Partitions a time-ordered batch of `stream` by flow-key hash (one
+  /// SIMD hash per packet, carried with the record from here on) and
+  /// enqueues the per-shard slices. Blocks when a shard's ring is full.
   /// Batches of each stream must arrive in non-decreasing timestamp order.
   void add_batch(std::size_t stream,
                  std::span<const packet::PacketRecord> batch);
 
-  /// Drains the queues and flushes every shard's final bin. Must be
+  /// Drains the rings and flushes every shard's final bin. Must be
   /// called before reading results. Idempotent. Rethrows the first
   /// exception a shard task raised, if any.
   void finish();
 
-  /// Epoch rotation for continuous monitors: drains every shard queue
+  /// Epoch rotation for continuous monitors: drains every shard ring
   /// (blocking the driver until workers retire), then flushes every bin
   /// strictly before `next_bin` on every classifier — tables clear and
   /// are reused, exactly the batch path's boundary behavior. add_batch
@@ -170,43 +212,77 @@ class ShardedPipeline {
   }
 
  private:
+  /// One partitioned slice: records plus their carried table-ready key
+  /// hashes (parallel vectors), and — only when the split sampler is on —
+  /// each record's global stream index.
+  struct Batch {
+    std::vector<packet::PacketRecord> packets;
+    std::vector<std::uint64_t> hashes;
+    std::vector<std::uint64_t> indices;
+
+    void clear() noexcept {
+      packets.clear();
+      hashes.clear();
+      indices.clear();
+    }
+  };
+
   struct Chunk {
     std::uint32_t stream = 0;
-    std::vector<packet::PacketRecord> packets;
+    Batch data;
   };
 
   struct Shard {
-    util::Mutex mutex;
-    util::CondVar can_push;  ///< driver waits: queue full / not idle
-    std::deque<Chunk> queue FR_GUARDED_BY(mutex);
-    /// Recycled packet buffers, handed back to the driver.
-    std::vector<std::vector<packet::PacketRecord>> spare_buffers
-        FR_GUARDED_BY(mutex);
+    Shard(std::size_t ring_capacity, std::size_t spare_capacity)
+        : ring(ring_capacity), free_ring(spare_capacity) {}
+
+    /// Driver -> drain-task chunk hand-off (the hot path).
+    SpscRing<Chunk> ring;
+    /// Drain-task -> driver buffer recycling (roles reversed: the drain
+    /// task produces, the driver consumes). Overflow simply frees the
+    /// buffer.
+    SpscRing<Batch> free_ring;
     /// True while a drain task is queued or running for this shard. At
     /// most one at a time, so the shard's chunks are classified strictly
-    /// in FIFO order — the invariant bit-identity rests on.
-    bool task_scheduled FR_GUARDED_BY(mutex) = false;
+    /// in FIFO order — the invariant bit-identity rests on. seq_cst
+    /// handshake with the ring emptiness re-check (see drain_shard /
+    /// enqueue); own line so retire/schedule flips never bounce the ring
+    /// indices.
+    alignas(kCacheLineBytes) std::atomic<bool> task_active{false};
+    /// Nonzero while the driver is parked on `wakeup` (full-ring block
+    /// or drain_all). The drain task checks it after every pop and only
+    /// then takes the mutex to notify, keeping the hot path lock-free.
+    alignas(kCacheLineBytes) std::atomic<std::uint32_t> driver_waiting{0};
+    /// Slow-path wait state only; never touched on the packet path.
+    util::Mutex mutex;
+    util::CondVar wakeup;
     /// One classifier per stream, owned (and only touched) by the drain
     /// task — which runs exclusively, so this is single-threaded state
-    /// handed from pool worker to pool worker under the shard mutex.
-    /// Exclusive hand-off, not mutual exclusion: the drain task reads it
-    /// outside the lock, which FR_GUARDED_BY cannot express — the
-    /// task_scheduled protocol above is what makes it safe (and TSan
-    /// checks it dynamically).
+    /// handed from pool worker to pool worker through the task_active
+    /// release/acquire edge (plus the pool's own submit ordering).
+    /// Exclusive hand-off, not mutual exclusion: FR_GUARDED_BY cannot
+    /// express it — TSan checks it dynamically.
     std::vector<flowtable::BinnedClassifier> classifiers;
+    /// Split-sampler thinning scratch (drain task only, same hand-off).
+    Batch sampled_scratch;
   };
 
-  /// Pops and classifies chunks until the queue is empty, then retires.
+  /// Pops and classifies chunks until the ring is empty, then retires.
   void drain_shard(std::size_t shard_index);
+  /// Classifies one chunk (and, under the split sampler, thins + feeds
+  /// the sampled stream). Errors land in first_error_.
+  void classify_chunk(Shard& shard, const Chunk& chunk);
   /// Hands pending_[stream][shard] to the worker and replaces it with a
   /// recycled buffer.
   void flush_pending(std::size_t stream, std::size_t shard_index);
-  void enqueue(std::size_t shard_index, std::size_t stream,
-               std::vector<packet::PacketRecord>&& packets);
-  [[nodiscard]] std::vector<packet::PacketRecord> take_buffer(Shard& shard);
+  void enqueue(std::size_t shard_index, std::size_t stream, Batch&& data);
+  /// kBlock slow path: parks on the shard condvar until the chunk fits
+  /// (or the block deadline declares the shard wedged).
+  void block_until_pushed(std::size_t shard_index, Chunk& chunk);
+  [[nodiscard]] Batch take_buffer(Shard& shard);
   void on_bin_flush(std::size_t shard, std::size_t stream, std::size_t bin,
                     const flowtable::FlowTable& table);
-  /// Blocks until every queued chunk is classified and every drain task
+  /// Blocks until every ringed chunk is classified and every drain task
   /// has retired (driver thread only).
   void drain_all();
   /// Rethrows and clears the first shard-task exception, if any.
@@ -215,8 +291,19 @@ class ShardedPipeline {
   ShardedPipelineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Driver-side staging: pending_[stream][shard] accumulates partitioned
-  /// packets until chunk_packets of them are ready to enqueue.
-  std::vector<std::vector<std::vector<packet::PacketRecord>>> pending_;
+  /// packets (and carried hashes/indices) until chunk_packets are ready.
+  std::vector<std::vector<Batch>> pending_;
+  /// Driver-local recycled buffers (shed chunks land here; take_buffer
+  /// checks it before the shard's free ring).
+  std::vector<Batch> driver_spares_;
+  /// Per-stream packets seen so far: the global index base the split
+  /// sampler stamps from.
+  std::vector<std::uint64_t> stream_packet_counts_;
+  /// add_batch workspace for the batch key/hash computation.
+  std::vector<packet::FlowKey> scratch_keys_;
+  std::vector<std::uint64_t> scratch_hashes_;
+  /// Engaged iff config_.split_sampler.enabled.
+  std::optional<sampler::SplitStreamSampler> split_sampler_;
 
   mutable util::Mutex merged_mutex_;
   /// merged_[stream][bin]: concatenated per-shard flow snapshots, built
@@ -229,9 +316,12 @@ class ShardedPipeline {
   std::exception_ptr first_error_ FR_GUARDED_BY(error_mutex_);
   bool finished_ = false;
 
-  std::atomic<std::uint64_t> queue_full_events_{0};
-  std::atomic<std::uint64_t> shed_chunks_{0};
-  std::atomic<std::uint64_t> shed_packets_{0};
+  // Overload counters: written by the driver only, read from any thread
+  // via overload_stats(); bumped on overload events, far off the packet
+  // path, so they share a line deliberately.
+  std::atomic<std::uint64_t> queue_full_events_{0};  // shared-cacheline-ok: driver-written stats counter, off the hot path
+  std::atomic<std::uint64_t> shed_chunks_{0};        // shared-cacheline-ok: driver-written stats counter, off the hot path
+  std::atomic<std::uint64_t> shed_packets_{0};       // shared-cacheline-ok: driver-written stats counter, off the hot path
 };
 
 }  // namespace flowrank::ingest

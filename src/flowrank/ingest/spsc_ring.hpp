@@ -1,0 +1,130 @@
+// Single-producer single-consumer ring buffer: the shard hand-off
+// primitive of ingest::ShardedPipeline.
+//
+// Each pipeline shard is fed by exactly one writer (the driver thread)
+// and drained by exactly one reader (the shard's drain task — the
+// at-most-one-drain-task invariant makes the consumer side single-
+// threaded even though successive tasks may run on different pool
+// workers). That pairing lets the hand-off run on two monotonically
+// increasing indices with acquire/release atomics only:
+//
+//   * the producer owns tail_ and advances it after writing a slot;
+//   * the consumer owns head_ and advances it after moving a slot out;
+//   * each side keeps a local cache of the other's index and re-reads
+//     the shared atomic only when the cached value says "full"/"empty",
+//     so steady-state pushes and pops touch a single cache line each.
+//
+// head_ and tail_ live on separate cache lines (alignas below) so the
+// producer's stores never invalidate the consumer's line and vice
+// versa; the index caches share the line of the index their owner
+// already writes. Capacity is the caller's logical bound (the slot
+// array rounds up to a power of two internally), so a ring of
+// capacity 1 really holds one element — the overload tests rely on
+// that.
+//
+// The ring itself never blocks: try_push/try_pop fail fast and the
+// caller decides what full/empty means (shed, block on a slow-path
+// condvar, retire a drain task). empty() uses seq_cst loads because it
+// sits in the drain-task retirement protocol, where a stale "empty"
+// would strand a queued chunk (see sharded_pipeline.cpp).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace flowrank::ingest {
+
+/// Cache-line stride used to keep producer- and consumer-owned state on
+/// distinct lines. 64 bytes is the destructive-interference size on
+/// every target we build for (x86-64, aarch64); pinned numerically
+/// because GCC warns that std::hardware_destructive_interference_size
+/// is ABI-unstable across -mtune values.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Bounded SPSC ring. T must be movable; moved-out slots keep their
+/// (moved-from) value until overwritten, which is how chunk buffers
+/// stay warm for recycling.
+template <typename T>
+class SpscRing {
+ public:
+  /// A ring that holds at most `capacity` elements. Throws
+  /// std::invalid_argument on capacity 0.
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity),
+        mask_(std::bit_ceil(require_nonzero(capacity)) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Moves `value` into the ring and returns true, or
+  /// returns false (leaving `value` untouched) when the ring is full.
+  [[nodiscard]] bool try_push(T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Moves the oldest element into `out` and returns
+  /// true, or returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Linearizable emptiness check for the retirement/drain protocols
+  /// (either side may call it; seq_cst so it totally orders against the
+  /// seq_cst task-flag operations in the pipeline).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_seq_cst) ==
+           tail_.load(std::memory_order_seq_cst);
+  }
+
+  /// Approximate occupancy (exact when called by either endpoint while
+  /// the other is quiescent).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  static std::size_t require_nonzero(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscRing: capacity must be >= 1");
+    }
+    return capacity;
+  }
+
+  /// Consumer-owned line: head_ plus the consumer's cache of tail_.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+
+  /// Producer-owned line: tail_ plus the producer's cache of head_.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+
+  /// Immutable after construction; shared read-only.
+  alignas(kCacheLineBytes) std::size_t capacity_;
+  std::uint64_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace flowrank::ingest

@@ -243,7 +243,16 @@ std::vector<PacketBinResult> run_packet_level_estimated(
   // either way: the sampler sees the identical packet sequence, and
   // hash-sharding assigns every flow wholly to one shard.
   constexpr std::size_t kBatch = 4096;
+  // The gated split sampler selects by global stream index instead of a
+  // sequential skip countdown; driver-side (select_into over in-order
+  // batches) and shard-side (carried indices) evaluation of it pick the
+  // identical set. Both samplers are constructed — they are cheap and
+  // stateless until offered packets — and `sampler` picks the active one.
   sampler::BernoulliSampler bernoulli(sampling_rate, run_seed);
+  sampler::SplitStreamSampler split(sampling_rate, run_seed);
+  sampler::PacketSampler& sampler =
+      config.sampler_split ? static_cast<sampler::PacketSampler&>(split)
+                           : bernoulli;
   trace::PacketStream stream(trace);
   std::vector<packet::PacketRecord> batch, selected;
   batch.reserve(kBatch);
@@ -262,7 +271,7 @@ std::vector<PacketBinResult> run_packet_level_estimated(
         });
     while (stream.next_batch(batch, kBatch) > 0) {
       original_classifier.add_batch(batch);
-      bernoulli.select_into(batch, selected);
+      sampler.select_into(batch, selected);
       feed_trackers(selected);
       if (classify_sampled) sampled_classifier.add_batch(selected);
     }
@@ -275,10 +284,22 @@ std::vector<PacketBinResult> run_packet_level_estimated(
     pipe_cfg.num_streams = classify_sampled ? 2 : 1;
     pipe_cfg.bin_ns = bin_ns;
     pipe_cfg.table_options = table_opts;
+    // Under the gate, the shards thin stream 0 themselves (by carried
+    // global index) and classify the survivors into stream 1 — no
+    // driver-side selection pass at all. Tracker stages still select on
+    // the driver (the trackers are order-sensitive driver state), where
+    // the same split sampler picks the same set.
+    const bool shards_thin = config.sampler_split && classify_sampled;
+    if (shards_thin) {
+      pipe_cfg.split_sampler.enabled = true;
+      pipe_cfg.split_sampler.rate = sampling_rate;
+      pipe_cfg.split_sampler.seed = run_seed;
+    }
     ingest::ShardedPipeline pipeline(pipe_cfg);
     while (stream.next_batch(batch, kBatch) > 0) {
       pipeline.add_batch(0, batch);
-      bernoulli.select_into(batch, selected);
+      if (shards_thin) continue;
+      sampler.select_into(batch, selected);
       feed_trackers(selected);
       if (classify_sampled) pipeline.add_batch(1, selected);
     }

@@ -593,6 +593,13 @@ std::vector<std::pair<std::string, std::string>> experiment_echo(
                        ",on-factor=" + format_value(spec.on_off.on_factor) +
                        ",off-factor=" + format_value(spec.on_off.off_factor));
     }
+    if (spec.trace == "churn") {
+      add("churn", "population=" + std::to_string(spec.churn.population) +
+                       ",rate=" + format_value(spec.churn.churn_per_s) +
+                       ",packets=" + format_value(spec.churn.mean_packets) +
+                       ",flow-duration=" + format_value(spec.churn.mean_duration_s) +
+                       ",tcp=" + format_value(spec.churn.tcp_fraction));
+    }
     add("bin", format_value(spec.bin_seconds));
     add("t", std::to_string(spec.top_t));
     // A `sweep rate` axis replaces the rates list on these models, so
@@ -608,7 +615,10 @@ std::vector<std::pair<std::string, std::string>> experiment_echo(
     add("rates", rates);
     // threads/shards are deliberately absent: they never change result
     // values (the engines' bit-identity contract), so result files stay
-    // byte-identical at any parallelism.
+    // byte-identical at any parallelism. The split-sampler gate DOES
+    // change values (different canonical sampled stream), so it is
+    // echoed whenever it is on.
+    if (spec.sampler_split) add("sampler-split", "on");
     if (spec.model == ExperimentModel::kMc) {
       add("runs", std::to_string(spec.runs));
     } else {

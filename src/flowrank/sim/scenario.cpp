@@ -163,6 +163,19 @@ void apply_chan_entry(agg::SummaryFaultSpec& chan, const std::string& key,
   }
 }
 
+trace::FlowChurnConfig parse_churn(const std::string& clause) {
+  auto args = parse_clause("churn", clause);
+  trace::FlowChurnConfig churn;
+  churn.population = static_cast<std::size_t>(
+      take(args, "population", static_cast<double>(churn.population)));
+  churn.churn_per_s = take(args, "rate", churn.churn_per_s);
+  churn.mean_packets = take(args, "packets", churn.mean_packets);
+  churn.mean_duration_s = take(args, "flow-duration", churn.mean_duration_s);
+  churn.tcp_fraction = take(args, "tcp", churn.tcp_fraction);
+  expect_empty(args, "churn");
+  return churn;
+}
+
 trace::OnOffArrivals parse_onoff(const std::string& clause) {
   auto args = parse_clause("onoff", clause);
   trace::OnOffArrivals on_off;
@@ -182,12 +195,13 @@ trace::OnOffArrivals parse_onoff(const std::string& clause) {
 
 const std::vector<std::string>& base_mode_keys() {
   static const std::vector<std::string> keys = {
-      "beta",      "bin",         "definition",      "dist",
-      "duration",  "epoch-gap",   "epochs",          "flow-rate",
-      "flow-rate-scale", "mode",  "name",            "onoff",
-      "packet-size", "path",      "preset",          "rates",
-      "runs",      "seed",        "shards",          "t",
-      "threads",   "ties",        "trace",           "trace-seed"};
+      "beta",      "bin",         "churn",           "definition",
+      "dist",      "duration",    "epoch-gap",       "epochs",
+      "flow-rate", "flow-rate-scale", "mode",        "name",
+      "onoff",     "packet-size", "path",            "preset",
+      "rates",     "runs",        "sampler-split",   "seed",
+      "shards",    "t",           "threads",         "ties",
+      "trace",     "trace-seed"};
   return keys;
 }
 
@@ -277,6 +291,17 @@ void apply_entry(ScenarioSpec& spec, const std::string& key, const std::string& 
     spec.epoch_gap_s = parse_double(key, value);
   } else if (key == "onoff") {
     spec.on_off = parse_onoff(value);
+  } else if (key == "churn") {
+    spec.churn = parse_churn(value);
+  } else if (key == "sampler-split") {
+    if (value == "on" || value == "true" || value == "1") {
+      spec.sampler_split = true;
+    } else if (value == "off" || value == "false" || value == "0") {
+      spec.sampler_split = false;
+    } else {
+      throw std::invalid_argument(
+          "scenario: sampler-split must be on|off, got '" + value + "'");
+    }
   } else if (key == "bin") {
     spec.bin_seconds = parse_double(key, value);
   } else if (key == "t") {
@@ -543,6 +568,33 @@ namespace {
 /// The spec's trace source before any fault wrapping.
 std::shared_ptr<const trace::TraceSource> make_base_trace_source(
     const ScenarioSpec& spec) {
+  if (spec.trace == "churn") {
+    // pktgen-style bounded-population workload; shared keys fill the
+    // shared knobs, the `churn` clause the population/turnover ones.
+    const auto epoch_config = [&spec](std::uint64_t seed) {
+      trace::FlowChurnConfig config = spec.churn;
+      config.duration_s = spec.duration_s;
+      if (spec.flow_rate_per_s > 0.0) config.flow_rate_per_s = spec.flow_rate_per_s;
+      config.flow_rate_per_s *= spec.flow_rate_scale;
+      config.packet_size_bytes = spec.packet_size_bytes;
+      config.seed = seed;
+      return config;
+    };
+    if (spec.epochs == 1) {
+      return std::make_shared<trace::FlowChurnTraceSource>(
+          epoch_config(spec.trace_seed));
+    }
+    // Multi-epoch: per-epoch seeds, so the populations churn across
+    // epochs too — same convention as the synthetic source.
+    std::vector<std::shared_ptr<const trace::TraceSource>> epochs;
+    epochs.reserve(spec.epochs);
+    for (std::size_t k = 0; k < spec.epochs; ++k) {
+      epochs.push_back(std::make_shared<trace::FlowChurnTraceSource>(
+          epoch_config(spec.trace_seed + k)));
+    }
+    return std::make_shared<trace::ConcatTraceSource>(std::move(epochs),
+                                                      spec.epoch_gap_s);
+  }
   if (spec.trace != "synthetic") {
     // FRT1 file replay. epochs > 1 loops the recording back to back — the
     // streaming soak-test shape.
@@ -630,6 +682,7 @@ SimConfig make_sim_config(const ScenarioSpec& spec) {
   config.tie_policy = spec.tie_policy;
   config.seed = spec.seed;
   config.num_threads = spec.num_threads;
+  config.sampler_split = spec.sampler_split;
   return config;
 }
 

@@ -13,7 +13,7 @@
 // (e.g. a file path) is part of the value:
 //
 //   name        = bursty ON/OFF arrivals
-//   trace       = synthetic            # or a .frt1 path for file replay
+//   trace       = synthetic            # synthetic | churn | a .frt1 path to replay
 //   preset      = sprint_5tuple        # sprint_5tuple|sprint_prefix24|abilene|custom
 //   beta        = 1.5                  # preset Pareto tail index
 //   dist        = pareto:mean=9.6,beta=1.5   # custom preset; '|' mixes components
@@ -25,6 +25,9 @@
 //   epochs      = 1                    # >1 concatenates epochs back to back
 //   epoch-gap   = 0                    # idle seconds between epochs
 //   onoff       = on=2,off=8,on-factor=4,off-factor=0.1   # bursty arrivals
+//   churn       = population=1000,rate=50,packets=16,flow-duration=1,tcp=0.9
+//                                      # trace=churn knobs: bounded unique-flow
+//                                      # population, slot replacements/s
 //   bin         = 30                   # measurement interval seconds
 //   t           = 10                   # flows to rank/detect
 //   rates       = 0.01,0.1,0.5
@@ -35,6 +38,9 @@
 //   path        = count                # count|packet
 //   threads     = 0                    # count-path grid workers (0 = all hw)
 //   shards      = 0                    # packet-path ingest shards (0 = all hw)
+//   sampler-split = off                # on: gated per-shard split sampler
+//                                      # (changes the canonical sampled stream;
+//                                      # see docs/PERFORMANCE.md "Scale-up ingest")
 //
 // Continuous-monitor keys (mode=monitor runs the spec through
 // flowrank::monitor::MonitorLoop via the experiment engine; requires
@@ -93,6 +99,7 @@
 #include "flowrank/monitor/monitor_loop.hpp"
 #include "flowrank/sim/binned_sim.hpp"
 #include "flowrank/trace/fault_injection.hpp"
+#include "flowrank/trace/flow_churn.hpp"
 #include "flowrank/trace/trace_source.hpp"
 #include "flowrank/util/cli.hpp"
 
@@ -139,7 +146,9 @@ struct ScenarioSpec {
   std::string name = "scenario";
 
   // --- trace source -------------------------------------------------------
-  /// "synthetic", or a path to an FRT1 flow-trace file to replay.
+  /// "synthetic", "churn" (bounded unique-flow population with slot
+  /// turnover; see the `churn` key), or a path to an FRT1 flow-trace file
+  /// to replay.
   std::string trace = "synthetic";
   /// Synthetic preset: sprint_5tuple | sprint_prefix24 | abilene | custom.
   std::string preset = "sprint_5tuple";
@@ -153,6 +162,9 @@ struct ScenarioSpec {
   std::size_t epochs = 1;  ///< >1: concatenated epochs (seeds trace_seed + k)
   double epoch_gap_s = 0.0;
   trace::OnOffArrivals on_off;  ///< "onoff" key enables + fills this
+  /// trace=churn knobs (the "churn" key); duration/flow-rate/packet-size/
+  /// trace-seed come from the shared keys above.
+  trace::FlowChurnConfig churn;
 
   // --- measurement + metrics ---------------------------------------------
   double bin_seconds = 60.0;
@@ -167,6 +179,9 @@ struct ScenarioSpec {
   ExecutionPath path = ExecutionPath::kCount;
   std::size_t num_threads = 0;  ///< count-path grid workers, 0 = all hw
   std::size_t num_shards = 0;   ///< packet-path shards, 0 = all hw
+  /// Gated per-shard split sampler ("sampler-split" key); changes the
+  /// canonical sampled stream, so it defaults off (SimConfig::sampler_split).
+  bool sampler_split = false;
   MonitorOptions monitor;       ///< continuous-monitor keys (mode=monitor)
   AggregateOptions aggregate;   ///< multi-vantage keys (mode=aggregate)
 };

@@ -1,0 +1,135 @@
+#include "flowrank/trace/flow_churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "flowrank/packet/flow_key.hpp"
+#include "flowrank/util/rng.hpp"
+
+namespace flowrank::trace {
+
+FlowChurnTraceSource::FlowChurnTraceSource(FlowChurnConfig config)
+    : config_(config) {
+  if (!(config_.duration_s > 0.0)) {
+    throw std::invalid_argument("FlowChurnTraceSource: duration_s > 0");
+  }
+  if (config_.population < 1) {
+    throw std::invalid_argument("FlowChurnTraceSource: population >= 1");
+  }
+  if (!(config_.churn_per_s >= 0.0)) {
+    throw std::invalid_argument("FlowChurnTraceSource: churn_per_s >= 0");
+  }
+  if (!(config_.flow_rate_per_s > 0.0)) {
+    throw std::invalid_argument("FlowChurnTraceSource: flow_rate_per_s > 0");
+  }
+  if (!(config_.mean_packets >= 1.0)) {
+    throw std::invalid_argument("FlowChurnTraceSource: mean_packets >= 1");
+  }
+  if (!(config_.mean_duration_s > 0.0)) {
+    throw std::invalid_argument("FlowChurnTraceSource: mean_duration_s > 0");
+  }
+  if (!(config_.tcp_fraction >= 0.0 && config_.tcp_fraction <= 1.0)) {
+    throw std::invalid_argument("FlowChurnTraceSource: tcp_fraction in [0,1]");
+  }
+}
+
+std::string FlowChurnTraceSource::name() const {
+  std::ostringstream os;
+  os << "churn(population=" << config_.population << ", churn=" << config_.churn_per_s
+     << "/s)";
+  return os.str();
+}
+
+FlowTrace FlowChurnTraceSource::flows() const {
+  auto engine = util::make_engine(config_.seed, /*stream=*/0xC4A7u);
+  std::uniform_int_distribution<std::uint32_t> rand32;
+  std::uniform_int_distribution<std::uint16_t> rand16;
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+
+  // Unique-population bookkeeping, pktgen-fashion: every tuple ever used
+  // (initial population and churn replacements alike) is checked against
+  // the set of all tuples generated so far, so a replacement can never
+  // resurrect a retired flow identity. Collisions are astronomically
+  // unlikely at realistic population sizes, but the loop makes uniqueness
+  // a guarantee instead of a probability.
+  std::unordered_set<packet::FlowKey, packet::FlowKeyHash> seen;
+  seen.reserve(config_.population * 2);
+  const auto fresh_tuple = [&] {
+    for (;;) {
+      packet::FiveTuple tuple;
+      tuple.src_ip = rand32(engine);
+      tuple.dst_ip = rand32(engine);
+      tuple.src_port = rand16(engine);
+      tuple.dst_port = rand16(engine);
+      tuple.protocol = unif(engine) < config_.tcp_fraction
+                           ? packet::Protocol::kTcp
+                           : packet::Protocol::kUdp;
+      const packet::FlowKey key =
+          packet::make_flow_key(tuple, packet::FlowDefinition::kFiveTuple);
+      if (seen.insert(key).second) return tuple;
+    }
+  };
+
+  std::vector<packet::FiveTuple> population(config_.population);
+  for (auto& tuple : population) tuple = fresh_tuple();
+
+  std::exponential_distribution<double> interarrival(config_.flow_rate_per_s);
+  std::uniform_int_distribution<std::size_t> pick_slot(0, config_.population - 1);
+  // Geometric packet counts with the configured mean (>= 1 packet), via
+  // inversion so the draw count is one uniform per flow.
+  const double log_q =
+      config_.mean_packets > 1.0 ? std::log1p(-1.0 / config_.mean_packets) : 0.0;
+  const auto draw_packets = [&]() -> std::uint64_t {
+    if (config_.mean_packets <= 1.0) return 1;
+    const double g = std::floor(std::log(1.0 - unif(engine)) / log_q);
+    return 1 + static_cast<std::uint64_t>(std::min(g, 1.0e15));
+  };
+  std::exponential_distribution<double> flow_duration(1.0 /
+                                                      config_.mean_duration_s);
+
+  FlowTrace trace;
+  trace.config.duration_s = config_.duration_s;
+  trace.config.flow_rate_per_s = config_.flow_rate_per_s;
+  trace.config.packet_size_bytes = config_.packet_size_bytes;
+  trace.config.tcp_fraction = config_.tcp_fraction;
+  trace.config.seed = config_.seed;
+  trace.flows.reserve(static_cast<std::size_t>(config_.duration_s *
+                                               config_.flow_rate_per_s * 1.05));
+
+  // Two independent Poisson processes on one clock: flow arrivals (each
+  // re-using a uniformly chosen population slot) and churn events (each
+  // replacing a uniformly chosen slot with a fresh unique tuple),
+  // processed in time order.
+  double next_churn = config_.churn_per_s > 0.0
+                          ? -std::log(1.0 - unif(engine)) / config_.churn_per_s
+                          : config_.duration_s;
+  double t = interarrival(engine);
+  while (t < config_.duration_s) {
+    while (next_churn <= t) {
+      population[pick_slot(engine)] = fresh_tuple();
+      next_churn += -std::log(1.0 - unif(engine)) / config_.churn_per_s;
+    }
+    packet::FlowRecord flow;
+    flow.tuple = population[pick_slot(engine)];
+    flow.start_s = t;
+    flow.packets = draw_packets();
+    flow.bytes = flow.packets * config_.packet_size_bytes;
+    flow.duration_s =
+        std::min(flow_duration(engine), config_.duration_s - flow.start_s);
+    trace.flows.push_back(flow);
+    t += interarrival(engine);
+  }
+  // Arrivals are generated in time order already; keep the sort as a
+  // guarantee (and to match every other source's contract).
+  std::stable_sort(trace.flows.begin(), trace.flows.end(),
+                   [](const packet::FlowRecord& a, const packet::FlowRecord& b) {
+                     return a.start_s < b.start_s;
+                   });
+  return trace;
+}
+
+}  // namespace flowrank::trace

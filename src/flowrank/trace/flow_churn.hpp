@@ -1,0 +1,60 @@
+// pktgen-style flow-churn workload.
+//
+// The synthetic generator (flow_trace_generator.hpp) draws a fresh random
+// 5-tuple per flow, so virtually every flow record is a new flow-table
+// key — the insert-heavy extreme. Traffic generators like pktgen model
+// the other extreme: a bounded population of unique flows that packets
+// cycle over, with an optional churn rate that retires population slots
+// and replaces them with never-seen tuples. That shape is what stresses
+// a flow table's steady state (high hit rate, bounded occupancy) and its
+// eviction/insert path (churn), so the ingest benchmarks and soak
+// scenarios want it on tap.
+//
+// FlowChurnTraceSource reproduces it at flow-record granularity: a
+// population of `population` unique random 5-tuples (uniqueness enforced
+// pktgen-fashion, by de-duplicating against everything ever generated);
+// flow arrivals are Poisson and each arrival re-uses a uniformly chosen
+// population slot; churn events are an independent Poisson process that
+// replaces a random slot with a fresh unique tuple. Deterministic in the
+// seed, like every other source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flowrank/trace/trace_source.hpp"
+
+namespace flowrank::trace {
+
+/// Knobs for the churn workload. Defaults give a steady 1000-flow
+/// population with no churn — pure key re-use.
+struct FlowChurnConfig {
+  double duration_s = 60.0;          ///< trace length, > 0
+  std::size_t population = 1000;     ///< concurrent unique 5-tuples, >= 1
+  double churn_per_s = 0.0;          ///< population slots replaced per second, >= 0
+  double flow_rate_per_s = 2360.0;   ///< Poisson flow arrivals per second, > 0
+  double mean_packets = 16.0;        ///< geometric mean packets per flow, >= 1
+  double mean_duration_s = 1.0;      ///< exponential mean flow duration, > 0
+  std::uint32_t packet_size_bytes = 500;
+  double tcp_fraction = 0.9;         ///< fraction of population slots marked TCP
+  std::uint64_t seed = 1;
+};
+
+/// Generates the churn workload described above. flows() is deterministic
+/// in the config (same trace every call).
+class FlowChurnTraceSource final : public TraceSource {
+ public:
+  /// Throws std::invalid_argument on out-of-range knobs.
+  explicit FlowChurnTraceSource(FlowChurnConfig config);
+
+  /// e.g. "churn(population=1000, churn=50/s)".
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] FlowTrace flows() const override;
+
+  [[nodiscard]] const FlowChurnConfig& config() const noexcept { return config_; }
+
+ private:
+  FlowChurnConfig config_;
+};
+
+}  // namespace flowrank::trace

@@ -1,0 +1,23 @@
+// Fixture: fires exactly the unpadded-atomic rule. An atomic member in a
+// concurrency hot-path struct with neither alignas(...) padding nor a
+// reviewed shared-cacheline-ok waiver.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lint_fixture {
+
+struct HotPathCounters {
+  // Padded: fine.
+  alignas(64) std::atomic<std::uint64_t> padded{0};
+  // Waived: fine.
+  std::atomic<std::uint64_t> waived{0};  // shared-cacheline-ok: test fixture
+
+  // Neither padded nor waived (and far enough from the waiver above
+  // that its comment is outside the two-line context window): the rule
+  // must fire on the declaration below.
+  std::atomic<std::uint64_t> bare{0};
+};
+
+}  // namespace lint_fixture

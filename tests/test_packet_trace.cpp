@@ -10,6 +10,7 @@
 #include "flowrank/numeric/stats.hpp"
 #include "flowrank/packet/flow_key.hpp"
 #include "flowrank/trace/bin_counts.hpp"
+#include "flowrank/trace/flow_churn.hpp"
 #include "flowrank/trace/flow_trace_generator.hpp"
 #include "flowrank/trace/packet_stream.hpp"
 #include "flowrank/trace/trace_io.hpp"
@@ -317,4 +318,87 @@ TEST(TraceIo, CsvExportHasHeaderAndRows) {
   std::size_t rows = 0;
   while (std::getline(csv, line)) ++rows;
   EXPECT_EQ(rows, trace.flows.size());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-churn trace source (pktgen-style bounded population + turnover)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ft::FlowChurnConfig small_churn() {
+  ft::FlowChurnConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.population = 100;
+  cfg.churn_per_s = 50.0;
+  cfg.flow_rate_per_s = 400.0;
+  cfg.mean_packets = 8.0;
+  cfg.mean_duration_s = 0.5;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::size_t distinct_tuples(const ft::FlowTrace& trace) {
+  std::unordered_set<fp::FlowKey, fp::FlowKeyHash> seen;
+  for (const auto& flow : trace.flows) {
+    seen.insert(make_flow_key(flow.tuple, fp::FlowDefinition::kFiveTuple));
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+TEST(FlowChurnTrace, DeterministicInSeedAndSortedInsideTrace) {
+  const auto cfg = small_churn();
+  const auto a = ft::FlowChurnTraceSource(cfg).flows();
+  const auto b = ft::FlowChurnTraceSource(cfg).flows();
+  ASSERT_FALSE(a.flows.empty());
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].tuple.src_ip, b.flows[i].tuple.src_ip);
+    EXPECT_EQ(a.flows[i].start_s, b.flows[i].start_s);
+    EXPECT_EQ(a.flows[i].packets, b.flows[i].packets);
+    EXPECT_EQ(a.flows[i].bytes, b.flows[i].bytes);
+    if (i > 0) EXPECT_LE(a.flows[i - 1].start_s, a.flows[i].start_s);
+    EXPECT_GE(a.flows[i].start_s, 0.0);
+    EXPECT_LE(a.flows[i].end_s(), cfg.duration_s + 1e-9);
+    EXPECT_GE(a.flows[i].packets, 1u);
+  }
+  // A different seed is a different trace.
+  auto other = cfg;
+  other.seed = 6;
+  EXPECT_NE(ft::FlowChurnTraceSource(other).flows().flows.size() * 31 +
+                distinct_tuples(ft::FlowChurnTraceSource(other).flows()),
+            a.flows.size() * 31 + distinct_tuples(a));
+}
+
+TEST(FlowChurnTrace, PopulationBoundsTupleReuse) {
+  // Zero churn: every arrival reuses one of `population` slots, so the
+  // trace revisits the same tuples over and over (the table hit-rate
+  // stress the generator exists for).
+  auto cfg = small_churn();
+  cfg.churn_per_s = 0.0;
+  const auto steady = ft::FlowChurnTraceSource(cfg).flows();
+  EXPECT_GT(steady.flows.size(), cfg.population);  // arrivals outnumber slots
+  EXPECT_LE(distinct_tuples(steady), cfg.population);
+
+  // With churn, replaced slots introduce fresh tuples beyond the
+  // population bound (deterministic for the fixed seed).
+  const auto churning = ft::FlowChurnTraceSource(small_churn()).flows();
+  EXPECT_GT(distinct_tuples(churning), small_churn().population);
+}
+
+TEST(FlowChurnTrace, InvalidConfigThrows) {
+  const auto expect_throw = [](auto mutate) {
+    auto cfg = small_churn();
+    mutate(cfg);
+    EXPECT_THROW(ft::FlowChurnTraceSource{cfg}, std::invalid_argument);
+  };
+  expect_throw([](ft::FlowChurnConfig& c) { c.duration_s = 0.0; });
+  expect_throw([](ft::FlowChurnConfig& c) { c.population = 0; });
+  expect_throw([](ft::FlowChurnConfig& c) { c.churn_per_s = -1.0; });
+  expect_throw([](ft::FlowChurnConfig& c) { c.flow_rate_per_s = 0.0; });
+  expect_throw([](ft::FlowChurnConfig& c) { c.mean_packets = 0.5; });
+  expect_throw([](ft::FlowChurnConfig& c) { c.mean_duration_s = 0.0; });
+  expect_throw([](ft::FlowChurnConfig& c) { c.tcp_fraction = 1.5; });
 }

@@ -596,3 +596,55 @@ TEST(ScenarioSpec, MakeFleetConfigMapsSpecOntoFleet) {
   multi.sampling_rates = {0.1, 0.5};
   EXPECT_THROW((void)fsim::make_fleet_config(multi), std::invalid_argument);
 }
+
+TEST(ScenarioSpec, ChurnTraceKeysParseAndBuildTheSource) {
+  const std::string path = write_temp(
+      "scenario_churn.scn",
+      "trace = churn\n"
+      "churn = population=200,rate=25,packets=8,flow-duration=0.5,tcp=0.8\n"
+      "duration = 10\n"
+      "rates = 0.1\n");
+  const fsim::ScenarioSpec spec = fsim::parse_scenario_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(spec.trace, "churn");
+  EXPECT_EQ(spec.churn.population, 200u);
+  EXPECT_DOUBLE_EQ(spec.churn.churn_per_s, 25.0);
+  EXPECT_DOUBLE_EQ(spec.churn.mean_packets, 8.0);
+  EXPECT_DOUBLE_EQ(spec.churn.mean_duration_s, 0.5);
+  EXPECT_DOUBLE_EQ(spec.churn.tcp_fraction, 0.8);
+
+  // `trace = churn` must dispatch to the churn generator, not be taken
+  // for a replay-file path.
+  const auto source = fsim::make_trace_source(spec);
+  EXPECT_NE(source->name().find("churn"), std::string::npos) << source->name();
+  const auto trace = source->flows();
+  EXPECT_FALSE(trace.flows.empty());
+
+  // A typo inside the clause fails loudly.
+  fsim::ScenarioSpec bad;
+  EXPECT_THROW(fsim::apply_scenario_entry(bad, "churn", "populaton=10"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, SamplerSplitKeyParsesAndReachesSimConfig) {
+  fsim::ScenarioSpec spec;
+  EXPECT_FALSE(spec.sampler_split);  // gated off by default
+  fsim::apply_scenario_entry(spec, "sampler-split", "on");
+  EXPECT_TRUE(spec.sampler_split);
+  EXPECT_TRUE(fsim::make_sim_config(spec).sampler_split);
+  fsim::apply_scenario_entry(spec, "sampler-split", "off");
+  EXPECT_FALSE(spec.sampler_split);
+  EXPECT_FALSE(fsim::make_sim_config(spec).sampler_split);
+  EXPECT_THROW(fsim::apply_scenario_entry(spec, "sampler-split", "maybe"),
+               std::invalid_argument);
+
+  // Both new keys show up in the unknown-key hint for batch mode.
+  try {
+    fsim::apply_scenario_entry(spec, "bogus-key", "1");
+    ADD_FAILURE() << "unknown key accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("churn"), std::string::npos) << what;
+    EXPECT_NE(what.find("sampler-split"), std::string::npos) << what;
+  }
+}
