@@ -11,6 +11,12 @@ read as a speedup. This script fails if
    (shards, queue_full_events, shed_chunks, shed_packets) or its
    items_per_second throughput.
 
+It also guards the exact-discrete compute-layer rows: the one-shot
+model benchmark (BM_RankingModelDiscreteExact, with its max_size
+counter), the table build (BM_DiscreteModelTableBuild), and the
+sweep-reuse benchmark (BM_DiscreteModelSweepReuse, whose cells counter
+and items_per_second make the amortized per-cell cost checkable).
+
 Used by CI's bench smoke step on a fresh short run, and runnable against
 the committed baseline:
 
@@ -62,8 +68,21 @@ def main() -> int:
 
     expected = {s.strip() for s in args.shards.split(",") if s.strip()}
     seen = set()
+    discrete_seen = set()
     for row in doc.get("benchmarks", []):
         name = row.get("name", "")
+        if name.startswith("BM_RankingModelDiscreteExact"):
+            discrete_seen.add("BM_RankingModelDiscreteExact")
+            if "max_size" not in row:
+                errors.append(f"{name}: missing counter 'max_size'")
+        elif name.startswith("BM_DiscreteModelTableBuild"):
+            discrete_seen.add("BM_DiscreteModelTableBuild")
+        elif name.startswith("BM_DiscreteModelSweepReuse"):
+            discrete_seen.add("BM_DiscreteModelSweepReuse")
+            if "cells" not in row:
+                errors.append(f"{name}: missing counter 'cells'")
+            if "items_per_second" not in row:
+                errors.append(f"{name}: missing items_per_second throughput")
         if not name.startswith("BM_ShardedIngest/"):
             continue
         # "BM_ShardedIngest/4/real_time" -> shard arg "4".
@@ -80,6 +99,13 @@ def main() -> int:
         errors.append(
             f"no BM_ShardedIngest row for shard count(s) {', '.join(missing)}"
         )
+    for bench in (
+        "BM_RankingModelDiscreteExact",
+        "BM_DiscreteModelTableBuild",
+        "BM_DiscreteModelSweepReuse",
+    ):
+        if bench not in discrete_seen:
+            errors.append(f"no {bench} row: exact-discrete coverage dropped")
 
     if errors:
         for err in errors:
@@ -87,7 +113,7 @@ def main() -> int:
         return 1
     print(
         f"bench counters check passed: BM_ShardedIngest shards {sorted(seen)}, "
-        "Release build, accounting counters present"
+        "exact-discrete rows present, Release build, accounting counters present"
     )
     return 0
 

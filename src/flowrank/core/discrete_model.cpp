@@ -1,143 +1,29 @@
 #include "flowrank/core/discrete_model.hpp"
 
-#include <cmath>
 #include <stdexcept>
-#include <vector>
 
-#include "flowrank/core/misranking.hpp"
-#include "flowrank/numeric/binomial.hpp"
+#include "flowrank/core/discrete_context.hpp"
 
 namespace flowrank::core {
 
-namespace {
-
-/// Pm(small, large) for small < large via Eq. (1), given the prefix-sum
-/// cdf row of the larger flow: Pm = sum_k b_p(k, small) * P{s_large <= k}.
-double pairwise_exact(std::int64_t small, const std::vector<double>& large_cdf_row,
-                      double p) {
-  double acc = 0.0;
-  // Incremental binomial pmf over k for Bin(small, p).
-  double b = std::pow(1.0 - p, static_cast<double>(small));  // k = 0
-  const double odds = p / (1.0 - p);
-  for (std::int64_t k = 0; k <= small; ++k) {
-    acc += b * large_cdf_row[static_cast<std::size_t>(k)];
-    if (k < small) {
-      b *= static_cast<double>(small - k) / static_cast<double>(k + 1) * odds;
-    }
-  }
-  return acc < 1.0 ? acc : 1.0;
-}
-
-/// Pm for equal sizes: 1 - sum_{i>=1} b_p(i,S)^2.
-double pairwise_equal_exact(std::int64_t s, double p) {
-  double agree = 0.0;
-  double b = std::pow(1.0 - p, static_cast<double>(s));  // i = 0
-  const double odds = p / (1.0 - p);
-  for (std::int64_t i = 0; i <= s; ++i) {
-    if (i >= 1) agree += b * b;
-    if (i < s) b *= static_cast<double>(s - i) / static_cast<double>(i + 1) * odds;
-  }
-  return 1.0 - agree;
-}
-
-}  // namespace
-
 DiscreteModelResult evaluate_discrete_ranking_model(const DiscreteModelConfig& config) {
+  // Validation order preserved from the pre-context implementation
+  // (size_pmf, then the t range, then everything the context checks).
   if (!config.size_pmf) {
     throw std::invalid_argument("discrete model: size_pmf is required");
   }
   if (config.t < 1 || config.t > config.n) {
     throw std::invalid_argument("discrete model: requires 1 <= t <= N");
   }
-  if (!(config.p > 0.0 && config.p < 1.0)) {
-    throw std::invalid_argument("discrete model: requires p in (0,1)");
-  }
-  const auto& pmf_src = *config.size_pmf;
-  const std::int64_t lo = pmf_src.min_packets();
-  const std::int64_t hi = config.max_size;
-  if (hi <= lo) throw std::invalid_argument("discrete model: max_size too small");
-  const double tail = pmf_src.ccdf_geq(hi + 1);
-  if (tail > config.tail_tolerance) {
-    throw std::invalid_argument(
-        "discrete model: pmf tail above max_size exceeds tolerance; "
-        "increase max_size or lighten the tail");
-  }
-
-  const auto count = static_cast<std::size_t>(hi - lo + 1);
-  const auto idx = [lo](std::int64_t i) { return static_cast<std::size_t>(i - lo); };
-
-  std::vector<double> pmf(count), ccdf(count);
-  for (std::int64_t i = lo; i <= hi; ++i) {
-    pmf[idx(i)] = pmf_src.pmf(i);
-    ccdf[idx(i)] = pmf_src.ccdf_geq(i);
-  }
-
-  // Pairwise misranking table: pm[s][l] for lo <= s < l <= hi in a
-  // triangular layout, plus the equal-size diagonal.
-  std::vector<std::vector<double>> pm(count);
-  std::vector<double> pm_equal(count);
-  std::vector<double> cdf_row(static_cast<std::size_t>(hi) + 1);
-  for (std::int64_t large = lo; large <= hi; ++large) {
-    if (config.gaussian_pairwise) {
-      pm_equal[idx(large)] = misranking_gaussian(static_cast<double>(large),
-                                                 static_cast<double>(large), config.p);
-    } else {
-      pm_equal[idx(large)] = pairwise_equal_exact(large, config.p);
-    }
-    auto& row = pm[idx(large)];
-    row.resize(idx(large));  // entries for small = lo .. large-1
-    if (row.empty()) continue;
-    if (config.gaussian_pairwise) {
-      for (std::int64_t small = lo; small < large; ++small) {
-        row[idx(small)] = misranking_gaussian(static_cast<double>(small),
-                                              static_cast<double>(large), config.p);
-      }
-      continue;
-    }
-    // cdf row of the larger flow up to the small flow's max useful k.
-    double b = std::pow(1.0 - config.p, static_cast<double>(large));
-    const double odds = config.p / (1.0 - config.p);
-    double running = 0.0;
-    for (std::int64_t k = 0; k < large; ++k) {
-      running += b;
-      cdf_row[static_cast<std::size_t>(k)] = running < 1.0 ? running : 1.0;
-      b *= static_cast<double>(large - k) / static_cast<double>(k + 1) * odds;
-    }
-    cdf_row[static_cast<std::size_t>(large)] = 1.0;
-    for (std::int64_t small = lo; small < large; ++small) {
-      row[idx(small)] = pairwise_exact(small, cdf_row, config.p);
-    }
-  }
-
-  // Eq. (3) after the Pt(i,t,N) cancellation:
-  //   P̄mt = (N/t) sum_i p_i [ Pt(i,t,N-1) A_i + Pt(i,t-1,N-1) B_i ]
-  // with binomials over N-2 trials inside Pt(.,.,N-1).
-  const std::int64_t trials = config.n - 2;
-  double pbar = 0.0;
-  for (std::int64_t i = lo; i <= hi; ++i) {
-    const double pi_mass = pmf[idx(i)];
-    if (pi_mass <= 0.0) continue;
-    const double tail_prob = ccdf[idx(i)];
-    const double pt_t = numeric::binomial_cdf(config.t - 1, trials, tail_prob);
-    const double pt_tm1 = numeric::binomial_cdf(config.t - 2, trials, tail_prob);
-
-    double a_sum = 0.0;
-    for (std::int64_t j = lo; j < i; ++j) {
-      a_sum += pmf[idx(j)] * pm[idx(i)][idx(j)];
-    }
-    double b_sum = pi_mass * pm_equal[idx(i)];
-    for (std::int64_t j = i + 1; j <= hi; ++j) {
-      b_sum += pmf[idx(j)] * pm[idx(j)][idx(i)];
-    }
-    pbar += pi_mass * (pt_t * a_sum + pt_tm1 * b_sum);
-  }
-  pbar *= static_cast<double>(config.n) / static_cast<double>(config.t);
-
-  DiscreteModelResult result;
-  result.mean_pair_misranking = pbar;
-  result.metric = 0.5 * static_cast<double>(2 * config.n - config.t - 1) *
-                  static_cast<double>(config.t) * pbar;
-  return result;
+  DiscreteContextConfig ctx_config;
+  ctx_config.p = config.p;
+  ctx_config.size_pmf = config.size_pmf;
+  ctx_config.max_size = config.max_size;
+  ctx_config.tail_tolerance = config.tail_tolerance;
+  ctx_config.gaussian_pairwise = config.gaussian_pairwise;
+  ctx_config.window_tolerance = config.window_tolerance;
+  ctx_config.num_threads = config.num_threads;
+  return DiscreteModelContext(ctx_config).evaluate(config.n, config.t);
 }
 
 }  // namespace flowrank::core

@@ -1,23 +1,24 @@
 #include "flowrank/core/sampling_planner.hpp"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 namespace flowrank::core {
 
-PlannerResult plan_sampling_rate(RankingModelConfig config, PlannerGoal goal,
-                                 double target, double p_min, double p_max) {
+namespace {
+
+/// The shared inversion skeleton: the metric is monotone decreasing in p,
+/// so the minimal feasible rate is a bisection on log p (the metric spans
+/// many decades — Figs. 4-11).
+PlannerResult bisect_sampling_rate(const std::function<double(double)>& metric_at,
+                                   double target, double p_min, double p_max) {
   if (!(target > 0.0)) {
     throw std::invalid_argument("plan_sampling_rate: target must be > 0");
   }
   if (!(p_min > 0.0 && p_min < p_max && p_max <= 1.0)) {
     throw std::invalid_argument("plan_sampling_rate: need 0 < p_min < p_max <= 1");
   }
-  const auto metric_at = [&](double p) {
-    config.p = p;
-    return goal == PlannerGoal::kRankTopT ? evaluate_ranking_model(config).metric
-                                          : evaluate_detection_model(config).metric;
-  };
 
   PlannerResult result;
   const double at_max = metric_at(p_max);
@@ -35,9 +36,8 @@ PlannerResult plan_sampling_rate(RankingModelConfig config, PlannerGoal goal,
     return result;
   }
 
-  // Bisection on log p (the metric spans many decades — Figs. 4-11).
-  double lo = std::log(p_min);   // metric > target here
-  double hi = std::log(p_max);   // metric <= target here
+  double lo = std::log(p_min);  // metric > target here
+  double hi = std::log(p_max);  // metric <= target here
   double hi_metric = at_max;
   for (int iter = 0; iter < 60 && hi - lo > 1e-4; ++iter) {
     const double mid = 0.5 * (lo + hi);
@@ -53,6 +53,35 @@ PlannerResult plan_sampling_rate(RankingModelConfig config, PlannerGoal goal,
   result.metric = hi_metric;
   result.feasible = true;
   return result;
+}
+
+}  // namespace
+
+PlannerResult plan_sampling_rate(RankingModelConfig config, PlannerGoal goal,
+                                 double target, double p_min, double p_max) {
+  return bisect_sampling_rate(
+      [&](double p) {
+        config.p = p;
+        return goal == PlannerGoal::kRankTopT ? evaluate_ranking_model(config).metric
+                                              : evaluate_detection_model(config).metric;
+      },
+      target, p_min, p_max);
+}
+
+PlannerResult plan_sampling_rate(DiscreteModelConfig config, double target,
+                                 double p_min, double p_max) {
+  if (!(p_max < 1.0)) {
+    throw std::invalid_argument(
+        "plan_sampling_rate: the discrete model needs p_max < 1");
+  }
+  return bisect_sampling_rate(
+      [&](double p) {
+        // p is part of the pairwise-table key, so each probe rebuilds the
+        // context — which is exactly why the table build has to be fast.
+        config.p = p;
+        return evaluate_discrete_ranking_model(config).metric;
+      },
+      target, p_min, p_max);
 }
 
 }  // namespace flowrank::core

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "flowrank/core/detection_model.hpp"
+#include "flowrank/core/discrete_model.hpp"
 #include "flowrank/core/ranking_model.hpp"
 
 namespace flowrank::core {
@@ -30,5 +31,18 @@ struct PlannerResult {
                                                PlannerGoal goal, double target = 1.0,
                                                double p_min = 1e-4,
                                                double p_max = 1.0);
+
+/// Discrete-model goal: same bisection, but every probe evaluates the
+/// exact discrete ranking model (Eqs. 1 and 3) instead of the continuous
+/// quadrature — what the future adaptive controller retunes against.
+/// Each probe changes p, so each rebuilds the pairwise tables; keep
+/// `config.max_size` modest (and consider `config.window_tolerance`) when
+/// planning in a loop. `config.p` is ignored. Unlike the continuous
+/// overload, p_max must stay strictly below 1 (the discrete model's
+/// domain is p in (0,1)).
+[[nodiscard]] PlannerResult plan_sampling_rate(DiscreteModelConfig config,
+                                               double target = 1.0,
+                                               double p_min = 1e-4,
+                                               double p_max = 0.999);
 
 }  // namespace flowrank::core

@@ -5,7 +5,7 @@
 
 namespace flowrank::dist {
 
-Discretized::Discretized(std::unique_ptr<const FlowSizeDistribution> source)
+Discretized::Discretized(std::shared_ptr<const FlowSizeDistribution> source)
     : source_(std::move(source)) {
   if (!source_) throw std::invalid_argument("Discretized: source required");
   min_packets_ = static_cast<std::int64_t>(std::floor(source_->min_size())) + 1;

@@ -16,8 +16,11 @@ namespace flowrank::dist {
 /// Packet-count distribution N = ceil(X) for a continuous source X.
 class Discretized {
  public:
-  /// Takes ownership of the source. Throws std::invalid_argument on null.
-  explicit Discretized(std::unique_ptr<const FlowSizeDistribution> source);
+  /// Takes shared (or, via the implicit unique_ptr -> shared_ptr
+  /// conversion, exclusive) ownership of the source — the experiment
+  /// engine discretizes distributions it also hands to the continuous
+  /// models. Throws std::invalid_argument on null.
+  explicit Discretized(std::shared_ptr<const FlowSizeDistribution> source);
 
   /// Smallest packet count with positive mass: floor(min_size) + 1.
   [[nodiscard]] std::int64_t min_packets() const noexcept { return min_packets_; }

@@ -10,8 +10,10 @@
 #include <utility>
 
 #include "flowrank/core/detection_model.hpp"
+#include "flowrank/core/discrete_context.hpp"
 #include "flowrank/core/misranking.hpp"
 #include "flowrank/core/optimal_rate.hpp"
+#include "flowrank/dist/discretized.hpp"
 #include "flowrank/sim/spec_detail.hpp"
 #include "flowrank/sim/sweep_engine.hpp"
 
@@ -148,6 +150,12 @@ void check_axes(const ExperimentSpec& spec) {
     throw std::invalid_argument(
         "experiment: estimator stages need model=packet");
   }
+  if (spec.exact_discrete && (spec.model != ExperimentModel::kExact ||
+                              spec.metric != ExactMetric::kRanking)) {
+    throw std::invalid_argument(
+        "experiment: exact-pairwise=exact-discrete needs model=exact "
+        "metric=ranking");
+  }
   if (spec.monitor.enabled) {
     if (spec.model != ExperimentModel::kPacket) {
       throw std::invalid_argument("experiment: mode=monitor needs model=packet");
@@ -259,9 +267,26 @@ std::string trace_cache_key(const ExperimentSpec& spec) {
   return key.str();
 }
 
+/// The context-shaping subset of an exact-discrete cell: cells that agree
+/// on it share one core::DiscreteModelContext — the tables depend on the
+/// size pmf, the sampling rate and the discrete knobs, but not on n or t,
+/// so (n, t) sweeps pay for their tables exactly once.
+using DiscreteContextCache =
+    std::map<std::string, std::shared_ptr<const core::DiscreteModelContext>>;
+
+std::string discrete_context_key(const ExperimentSpec& cell) {
+  std::ostringstream key;
+  key << cell.preset << '|' << cell.dist << '|' << format_value(cell.beta) << '|'
+      << format_value(cell.exact_rate) << '|' << cell.exact_max_size << '|'
+      << format_value(cell.exact_tail_tol) << '|'
+      << format_value(cell.exact_window);
+  return key.str();
+}
+
 report::Row exact_cell_row(const ExperimentSpec& spec,
                            const std::vector<SweepAxis>& axes,
-                           std::size_t index) {
+                           std::size_t index,
+                           const DiscreteContextCache& discrete_contexts) {
   const auto values = cell_values(axes, index);
   ExperimentSpec cell = spec;
   double s1 = 0.0, s2 = 0.0;
@@ -274,6 +299,20 @@ report::Row exact_cell_row(const ExperimentSpec& spec,
   switch (spec.metric) {
     case ExactMetric::kRanking:
     case ExactMetric::kDetection: {
+      if (spec.exact_discrete) {
+        // check_axes pinned metric=ranking; the context was prebuilt by
+        // run_experiment, so this lookup cannot miss.
+        const auto& context = discrete_contexts.at(discrete_context_key(cell));
+        const auto result = context->evaluate(
+            cell.exact_n, static_cast<std::int64_t>(cell.top_t));
+        row.emplace_back(result.mean_pair_misranking);
+        row.emplace_back(result.metric);
+        // The paper's ordered pair count, as in the continuous model.
+        const double n_d = static_cast<double>(cell.exact_n);
+        const double t_d = static_cast<double>(cell.top_t);
+        row.emplace_back(0.5 * (2.0 * n_d - t_d - 1.0) * t_d);
+        break;
+      }
       core::RankingModelConfig cfg;
       cfg.n = cell.exact_n;
       cfg.t = static_cast<std::int64_t>(cell.top_t);
@@ -433,8 +472,9 @@ EstimatorStage parse_estimator(const std::string& grammar) {
 
 const std::vector<std::string>& experiment_keys() {
   static const std::vector<std::string> keys = {
-      "counting", "description", "estimator", "metric",  "model",
-      "n",        "pairwise",    "rate",      "target"};
+      "counting", "description", "estimator", "exact-pairwise", "max-size",
+      "metric",   "model",       "n",         "pairwise",       "rate",
+      "tail-tol", "target",      "window"};
   return keys;
 }
 
@@ -503,11 +543,61 @@ void apply_experiment_entry(ExperimentSpec& spec, const std::string& key,
     } else {
       throw std::invalid_argument("experiment: counting must be paper|unordered");
     }
+  } else if (key == "exact-pairwise") {
+    if (value == "gaussian") {
+      spec.pairwise = core::PairwiseModel::kGaussian;
+      spec.exact_discrete = false;
+    } else if (value == "hybrid") {
+      spec.pairwise = core::PairwiseModel::kHybrid;
+      spec.exact_discrete = false;
+    } else if (value == "exact-discrete") {
+      spec.exact_discrete = true;
+    } else {
+      throw std::invalid_argument(
+          "experiment: exact-pairwise must be gaussian|hybrid|exact-discrete");
+    }
+  } else if (key == "max-size") {
+    const double parsed = parse_double(key, value);
+    spec.exact_max_size = std::llround(parsed);
+    if (parsed != static_cast<double>(spec.exact_max_size) ||
+        spec.exact_max_size < 2 || spec.exact_max_size > 8192) {
+      // The table build is O(max-size^2) memory and O(max-size^3) work;
+      // the cap keeps a typo from asking for terabytes. The C++ API
+      // (core::DiscreteContextConfig) is uncapped.
+      throw std::invalid_argument(
+          "experiment: max-size must be an integer in [2, 8192]");
+    }
+  } else if (key == "tail-tol") {
+    spec.exact_tail_tol = parse_double(key, value);
+    if (!(spec.exact_tail_tol > 0.0 && spec.exact_tail_tol < 1.0)) {
+      throw std::invalid_argument("experiment: tail-tol in (0,1)");
+    }
+  } else if (key == "window") {
+    // Dual-keyed: monitor mode reads `window` as seconds
+    // (monitor.window_s), the exact-discrete model as a skipped-pmf-mass
+    // tolerance. Both fields are set here; check_axes and the model's
+    // own range check keep the two meanings from ever mixing in one run.
+    spec.exact_window = parse_double(key, value);
+    apply_scenario_entry(spec, key, value);
   } else if (key == "estimator") {
     spec.estimator = parse_estimator(value);
     spec.estimator_grammar = value;
   } else {
-    apply_scenario_entry(spec, key, value);
+    try {
+      apply_scenario_entry(spec, key, value);
+    } catch (const std::invalid_argument& err) {
+      // The scenario layer only knows its own keys; extend its
+      // unknown-key message with the experiment-level vocabulary so a
+      // typo'd spec lists every accepted key.
+      const std::string what = err.what();
+      if (what.find("unknown key") == std::string::npos) throw;
+      std::string keys;
+      for (const auto& known : experiment_keys()) {
+        keys += (keys.empty() ? "" : "|") + known;
+      }
+      throw std::invalid_argument(what + "; experiment keys add " + keys +
+                                  " and sweep <param>");
+    }
   }
 }
 
@@ -558,10 +648,20 @@ std::vector<std::pair<std::string, std::string>> experiment_echo(
       if (!spec.dist.empty()) add("dist", spec.dist);
       add("beta", format_value(spec.beta));
       add("t", std::to_string(spec.top_t));
-      add("pairwise",
-          spec.pairwise == core::PairwiseModel::kGaussian ? "gaussian" : "hybrid");
-      add("counting",
-          spec.counting == core::PairCounting::kPaper ? "paper" : "unordered");
+      if (spec.exact_discrete) {
+        add("exact-pairwise", "exact-discrete");
+        add("max-size", std::to_string(spec.exact_max_size));
+        add("tail-tol", format_value(spec.exact_tail_tol));
+        if (spec.exact_window > 0.0) {
+          add("window", format_value(spec.exact_window));
+        }
+      } else {
+        add("pairwise", spec.pairwise == core::PairwiseModel::kGaussian
+                            ? "gaussian"
+                            : "hybrid");
+        add("counting",
+            spec.counting == core::PairCounting::kPaper ? "paper" : "unordered");
+      }
     }
     if (spec.metric == ExactMetric::kOptimalRate) {
       add("target", format_value(spec.optimal_target));
@@ -795,21 +895,60 @@ std::size_t run_experiment(const ExperimentSpec& spec, report::ResultSink& sink)
     }
   }
 
+  // Exact-discrete grids share one core::DiscreteModelContext per
+  // distinct (pmf, rate, max-size, tail-tol, window) — an (n, t) sweep
+  // pays for its pairwise tables exactly once. Contexts are enumerated in
+  // deterministic grid order and built before the parallel grid runs (the
+  // build itself is TaskPool-parallel inside), and the reuse is recorded
+  // in the run metadata so result files document the sharing.
+  DiscreteContextCache discrete_contexts;
+  if (spec.model == ExperimentModel::kExact && spec.exact_discrete) {
+    const std::size_t threads = SweepEngine::resolve_thread_count(base.num_threads);
+    for (std::size_t index = 0; index < cells; ++index) {
+      const auto values = cell_values(axes, index);
+      ExperimentSpec cell = base;
+      double s1 = 0.0, s2 = 0.0;
+      for (std::size_t a = 0; a < axes.size(); ++a) {
+        apply_axis(cell, axes[a].param, values[a], s1, s2);
+      }
+      auto& context = discrete_contexts[discrete_context_key(cell)];
+      if (!context) {
+        core::DiscreteContextConfig cfg;
+        cfg.p = cell.exact_rate;
+        cfg.size_pmf =
+            std::make_shared<dist::Discretized>(make_size_distribution(cell));
+        cfg.max_size = cell.exact_max_size;
+        cfg.tail_tolerance = cell.exact_tail_tol;
+        cfg.window_tolerance = cell.exact_window;
+        cfg.num_threads = threads;
+        context = std::make_shared<const core::DiscreteModelContext>(cfg);
+      }
+    }
+  }
+
   report::RunMetadata meta;
   meta.experiment = spec.name;
   meta.seed = spec.seed;
   meta.spec_echo = experiment_echo(spec);
+  if (!discrete_contexts.empty()) {
+    meta.spec_echo.emplace_back(
+        "exact-discrete-contexts",
+        "built=" + std::to_string(discrete_contexts.size()) +
+            ",cells=" + std::to_string(cells) + ",reused=" +
+            std::to_string(cells - discrete_contexts.size()));
+  }
   sink.open(experiment_columns(spec), meta);
 
   std::size_t rows = 0;
   if (spec.model == ExperimentModel::kExact) {
     // One row per grid cell; cells are independent (the quadrature and
-    // root-solve caches are mutex- or thread-local-guarded), so the grid
-    // runs on the shared pool and the sink's reorder buffer restores grid
-    // order — output bytes are identical at any thread count.
+    // root-solve caches are mutex- or thread-local-guarded, and discrete
+    // contexts are immutable once built), so the grid runs on the shared
+    // pool and the sink's reorder buffer restores grid order — output
+    // bytes are identical at any thread count.
     SweepEngine pool(SweepEngine::resolve_thread_count(base.num_threads));
     pool.parallel_for(cells, [&](std::size_t index) {
-      sink.emit(index, exact_cell_row(base, axes, index));
+      sink.emit(index, exact_cell_row(base, axes, index, discrete_contexts));
     });
     rows = cells;
   } else if (spec.model == ExperimentModel::kMc) {

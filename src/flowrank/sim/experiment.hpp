@@ -10,7 +10,11 @@
 //     exact  — the analytic models (quadrature ranking/detection,
 //              optimal-rate and Gaussian-error grids; figs 1-11), one
 //              row per grid cell, parallelized over the grid on the
-//              shared exec::TaskPool;
+//              shared exec::TaskPool. `exact-pairwise = exact-discrete`
+//              switches metric=ranking cells to the integer-support
+//              discrete model (Eqs. 1 and 3) backed by build-once
+//              core::DiscreteModelContext tables, cached per distinct
+//              (p, pmf, max-size, tail-tol, window) across the grid;
 //     mc     — the trace-driven count-path Monte-Carlo simulation
 //              (binomial thinning over per-bin counts; figs 12-16), one
 //              row per (grid cell, rate, time bin);
@@ -31,7 +35,11 @@
 // Exact-model keys: metric = ranking|detection|optimal_rate|
 // gaussian_error, n = <population>, rate = <fixed sampling rate>,
 // target = <Pm,d for optimal_rate>, pairwise = gaussian|hybrid,
-// counting = paper|unordered.
+// counting = paper|unordered, exact-pairwise = gaussian|hybrid|
+// exact-discrete, plus the exact-discrete knobs max-size = <support cap>,
+// tail-tol = <pmf tail mass tolerance> and window = <gated k-sum pmf
+// tolerance; doubles as the monitor window seconds — run-time validation
+// keeps the two modes apart>.
 //
 // Packet-model estimator stage (closing the paper's sampled → estimated
 // → ranked loop):
@@ -81,6 +89,16 @@ struct ExperimentSpec : ScenarioSpec {
   double optimal_target = 1e-3;   ///< Pm,d for metric=optimal_rate
   core::PairwiseModel pairwise = core::PairwiseModel::kGaussian;
   core::PairCounting counting = core::PairCounting::kPaper;
+  /// `exact-pairwise = exact-discrete`: run metric=ranking cells through
+  /// the integer-support discrete model instead of the continuous
+  /// quadrature (gaussian|hybrid values map onto `pairwise` above).
+  bool exact_discrete = false;
+  std::int64_t exact_max_size = 4096;  ///< discrete support cap (max-size)
+  double exact_tail_tol = 1e-6;        ///< discrete tail tolerance (tail-tol)
+  /// Discrete windowed-k-sum tolerance (0 = exact, the default). Shares
+  /// the `window` key with monitor mode's seconds; both fields are set at
+  /// parse time and check_axes keeps the modes mutually exclusive.
+  double exact_window = 0.0;
 
   // --- packet-model estimator stage ---------------------------------------
   EstimatorStage estimator;

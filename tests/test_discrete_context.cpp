@@ -1,0 +1,215 @@
+// Tests for core::DiscreteModelContext — the build-once compute layer
+// for the exact discrete ranking model (Eqs. 1 and 3).
+//
+// The golden constants below are hexfloat captures of the historical
+// single-threaded implementation's output; every kernel rewrite must
+// reproduce them bit for bit (the repo's determinism contract).
+//
+// Suite names start with DiscreteModel so the full-suite TSan CI job
+// dynamically checks the TaskPool-parallel table build.
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "flowrank/core/discrete_context.hpp"
+#include "flowrank/core/discrete_model.hpp"
+#include "flowrank/core/ranking_model.hpp"
+#include "flowrank/core/sampling_planner.hpp"
+#include "flowrank/dist/pareto.hpp"
+
+namespace fc = flowrank::core;
+namespace fd = flowrank::dist;
+
+namespace {
+
+std::shared_ptr<const fd::Discretized> pareto_pmf(double mean, double beta) {
+  return std::make_shared<fd::Discretized>(
+      std::make_unique<fd::Pareto>(fd::Pareto::from_mean(mean, beta)));
+}
+
+fc::DiscreteContextConfig context_config(double p, std::int64_t max_size,
+                                         double beta) {
+  fc::DiscreteContextConfig cfg;
+  cfg.p = p;
+  cfg.size_pmf = pareto_pmf(9.6, beta);
+  cfg.max_size = max_size;
+  cfg.tail_tolerance = 1e-4;
+  return cfg;
+}
+
+fc::DiscreteModelResult one_shot(std::int64_t n, std::int64_t t, double p,
+                                 std::int64_t max_size, double beta,
+                                 bool gaussian = false) {
+  fc::DiscreteModelConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.p = p;
+  cfg.size_pmf = pareto_pmf(9.6, beta);
+  cfg.max_size = max_size;
+  cfg.tail_tolerance = 1e-4;
+  cfg.gaussian_pairwise = gaussian;
+  return fc::evaluate_discrete_ranking_model(cfg);
+}
+
+}  // namespace
+
+// Hexfloat goldens captured from the pre-context implementation. These
+// pin the full arithmetic stream: pmf recurrence, Eq. (1) k-sums, the
+// triangular reduction order, and the Eq. (3) fold.
+TEST(DiscreteModelContext, GoldenBitIdentity) {
+  const struct {
+    std::int64_t n, t;
+    double p;
+    std::int64_t max_size;
+    double beta;
+    bool gaussian;
+    double pbar, metric;
+  } goldens[] = {
+      {2000, 5, 0.2, 600, 2.5, false, 0x1.221ee99750614p-9, 0x1.619ebda7b6b11p+4},
+      {2000, 10, 0.2, 600, 2.5, false, 0x1.8458acbddd32ap-8, 0x1.d8c082a9515a3p+6},
+      {5000, 20, 0.2, 600, 2.5, false, 0x1.ec9336f9545adp-9, 0x1.7704087f8ce7fp+8},
+      {1000, 3, 0.35, 500, 2.5, false, 0x1.4be75c72f7be6p-10, 0x1.e536fae712ae1p+1},
+      {1500, 4, 0.25, 400, 3.0, false, 0x1.1018279a8dcd6p-8, 0x1.8de952eaa51f3p+4},
+      {1500, 4, 0.25, 500, 2.5, true, 0x1.83dbef380b298p-10, 0x1.1b9a60facaa97p+3},
+  };
+  for (const auto& g : goldens) {
+    const auto r = one_shot(g.n, g.t, g.p, g.max_size, g.beta, g.gaussian);
+    EXPECT_EQ(g.pbar, r.mean_pair_misranking)
+        << "n=" << g.n << " t=" << g.t << " p=" << g.p;
+    EXPECT_EQ(g.metric, r.metric) << "n=" << g.n << " t=" << g.t << " p=" << g.p;
+  }
+}
+
+// One context, many (n, t) cells: sweep reuse must be bit-identical to
+// rebuilding from scratch for every cell.
+TEST(DiscreteModelContext, SweepReuseMatchesOneShot) {
+  const fc::DiscreteModelContext context(context_config(0.2, 600, 2.5));
+  const std::int64_t cells[][2] = {{2000, 5}, {2000, 10}, {2000, 25}, {5000, 20}};
+  for (const auto& cell : cells) {
+    const auto reused = context.evaluate(cell[0], cell[1]);
+    const auto fresh = one_shot(cell[0], cell[1], 0.2, 600, 2.5);
+    EXPECT_EQ(fresh.mean_pair_misranking, reused.mean_pair_misranking);
+    EXPECT_EQ(fresh.metric, reused.metric);
+  }
+}
+
+// The determinism contract: the TaskPool-parallel table build returns the
+// same bits at any thread count — the cached reductions and every
+// evaluation must match the single-threaded build exactly.
+TEST(DiscreteModelContext, ParallelBuildBitIdentical) {
+  auto cfg = context_config(0.2, 600, 2.5);
+  cfg.num_threads = 1;
+  const fc::DiscreteModelContext baseline(cfg);
+  const auto r1 = baseline.evaluate(2000, 5);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    cfg.num_threads = threads;
+    const fc::DiscreteModelContext parallel(cfg);
+    ASSERT_EQ(baseline.smaller_pair_sums().size(),
+              parallel.smaller_pair_sums().size());
+    EXPECT_EQ(baseline.smaller_pair_sums(), parallel.smaller_pair_sums())
+        << "threads=" << threads;
+    EXPECT_EQ(baseline.larger_pair_sums(), parallel.larger_pair_sums())
+        << "threads=" << threads;
+    const auto rt = parallel.evaluate(2000, 5);
+    EXPECT_EQ(r1.mean_pair_misranking, rt.mean_pair_misranking);
+    EXPECT_EQ(r1.metric, rt.metric);
+  }
+}
+
+// The discrete model is the ground truth the continuous quadrature
+// approximates; at modest scale the two must land close together.
+TEST(DiscreteModelContext, AgreesWithContinuousModel) {
+  fc::RankingModelConfig cont;
+  cont.n = 2000;
+  cont.t = 10;
+  cont.p = 0.2;
+  cont.size_dist = std::make_shared<fd::Pareto>(fd::Pareto::from_mean(9.6, 2.5));
+  const auto continuous = fc::evaluate_ranking_model(cont);
+  const auto discrete = one_shot(2000, 10, 0.2, 600, 2.5);
+  ASSERT_GT(continuous.mean_pair_misranking, 0.0);
+  const double ratio =
+      discrete.mean_pair_misranking / continuous.mean_pair_misranking;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+  // Same pair-count convention, so metrics agree to the same factor.
+  const double pair_count = 0.5 * (2.0 * 2000 - 10 - 1) * 10;
+  EXPECT_DOUBLE_EQ(discrete.metric,
+                   discrete.mean_pair_misranking * pair_count);
+}
+
+// The gated support window is a real approximation: it must change the
+// bit stream (it is not a free lunch) and it must respect the documented
+// one-sided error bound of 2 * window_tolerance * N / t on pbar.
+TEST(DiscreteModelContext, WindowedKSumBoundedError) {
+  const double tol = 1e-4;
+  auto exact_cfg = context_config(0.2, 600, 2.5);
+  auto windowed_cfg = exact_cfg;
+  windowed_cfg.window_tolerance = tol;
+  const fc::DiscreteModelContext exact(exact_cfg);
+  const fc::DiscreteModelContext windowed(windowed_cfg);
+  EXPECT_FALSE(exact.windowed());
+  EXPECT_TRUE(windowed.windowed());
+  const std::int64_t n = 2000, t = 5;
+  const auto re = exact.evaluate(n, t);
+  const auto rw = windowed.evaluate(n, t);
+  EXPECT_NE(re.mean_pair_misranking, rw.mean_pair_misranking)
+      << "window_tolerance > 0 must not silently reproduce the exact stream";
+  const double bound = 2.0 * tol * static_cast<double>(n) / static_cast<double>(t);
+  EXPECT_NEAR(re.mean_pair_misranking, rw.mean_pair_misranking, bound);
+  const double pair_count = 0.5 * (2.0 * n - t - 1) * t;
+  EXPECT_NEAR(re.metric, rw.metric, bound * pair_count);
+}
+
+// Discrete planner overload: bisection against the exact model.
+TEST(DiscreteModelPlanner, FindsFeasibleRate) {
+  fc::DiscreteModelConfig cfg;
+  cfg.n = 2000;
+  cfg.t = 10;
+  cfg.size_pmf = pareto_pmf(9.6, 2.5);
+  cfg.max_size = 400;
+  cfg.tail_tolerance = 1e-3;
+  const auto plan = fc::plan_sampling_rate(cfg, 1.0, 1e-4, 0.999);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GT(plan.sampling_rate, 1e-4);
+  EXPECT_LT(plan.sampling_rate, 0.999);
+  EXPECT_LE(plan.metric, 1.0 + 1e-9);
+  // The returned rate really achieves the target under the exact model.
+  cfg.p = plan.sampling_rate;
+  cfg.t = 10;
+  const auto at_rate = fc::evaluate_discrete_ranking_model(cfg);
+  EXPECT_LE(at_rate.metric, 1.0 + 1e-6);
+}
+
+TEST(DiscreteModelContext, ValidationErrors) {
+  auto cfg = context_config(0.2, 600, 2.5);
+  {
+    auto bad = cfg;
+    bad.size_pmf = nullptr;
+    EXPECT_THROW(fc::DiscreteModelContext{bad}, std::invalid_argument);
+  }
+  for (double p : {0.0, 1.0, -0.1, 1.5}) {
+    auto bad = cfg;
+    bad.p = p;
+    EXPECT_THROW(fc::DiscreteModelContext{bad}, std::invalid_argument);
+  }
+  {
+    // A heavy Pareto tail above a tiny support cap exceeds the tolerance.
+    auto bad = cfg;
+    bad.max_size = 20;
+    bad.tail_tolerance = 1e-6;
+    EXPECT_THROW(fc::DiscreteModelContext{bad}, std::invalid_argument);
+  }
+  {
+    // The window knob is a pmf mass in [0, 0.1), not a time window.
+    auto bad = cfg;
+    bad.window_tolerance = 0.5;
+    EXPECT_THROW(fc::DiscreteModelContext{bad}, std::invalid_argument);
+  }
+  const fc::DiscreteModelContext context(cfg);
+  EXPECT_THROW(context.evaluate(2000, 0), std::invalid_argument);
+  EXPECT_THROW(context.evaluate(2000, 2001), std::invalid_argument);
+  EXPECT_NO_THROW(context.evaluate(2000, 2000));
+}

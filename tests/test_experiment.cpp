@@ -14,7 +14,9 @@
 
 #include "flowrank/agg/fleet_run.hpp"
 #include "flowrank/core/detection_model.hpp"
+#include "flowrank/core/discrete_context.hpp"
 #include "flowrank/core/ranking_model.hpp"
+#include "flowrank/dist/discretized.hpp"
 #include "flowrank/estimators/heavy_hitter_trackers.hpp"
 #include "flowrank/sampler/packet_sampler.hpp"
 #include "flowrank/sim/experiment.hpp"
@@ -36,11 +38,13 @@ class CaptureSink final : public fr::ResultSink {
  public:
   std::vector<std::string> columns;
   std::vector<std::vector<std::string>> rows;
+  std::vector<std::pair<std::string, std::string>> spec_echo;
 
  protected:
   void write_header(const std::vector<std::string>& cols,
-                    const fr::RunMetadata&) override {
+                    const fr::RunMetadata& meta) override {
     columns = cols;
+    spec_echo = meta.spec_echo;
   }
   void write_row(const fr::Row& row) override {
     std::vector<std::string> cells;
@@ -184,6 +188,56 @@ TEST(ExperimentSpecFile, UnknownKeysAndParamsThrow) {
   std::remove(bad_sweep.c_str());
 }
 
+TEST(ExperimentSpecFile, ParsesExactDiscreteKeys) {
+  const std::string path = write_temp_spec("exp_discrete.spec",
+                                           "model = exact\n"
+                                           "metric = ranking\n"
+                                           "exact-pairwise = exact-discrete\n"
+                                           "max-size = 600\n"
+                                           "tail-tol = 1e-4\n"
+                                           "window = 0.001\n"
+                                           "n = 2000\n"
+                                           "rate = 0.2\n"
+                                           "sweep t = 5,10,25\n");
+  const auto spec = fsim::parse_experiment_file(path);
+  EXPECT_TRUE(spec.exact_discrete);
+  EXPECT_EQ(spec.exact_max_size, 600);
+  EXPECT_DOUBLE_EQ(spec.exact_tail_tol, 1e-4);
+  EXPECT_DOUBLE_EQ(spec.exact_window, 0.001);
+  std::remove(path.c_str());
+
+  // The other two exact-pairwise flavors route to the continuous model.
+  fsim::ExperimentSpec flavors;
+  fsim::apply_experiment_entry(flavors, "exact-pairwise", "hybrid");
+  EXPECT_FALSE(flavors.exact_discrete);
+  EXPECT_EQ(flavors.pairwise, flowrank::core::PairwiseModel::kHybrid);
+  fsim::apply_experiment_entry(flavors, "exact-pairwise", "gaussian");
+  EXPECT_EQ(flavors.pairwise, flowrank::core::PairwiseModel::kGaussian);
+  EXPECT_THROW(fsim::apply_experiment_entry(flavors, "exact-pairwise", "exact"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_experiment_entry(flavors, "max-size", "1"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_experiment_entry(flavors, "max-size", "2.5"),
+               std::invalid_argument);
+  EXPECT_THROW(fsim::apply_experiment_entry(flavors, "tail-tol", "0"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpecFile, UnknownKeyErrorListsExperimentKeys) {
+  fsim::ExperimentSpec spec;
+  try {
+    fsim::apply_experiment_entry(spec, "max-sizes", "600");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("unknown key"), std::string::npos) << what;
+    // The augmented vocabulary must name the exact-discrete knobs.
+    for (const char* key : {"exact-pairwise", "max-size", "tail-tol", "window"}) {
+      EXPECT_NE(what.find(key), std::string::npos) << "missing " << key << ": " << what;
+    }
+  }
+}
+
 TEST(ExperimentSpecFile, CliOverridesReplaceAxes) {
   const std::string path = write_temp_spec("exp_override.spec",
                                            "model = exact\n"
@@ -253,6 +307,65 @@ TEST(ExperimentEngine, ExactRankingMatchesDirectModelCalls) {
       ++row;
     }
   }
+}
+
+// A t-sweep under exact-pairwise=exact-discrete: one shared context serves
+// all cells (bit-identical to a direct context evaluation), and the run
+// metadata documents the sharing.
+TEST(ExperimentEngine, ExactDiscreteMatchesContextAndReportsReuse) {
+  fsim::ExperimentSpec spec;
+  fsim::apply_experiment_entry(spec, "model", "exact");
+  fsim::apply_experiment_entry(spec, "metric", "ranking");
+  fsim::apply_experiment_entry(spec, "exact-pairwise", "exact-discrete");
+  fsim::apply_experiment_entry(spec, "max-size", "600");
+  fsim::apply_experiment_entry(spec, "tail-tol", "1e-4");
+  fsim::apply_experiment_entry(spec, "n", "2000");
+  fsim::apply_experiment_entry(spec, "preset", "sprint_5tuple");
+  fsim::apply_experiment_entry(spec, "beta", "2.5");
+  fsim::apply_experiment_entry(spec, "rate", "0.2");
+  fsim::apply_experiment_entry(spec, "sweep t", "5,10,25");
+  CaptureSink sink;
+  EXPECT_EQ(fsim::run_experiment(spec, sink), 3u);
+  ASSERT_EQ(sink.rows.size(), 3u);
+
+  flowrank::core::DiscreteContextConfig cfg;
+  cfg.p = 0.2;
+  cfg.size_pmf =
+      std::make_shared<flowrank::dist::Discretized>(fsim::make_size_distribution(spec));
+  cfg.max_size = 600;
+  cfg.tail_tolerance = 1e-4;
+  const flowrank::core::DiscreteModelContext context(cfg);
+  const auto pbar_col = column_index(sink, "mean_pair_misranking");
+  const auto metric_col = column_index(sink, "metric");
+  const auto pairs_col = column_index(sink, "pair_count");
+  std::size_t row = 0;
+  for (const std::int64_t t : {5, 10, 25}) {
+    const auto expected = context.evaluate(2000, t);
+    EXPECT_EQ(sink.rows[row][pbar_col],
+              fr::Value(expected.mean_pair_misranking).text())
+        << "row " << row;
+    EXPECT_EQ(sink.rows[row][metric_col], fr::Value(expected.metric).text())
+        << "row " << row;
+    const double pairs = 0.5 * (2.0 * 2000 - t - 1) * t;
+    EXPECT_EQ(sink.rows[row][pairs_col], fr::Value(pairs).text()) << "row " << row;
+    ++row;
+  }
+
+  // One context built, three cells served.
+  bool found = false;
+  for (const auto& [key, value] : sink.spec_echo) {
+    if (key == "exact-discrete-contexts") {
+      found = true;
+      EXPECT_EQ(value, "built=1,cells=3,reused=2");
+    }
+  }
+  EXPECT_TRUE(found) << "run metadata must report context reuse";
+
+  // The guard: exact-discrete is a ranking-model axis.
+  fsim::ExperimentSpec bad = spec;
+  fsim::apply_experiment_entry(bad, "metric", "detection");
+  CaptureSink sink2;
+  EXPECT_THROW(fsim::run_experiment(bad, sink2), std::invalid_argument);
 }
 
 TEST(ExperimentEngine, McMatchesRunBinnedSimulation) {
